@@ -1,0 +1,420 @@
+// Repository benchmarks: one per table and figure of the paper's
+// evaluation (Section VI), plus the design-choice ablations DESIGN.md
+// calls out. Each benchmark regenerates its experiment through the shared
+// harness and reports the headline ratios as benchmark metrics, so
+// `go test -bench=. -benchmem` both exercises the full system and emits
+// the reproduction numbers.
+//
+// All benchmarks share one experiment runner: related figures reuse each
+// other's simulations exactly as the harness does (Figs. 10-13 are four
+// views of the same 60 runs). Window sizes scale with the environment
+// variable MOCA_BENCH_MEASURE (instructions per core, default 200000).
+package moca_test
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"moca"
+	"moca/internal/exp"
+	"moca/internal/stats"
+)
+
+var (
+	benchOnce   sync.Once
+	benchRunner *exp.Runner
+)
+
+func runner() *exp.Runner {
+	benchOnce.Do(func() {
+		r := exp.NewRunner()
+		r.Measure = 200_000
+		if v := os.Getenv("MOCA_BENCH_MEASURE"); v != "" {
+			if n, err := strconv.ParseUint(v, 10, 64); err == nil && n > 0 {
+				r.Measure = n
+			}
+		}
+		r.FW.ProfileWindow = 300_000
+		benchRunner = r
+	})
+	return benchRunner
+}
+
+func reportGrid(b *testing.B, g *stats.Grid, metrics map[string]float64) {
+	b.Helper()
+	b.Logf("\n%s", g.Table().String())
+	for name, v := range metrics {
+		b.ReportMetric(v, name)
+	}
+}
+
+func BenchmarkTable3Classification(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		got, table, err := r.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		matches := 0
+		for app, class := range exp.Table3Expected() {
+			if got[app] == class {
+				matches++
+			}
+		}
+		b.ReportMetric(float64(matches), "matches/10")
+		if i == 0 {
+			b.Logf("\n%s", table.String())
+		}
+	}
+}
+
+func BenchmarkFig1AppProfile(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		pts, table, err := r.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(pts)), "apps")
+		if i == 0 {
+			b.Logf("\n%s", table.String())
+		}
+	}
+}
+
+func BenchmarkFig2ObjectProfile(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		pts, table, err := r.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(pts)), "objects")
+		if i == 0 {
+			b.Logf("\n%s", table.String())
+		}
+	}
+}
+
+func BenchmarkFig8SingleCorePerf(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		g, err := r.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportGrid(b, g, map[string]float64{
+			"moca/ddr3":     g.ColMean(exp.SysMOCA),
+			"moca/heterapp": g.ColMean(exp.SysMOCA) / g.ColMean(exp.SysHeterApp),
+		})
+	}
+}
+
+func BenchmarkFig9SingleCoreEDP(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		g, err := r.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportGrid(b, g, map[string]float64{
+			"moca/ddr3":     g.ColMean(exp.SysMOCA),
+			"moca/heterapp": g.ColMean(exp.SysMOCA) / g.ColMean(exp.SysHeterApp),
+		})
+	}
+}
+
+func BenchmarkFig10MultiPerf(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		g, err := r.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportGrid(b, g, map[string]float64{
+			"moca/ddr3":     g.ColMean(exp.SysMOCA),
+			"moca/heterapp": g.ColMean(exp.SysMOCA) / g.ColMean(exp.SysHeterApp),
+		})
+	}
+}
+
+func BenchmarkFig11MultiEDP(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		g, err := r.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := 1.0
+		for _, mix := range g.Rows {
+			if v := g.Get(mix, exp.SysMOCA); v < best {
+				best = v
+			}
+		}
+		reportGrid(b, g, map[string]float64{
+			"moca/ddr3-best": best,
+			"moca/heterapp":  g.ColMean(exp.SysMOCA) / g.ColMean(exp.SysHeterApp),
+		})
+	}
+}
+
+func BenchmarkFig12SystemPerf(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		g, err := r.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportGrid(b, g, map[string]float64{
+			"moca/heterapp": g.ColMean(exp.SysMOCA) / g.ColMean(exp.SysHeterApp),
+		})
+	}
+}
+
+func BenchmarkFig13SystemEDP(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		g, err := r.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportGrid(b, g, map[string]float64{
+			"moca/heterapp": g.ColMean(exp.SysMOCA) / g.ColMean(exp.SysHeterApp),
+		})
+	}
+}
+
+func BenchmarkFig14ConfigSweepPerf(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		g, err := r.Fig14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportGrid(b, g, map[string]float64{
+			"config1-moca": g.ColMean("config1/MOCA"),
+			"config3-moca": g.ColMean("config3/MOCA"),
+		})
+	}
+}
+
+func BenchmarkFig15ConfigSweepEDP(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		g, err := r.Fig15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportGrid(b, g, map[string]float64{
+			"config1-moca": g.ColMean("config1/MOCA"),
+			"config3-moca": g.ColMean("config3/MOCA"),
+		})
+	}
+}
+
+func BenchmarkFig16StackCode(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		pts, table, err := r.Fig16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64
+		for _, p := range pts {
+			if p.StackMPKI > worst {
+				worst = p.StackMPKI
+			}
+			if p.CodeMPKI > worst {
+				worst = p.CodeMPKI
+			}
+		}
+		b.ReportMetric(worst, "worst-seg-mpki")
+		if i == 0 {
+			b.Logf("\n%s", table.String())
+		}
+	}
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		h, table, err := r.Headline()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(h.SingleAccessTimeVsDDR3*100, "single-perf-vs-ddr3-%")
+		b.ReportMetric(h.MultiMemEDPVsDDR3Best*100, "multi-edp-best-%")
+		b.ReportMetric(h.MultiAccessTimeVsApp*100, "multi-perf-vs-app-%")
+		b.ReportMetric(h.MultiMemEDPVsApp*100, "multi-edp-vs-app-%")
+		if i == 0 {
+			b.Logf("\n%s", table.String())
+		}
+	}
+}
+
+func BenchmarkAblationThresholds(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		best, table, err := r.AblationThresholds("2L1B1N",
+			[]float64{0.5, 1, 2, 5}, []float64{10, 20, 40})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(best.LatMPKI, "best-thr-lat")
+		b.ReportMetric(best.BWStallCycles, "best-thr-bw")
+		if i == 0 {
+			b.Logf("\n%s", table.String())
+		}
+	}
+}
+
+func BenchmarkAblationFallback(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		table, err := r.AblationFallback("1L3B")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", table.String())
+		}
+	}
+}
+
+func BenchmarkAblationNamingDepth(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		table, err := r.AblationNamingDepth()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", table.String())
+		}
+	}
+}
+
+func BenchmarkAblationScheduler(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		table, err := r.AblationScheduler("lbm")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", table.String())
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
+// instructions per benchmark op for a fresh single-core DDR3 run (no
+// result caching, no profiling).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := moca.DefaultSystem("throughput", moca.Homogeneous(moca.DDR3), moca.PolicyFixed)
+		sys, err := moca.NewSystem(cfg, []moca.ProcSpec{{App: moca.AppByNameMust("mcf"), Input: moca.Ref}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Run(sys.SuggestedWarmup(), 100_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TotalInstructions()), "instructions/op")
+	}
+}
+
+func BenchmarkAblationMigration(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		table, err := r.AblationMigration("2L1B1N")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", table.String())
+		}
+	}
+}
+
+func BenchmarkExtensionPCMTiering(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		table, err := r.ExtensionPCM("2B2N")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", table.String())
+		}
+	}
+}
+
+func BenchmarkAblationPrefetch(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		table, err := r.AblationPrefetch()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", table.String())
+		}
+	}
+}
+
+func BenchmarkAblationRowPolicy(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		table, err := r.AblationRowPolicy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", table.String())
+		}
+	}
+}
+
+func BenchmarkAblationMapping(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		table, err := r.AblationMapping("lbm")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", table.String())
+		}
+	}
+}
+
+func BenchmarkExtensionKNL(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		table, err := r.ExtensionKNL("2L1B1N")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", table.String())
+		}
+	}
+}
+
+func BenchmarkExtensionPhases(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		table, err := r.ExtensionPhases()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", table.String())
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Command moca-bench regenerates the tables and figures of the MOCA paper
+// (IPDPS 2018) from simulation and prints them as text tables.
+//
+// Usage:
+//
+//	moca-bench [flags] [experiment ...]
+//
+// Experiments: table1 table2 table3 fig1 fig2 fig5 fig8 fig9 fig10 fig11
+// fig12 fig13 fig14 fig15 fig16 headline ablations extensions, or "all"
+// (default: headline). Results are cached across experiments within one
+// invocation, so "all" reuses the shared runs exactly as the figures do.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"moca/internal/exp"
+	"moca/internal/stats"
+)
+
+func main() {
+	measure := flag.Uint64("measure", 300_000, "measured instructions per core per run")
+	window := flag.Uint64("profile-window", 300_000, "profiling run window (instructions)")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
+	format := flag.String("format", "text", "output format: text, md (markdown), csv (grids only)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: moca-bench [flags] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "experiments: %s, all\n", strings.Join(names(), " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	r := exp.NewRunner()
+	r.Measure = *measure
+	r.FW.ProfileWindow = *window
+	r.Parallelism = *parallel
+
+	switch *format {
+	case "text", "md", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "moca-bench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"headline"}
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = names()
+	}
+	for _, name := range args {
+		start := time.Now()
+		if err := runOne(r, strings.ToLower(name), *format); err != nil {
+			fmt.Fprintf(os.Stderr, "moca-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func names() []string {
+	return []string{
+		"table1", "table2", "table3",
+		"fig1", "fig2", "fig5", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "fig16",
+		"headline", "ablations", "extensions",
+	}
+}
+
+func runOne(r *exp.Runner, name, format string) error {
+	show := func(t *stats.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		if format == "md" {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.String())
+		}
+		return nil
+	}
+	grid := func(g *stats.Grid, err error) error {
+		if err != nil {
+			return err
+		}
+		switch format {
+		case "csv":
+			fmt.Printf("# %s\n%s\n", g.Name, g.CSV())
+		case "md":
+			fmt.Println(g.Table().Markdown())
+		default:
+			fmt.Println(g.Table().String())
+		}
+		return nil
+	}
+	switch name {
+	case "table1":
+		return show(exp.Table1(), nil)
+	case "table2":
+		return show(exp.Table2(), nil)
+	case "table3":
+		_, t, err := r.Table3()
+		return show(t, err)
+	case "fig1":
+		_, t, err := r.Fig1()
+		return show(t, err)
+	case "fig2":
+		_, t, err := r.Fig2()
+		return show(t, err)
+	case "fig5":
+		return show(r.Fig5(), nil)
+	case "fig8":
+		return grid(r.Fig8())
+	case "fig9":
+		return grid(r.Fig9())
+	case "fig10":
+		return grid(r.Fig10())
+	case "fig11":
+		return grid(r.Fig11())
+	case "fig12":
+		return grid(r.Fig12())
+	case "fig13":
+		return grid(r.Fig13())
+	case "fig14":
+		return grid(r.Fig14())
+	case "fig15":
+		return grid(r.Fig15())
+	case "fig16":
+		_, t, err := r.Fig16()
+		return show(t, err)
+	case "headline":
+		_, t, err := r.Headline()
+		return show(t, err)
+	case "ablations":
+		best, t, err := r.AblationThresholds("2L1B1N",
+			[]float64{0.5, 1, 2, 5}, []float64{10, 20, 40})
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.String())
+		fmt.Printf("best thresholds: Thr_Lat=%.1f Thr_BW=%.1f\n\n", best.LatMPKI, best.BWStallCycles)
+		if err := show(r.AblationFallback("1L3B")); err != nil {
+			return err
+		}
+		if err := show(r.AblationNamingDepth()); err != nil {
+			return err
+		}
+		if err := show(r.AblationMigration("2L1B1N")); err != nil {
+			return err
+		}
+		if err := show(r.AblationPrefetch()); err != nil {
+			return err
+		}
+		if err := show(r.AblationRowPolicy()); err != nil {
+			return err
+		}
+		if err := show(r.AblationMapping("lbm")); err != nil {
+			return err
+		}
+		return show(r.AblationScheduler("lbm"))
+	case "extensions":
+		if err := show(r.ExtensionPCM("2B2N")); err != nil {
+			return err
+		}
+		if err := show(r.ExtensionKNL("2L1B1N")); err != nil {
+			return err
+		}
+		return show(r.ExtensionPhases())
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}

@@ -1,0 +1,109 @@
+// Command moca-profile runs MOCA's offline profiling stage for one or more
+// built-in applications: it executes the application's training input on
+// the profiling system with object naming and counters enabled, classifies
+// every heap object, and prints the per-object LUT (the data behind the
+// paper's Figs. 1-3 and Table III). With -o, the serialized profile is
+// written for cmd/moca-sim to consume — the stand-in for instrumenting the
+// classification into the application binary.
+//
+// Usage:
+//
+//	moca-profile [-window N] [-simpoints K] [-o DIR] app [app ...]
+//	moca-profile -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"moca"
+)
+
+func main() {
+	window := flag.Uint64("window", 300_000, "profiling window (instructions)")
+	points := flag.Int("simpoints", 1, "number of simulation points to profile and merge")
+	outDir := flag.String("o", "", "directory to write <app>.profile.json files")
+	list := flag.Bool("list", false, "list built-in applications and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: moca-profile [flags] app [app ...]   (or: moca-profile all)")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, s := range moca.Apps() {
+			fmt.Printf("%-12s %2d objects, %5.1f MB footprint\n",
+				s.Name, len(s.Objects), float64(s.Footprint())/(1<<20))
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = nil
+		for _, s := range moca.Apps() {
+			args = append(args, s.Name)
+		}
+	}
+
+	fw := moca.NewFramework()
+	fw.ProfileWindow = *window
+
+	for _, name := range args {
+		spec, ok := moca.AppByName(name)
+		if !ok {
+			fatal("unknown application %q (try -list)", name)
+		}
+		var pr moca.Profile
+		var err error
+		if *points > 1 {
+			pr, err = fw.ProfileMulti(spec, *points)
+		} else {
+			pr, err = fw.Profile(spec)
+		}
+		if err != nil {
+			fatal("profiling %s: %v", name, err)
+		}
+		printProfile(fw, spec, pr)
+		if *outDir != "" {
+			data, err := pr.Marshal()
+			if err != nil {
+				fatal("encoding %s: %v", name, err)
+			}
+			path := filepath.Join(*outDir, name+".profile.json")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				fatal("writing %s: %v", path, err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+}
+
+func printProfile(fw *moca.Framework, spec moca.AppSpec, pr moca.Profile) {
+	ins := fw.InstrumentFromProfile(spec, pr)
+	m := pr.AppMetrics()
+	fmt.Printf("== %s: %d instructions, app-level MPKI %.2f, stall/miss %.1f, class %v\n",
+		pr.App, pr.Instructions, m.MPKI, m.StallPerMiss, ins.AppClass)
+	fmt.Printf("%-16s %10s %8s %10s %12s %6s\n", "object", "size(KB)", "allocs", "LLC MPKI", "stall/miss", "class")
+	fmt.Println(strings.Repeat("-", 68))
+	for _, o := range pr.Objects {
+		label := o.Label
+		if label == "" {
+			label = fmt.Sprintf("site_%x", uint64(o.Site))
+		}
+		fmt.Printf("%-16s %10d %8d %10.2f %12.1f %6v\n",
+			label, o.SizeBytes/1024, o.Allocs, o.MPKI, o.StallPerMiss, o.Class)
+	}
+	fmt.Println()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "moca-profile: "+format+"\n", args...)
+	os.Exit(1)
+}

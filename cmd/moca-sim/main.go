@@ -1,0 +1,258 @@
+// Command moca-sim runs one simulation: a single application or a 4-app
+// workload mix on a chosen memory system, and prints the measured memory
+// and system metrics plus the per-module page placement census.
+//
+// Usage:
+//
+//	moca-sim [-system NAME] [-measure N] (-app NAME | -mix NAME)
+//
+// Systems: ddr3, rl, hbm, lp (homogeneous); heter-app, moca (heterogeneous
+// config1); heter-app@config2, moca@config3, ... (other capacity configs).
+//
+// MOCA and Heter-App systems need per-application classification; by
+// default the offline profiling stage runs automatically. Pass -profiles
+// DIR to load <app>.profile.json files written by moca-profile instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"moca"
+	"moca/internal/profile"
+)
+
+func main() {
+	system := flag.String("system", "moca", "memory system (ddr3|rl|hbm|lp|heter-app|moca|migrate, optionally @config2/@config3)")
+	appName := flag.String("app", "", "single application to run")
+	mixName := flag.String("mix", "", "4-application workload set to run")
+	measure := flag.Uint64("measure", 300_000, "measured instructions per core")
+	window := flag.Uint64("profile-window", 300_000, "auto-profiling window (instructions)")
+	profiles := flag.String("profiles", "", "directory of <app>.profile.json files (skips auto-profiling)")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of tables")
+	flag.Parse()
+
+	if (*appName == "") == (*mixName == "") {
+		fatal("exactly one of -app or -mix is required")
+	}
+	var apps []string
+	if *appName != "" {
+		apps = []string{*appName}
+	} else {
+		mix, ok := moca.MixByName(*mixName)
+		if !ok {
+			var names []string
+			for _, m := range moca.WorkloadMixes() {
+				names = append(names, m.Name)
+			}
+			fatal("unknown mix %q (have: %s)", *mixName, strings.Join(names, " "))
+		}
+		apps = mix.Apps
+	}
+
+	cfg, err := systemConfig(*system)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	fw := moca.NewFramework()
+	fw.ProfileWindow = *window
+	var procs []moca.ProcSpec
+	for _, name := range apps {
+		spec, ok := moca.AppByName(name)
+		if !ok {
+			fatal("unknown application %q", name)
+		}
+		ins, err := instrument(fw, spec, *profiles)
+		if err != nil {
+			fatal("%v", err)
+		}
+		procs = append(procs, ins.Proc(cfg.Policy, moca.Ref))
+	}
+
+	sys, err := moca.NewSystem(cfg, procs)
+	if err != nil {
+		fatal("%v", err)
+	}
+	res, err := sys.Run(sys.SuggestedWarmup(), *measure)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *jsonOut {
+		reportJSON(res)
+	} else {
+		report(res)
+	}
+}
+
+// jsonReport is the machine-readable result schema.
+type jsonReport struct {
+	System            string         `json:"system"`
+	Policy            string         `json:"policy"`
+	ElapsedPs         int64          `json:"elapsed_ps"`
+	Instructions      uint64         `json:"instructions"`
+	MemAccessTimePs   int64          `json:"mem_access_time_ps"`
+	MemEnergyJ        float64        `json:"mem_energy_j"`
+	MemPowerW         float64        `json:"mem_power_w"`
+	MemEDP            float64        `json:"mem_edp"`
+	SystemEDP         float64        `json:"system_edp"`
+	Cores             []jsonCore     `json:"cores"`
+	Channels          []jsonChannel  `json:"channels"`
+	PagesByKind       map[string]int `json:"pages_by_kind"`
+	FallbackPages     uint64         `json:"fallback_pages"`
+	MigrationEpochs   uint64         `json:"migration_epochs,omitempty"`
+	MigrationPromotes uint64         `json:"migration_promotions,omitempty"`
+}
+
+type jsonCore struct {
+	App          string  `json:"app"`
+	IPC          float64 `json:"ipc"`
+	LLCMPKI      float64 `json:"llc_mpki"`
+	StallPerMiss float64 `json:"stall_per_miss"`
+}
+
+type jsonChannel struct {
+	Name       string  `json:"name"`
+	Requests   uint64  `json:"requests"`
+	AvgNs      float64 `json:"avg_ns"`
+	RowHitRate float64 `json:"row_hit_rate"`
+}
+
+func reportJSON(res *moca.Result) {
+	out := jsonReport{
+		System:            res.Name,
+		Policy:            res.Policy,
+		ElapsedPs:         int64(res.Elapsed),
+		Instructions:      res.TotalInstructions(),
+		MemAccessTimePs:   int64(res.AvgMemAccessTime()),
+		MemEnergyJ:        res.MemEnergyJ(),
+		MemPowerW:         res.MemPowerW(),
+		MemEDP:            res.MemEDP(),
+		SystemEDP:         res.SystemEDP(),
+		PagesByKind:       map[string]int{},
+		FallbackPages:     res.OS.FallbackPages,
+		MigrationEpochs:   res.Migration.Epochs,
+		MigrationPromotes: res.Migration.Promotions,
+	}
+	for _, c := range res.Cores {
+		out.Cores = append(out.Cores, jsonCore{
+			App: c.App, IPC: c.IPC(), LLCMPKI: c.LLCMPKI(), StallPerMiss: c.StallPerMiss(),
+		})
+	}
+	for _, ch := range res.Channels {
+		out.Channels = append(out.Channels, jsonChannel{
+			Name: ch.Name, Requests: ch.Stats.Requests(),
+			AvgNs:      float64(ch.Stats.AvgLatency()) / 1000,
+			RowHitRate: ch.Stats.RowHitRate(),
+		})
+	}
+	for kind, n := range res.PagesOnKind() {
+		out.PagesByKind[kind.String()] = n
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Println(string(data))
+}
+
+func systemConfig(name string) (moca.SystemConfig, error) {
+	base, cfgSel := name, moca.Config1
+	if i := strings.Index(name, "@"); i >= 0 {
+		base = name[:i]
+		switch name[i+1:] {
+		case "config1":
+			cfgSel = moca.Config1
+		case "config2":
+			cfgSel = moca.Config2
+		case "config3":
+			cfgSel = moca.Config3
+		default:
+			return moca.SystemConfig{}, fmt.Errorf("unknown capacity config %q", name[i+1:])
+		}
+	}
+	switch base {
+	case "ddr3":
+		return moca.DefaultSystem("homogen-ddr3", moca.Homogeneous(moca.DDR3), moca.PolicyFixed), nil
+	case "rl", "rldram":
+		return moca.DefaultSystem("homogen-rl", moca.Homogeneous(moca.RLDRAM), moca.PolicyFixed), nil
+	case "hbm":
+		return moca.DefaultSystem("homogen-hbm", moca.Homogeneous(moca.HBM), moca.PolicyFixed), nil
+	case "lp", "lpddr2":
+		return moca.DefaultSystem("homogen-lp", moca.Homogeneous(moca.LPDDR2), moca.PolicyFixed), nil
+	case "heter-app":
+		return moca.DefaultSystem("heter-app", moca.Heterogeneous(cfgSel), moca.PolicyAppLevel), nil
+	case "moca":
+		return moca.DefaultSystem("moca", moca.Heterogeneous(cfgSel), moca.PolicyMOCA), nil
+	case "migrate":
+		return moca.DefaultSystem("migrate", moca.Heterogeneous(cfgSel), moca.PolicyMigrate), nil
+	default:
+		return moca.SystemConfig{}, fmt.Errorf("unknown system %q", name)
+	}
+}
+
+func instrument(fw *moca.Framework, spec moca.AppSpec, dir string) (moca.Instrumentation, error) {
+	if dir == "" {
+		return fw.Instrument(spec)
+	}
+	path := filepath.Join(dir, spec.Name+".profile.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return moca.Instrumentation{}, fmt.Errorf("loading profile: %w (run moca-profile -o %s %s)", err, dir, spec.Name)
+	}
+	pr, err := profile.Unmarshal(data)
+	if err != nil {
+		return moca.Instrumentation{}, err
+	}
+	return fw.InstrumentFromProfile(spec, pr), nil
+}
+
+func report(res *moca.Result) {
+	fmt.Printf("system: %s (policy %s)\n", res.Name, res.Policy)
+	fmt.Printf("window: %.2f ms simulated, %d instructions total\n",
+		float64(res.Elapsed)/1e9, res.TotalInstructions())
+	fmt.Println()
+	fmt.Printf("%-6s %-12s %8s %10s %12s %10s\n", "core", "app", "IPC", "LLC MPKI", "stall/miss", "TLB hit")
+	for i, c := range res.Cores {
+		fmt.Printf("%-6d %-12s %8.2f %10.2f %12.1f %9.1f%%\n",
+			i, c.App, c.IPC(), c.LLCMPKI(), c.StallPerMiss(), c.TLBHitRate*100)
+	}
+	fmt.Println()
+	fmt.Printf("%-22s %10s %10s %10s %10s\n", "channel", "requests", "avg ns", "row-hit", "queue ns")
+	for _, ch := range res.Channels {
+		st := ch.Stats
+		if st.Requests() == 0 {
+			fmt.Printf("%-22s %10d\n", ch.Name, 0)
+			continue
+		}
+		fmt.Printf("%-22s %10d %10.1f %9.0f%% %10.1f\n",
+			ch.Name, st.Requests(), float64(st.AvgLatency())/1000,
+			st.RowHitRate()*100, float64(st.TotalQueueing)/float64(st.Requests())/1000)
+	}
+	fmt.Println()
+	fmt.Printf("memory access time: %.1f ns/request\n", float64(res.AvgMemAccessTime())/1000)
+	fmt.Printf("memory power:       %.4f W (energy %.3e J)\n", res.MemPowerW(), res.MemEnergyJ())
+	fmt.Printf("memory EDP:         %.3e\n", res.MemEDP())
+	fmt.Printf("system EDP:         %.3e\n", res.SystemEDP())
+	fmt.Println()
+	fmt.Println("page placement (pages per module kind):")
+	for kind, n := range res.PagesOnKind() {
+		fmt.Printf("  %-8v %6d\n", kind, n)
+	}
+	if res.OS.FallbackPages > 0 {
+		fmt.Printf("  (%d pages fell back past their first-choice module)\n", res.OS.FallbackPages)
+	}
+	if m := res.Migration; m.Epochs > 0 {
+		fmt.Printf("migration: %d epochs, %d promotions, %d demotions, %d KB copied, %d shootdowns\n",
+			m.Epochs, m.Promotions, m.Demotions, m.CopiedKB, m.Shootdowns)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "moca-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

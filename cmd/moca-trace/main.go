@@ -1,0 +1,184 @@
+// Command moca-trace records, inspects, and replays instruction traces.
+//
+// Usage:
+//
+//	moca-trace record -app NAME [-items N] [-input ref|train] -o FILE
+//	moca-trace info FILE
+//	moca-trace replay -app NAME [-system NAME] [-measure N] FILE
+//
+// A trace freezes the exact instruction stream a workload generator
+// produced; replay reproduces the original simulation bit for bit and
+// decouples workload generation from simulation (external tools can
+// produce traces in the documented format — see internal/trace).
+// The replayed trace's virtual addresses embed the heap layout of the
+// recording, so replay needs the same -app (and input) it was recorded
+// with.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"moca"
+	"moca/internal/cpu"
+	"moca/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  moca-trace record -app NAME [-items N] [-input ref|train] -o FILE
+  moca-trace info FILE
+  moca-trace replay -app NAME [-system ddr3|rl|hbm|lp] [-measure N] FILE`)
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	appName := fs.String("app", "", "application to record")
+	items := fs.Uint64("items", 500_000, "stream items to record (compute batches count once)")
+	input := fs.String("input", "ref", "input set (ref|train)")
+	out := fs.String("o", "", "output trace file")
+	fs.Parse(args)
+	if *appName == "" || *out == "" {
+		usage()
+	}
+	app, ok := moca.AppByName(*appName)
+	if !ok {
+		fatal("unknown application %q", *appName)
+	}
+	in := moca.Ref
+	if *input == "train" {
+		in = moca.Train
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	n, err := moca.RecordTrace(f, app, in, nil, *items)
+	if err != nil {
+		fatal("recording: %v", err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("recorded %d stream items of %s (%s input) to %s (%.1f MB, %.2f B/item)\n",
+		n, *appName, in, *out, float64(st.Size())/(1<<20), float64(st.Size())/float64(n))
+}
+
+func info(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var items, computes, loads, depLoads, stores uint64
+	var instructions uint64
+	objs := map[uint64]uint64{}
+	for {
+		in, ok := r.Next()
+		if !ok {
+			break
+		}
+		items++
+		switch in.Kind {
+		case cpu.Compute:
+			computes++
+			instructions += uint64(in.N)
+		case cpu.Load:
+			loads++
+			instructions++
+			objs[in.Obj]++
+			if in.DependsOnPrev {
+				depLoads++
+			}
+		case cpu.Store:
+			stores++
+			instructions++
+			objs[in.Obj]++
+		}
+	}
+	if err := r.Err(); err != nil {
+		fatal("decode: %v", err)
+	}
+	fmt.Printf("items:         %d (%d instructions)\n", items, instructions)
+	fmt.Printf("compute:       %d batches\n", computes)
+	fmt.Printf("loads:         %d (%d dependent)\n", loads, depLoads)
+	fmt.Printf("stores:        %d\n", stores)
+	fmt.Printf("objects:       %d distinct\n", len(objs))
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	appName := fs.String("app", "", "application the trace was recorded from")
+	system := fs.String("system", "ddr3", "memory system (ddr3|rl|hbm|lp)")
+	measure := fs.Uint64("measure", 200_000, "measured instructions")
+	fs.Parse(args)
+	if *appName == "" || fs.NArg() != 1 {
+		usage()
+	}
+	app, ok := moca.AppByName(*appName)
+	if !ok {
+		fatal("unknown application %q", *appName)
+	}
+	kinds := map[string]moca.MemoryKind{
+		"ddr3": moca.DDR3, "rl": moca.RLDRAM, "hbm": moca.HBM, "lp": moca.LPDDR2,
+	}
+	kind, ok := kinds[*system]
+	if !ok {
+		fatal("unknown system %q", *system)
+	}
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	cfg := moca.DefaultSystem("replay-"+*system, moca.Homogeneous(kind), moca.PolicyFixed)
+	sys, err := moca.NewSystem(cfg, []moca.ProcSpec{{App: app, Input: moca.Ref, Stream: r}})
+	if err != nil {
+		fatal("%v", err)
+	}
+	res, err := sys.Run(sys.SuggestedWarmup(), *measure)
+	if err != nil {
+		fatal("replay: %v (trace long enough for warmup+measure?)", err)
+	}
+	fmt.Printf("replayed on %s: %d instructions, IPC %.2f, mem %.1f ns/request, mem EDP %.3e\n",
+		cfg.Name, res.TotalInstructions(), res.Cores[0].IPC(),
+		float64(res.AvgMemAccessTime())/1000, res.MemEDP())
+	if err := r.Err(); err != nil {
+		fatal("trace decode: %v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "moca-trace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Capacity-sweep: Section VI-C's heterogeneous configuration study for one
+// workload set — the data behind Figs. 14 and 15.
+//
+// The three configurations trade RLDRAM capacity against HBM and LPDDR2:
+//
+//	config1: 256MB RLDRAM +  768MB HBM + 1GB LPDDR2   (scarce RLDRAM)
+//	config2: 512MB RLDRAM +  512MB HBM + 1GB LPDDR2
+//	config3: 768MB RLDRAM +  768MB HBM + 512MB LPDDR2 (ample RLDRAM)
+//
+// (at 1/64 experiment scale). With scarce RLDRAM, MOCA's object-level
+// prioritization wins; as RLDRAM grows, Heter-App catches up on
+// performance while MOCA retains the energy-efficiency edge — the paper's
+// conclusion for choosing config1.
+//
+//	go run ./examples/capacity-sweep [mixName]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"moca"
+)
+
+func main() {
+	mixName := "3L1B"
+	if len(os.Args) > 1 {
+		mixName = os.Args[1]
+	}
+	mix, ok := moca.MixByName(mixName)
+	if !ok {
+		log.Fatalf("unknown mix %q", mixName)
+	}
+	fmt.Printf("workload set %s: %v\n\n", mix.Name, mix.Apps)
+
+	fw := moca.NewFramework()
+	instr := map[string]moca.Instrumentation{}
+	for _, name := range mix.Apps {
+		if _, done := instr[name]; done {
+			continue
+		}
+		ins, err := fw.Instrument(moca.AppByNameMust(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		instr[name] = ins
+	}
+
+	fmt.Printf("%-10s %-10s %14s %14s %16s %16s\n",
+		"config", "policy", "mem time (ns)", "mem EDP", "norm. time", "norm. EDP")
+	for _, hc := range []moca.HeterConfig{moca.Config1, moca.Config2, moca.Config3} {
+		var basePerf, baseEDP float64
+		for _, pol := range []moca.PolicyKind{moca.PolicyAppLevel, moca.PolicyMOCA} {
+			cfg := moca.DefaultSystem(fmt.Sprintf("%v/%v", hc, pol), moca.Heterogeneous(hc), pol)
+			var procs []moca.ProcSpec
+			for _, app := range mix.Apps {
+				procs = append(procs, instr[app].Proc(pol, moca.Ref))
+			}
+			res, err := moca.Run(cfg, procs...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			perf := float64(res.AvgMemAccessTime())
+			edp := res.MemEDP()
+			if pol == moca.PolicyAppLevel {
+				basePerf, baseEDP = perf, edp
+			}
+			fmt.Printf("%-10v %-10v %14.1f %14.3e %16.3f %16.3f\n",
+				hc, pol, perf/1000, edp, perf/basePerf, edp/baseEDP)
+		}
+	}
+	fmt.Println("\nnormalized columns are relative to Heter-App within each config (Figs. 14-15)")
+}

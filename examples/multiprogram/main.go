@@ -1,0 +1,84 @@
+// Multiprogram: a 4-core workload set across all six memory systems.
+//
+// Reproduces one column group of the paper's Figs. 10-13 for a single mix:
+// the 2L1B1N set (two latency-sensitive apps, one bandwidth-sensitive, one
+// non-memory-intensive) on the four homogeneous baselines and the
+// heterogeneous system under Heter-App and MOCA placement.
+//
+//	go run ./examples/multiprogram [mixName]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"moca"
+)
+
+func main() {
+	mixName := "2L1B1N"
+	if len(os.Args) > 1 {
+		mixName = os.Args[1]
+	}
+	mix, ok := moca.MixByName(mixName)
+	if !ok {
+		log.Fatalf("unknown mix %q", mixName)
+	}
+	fmt.Printf("workload set %s: %v\n\n", mix.Name, mix.Apps)
+
+	// Profile each distinct application once.
+	fw := moca.NewFramework()
+	instr := map[string]moca.Instrumentation{}
+	for _, name := range mix.Apps {
+		if _, done := instr[name]; done {
+			continue
+		}
+		ins, err := fw.Instrument(moca.AppByNameMust(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		instr[name] = ins
+		fmt.Printf("profiled %-12s -> app class %v\n", name, ins.AppClass)
+	}
+	fmt.Println()
+
+	systems := []struct {
+		name    string
+		modules []moca.ModuleSpec
+		policy  moca.PolicyKind
+	}{
+		{"Homogen-DDR3", moca.Homogeneous(moca.DDR3), moca.PolicyFixed},
+		{"Homogen-RL", moca.Homogeneous(moca.RLDRAM), moca.PolicyFixed},
+		{"Homogen-HBM", moca.Homogeneous(moca.HBM), moca.PolicyFixed},
+		{"Homogen-LP", moca.Homogeneous(moca.LPDDR2), moca.PolicyFixed},
+		{"Heter-App", moca.Heterogeneous(moca.Config1), moca.PolicyAppLevel},
+		{"MOCA", moca.Heterogeneous(moca.Config1), moca.PolicyMOCA},
+	}
+
+	fmt.Printf("%-14s %14s %12s %14s %14s\n",
+		"system", "mem time (ns)", "mem power", "mem EDP", "system EDP")
+	var baseEDP, basePerf float64
+	for _, def := range systems {
+		cfg := moca.DefaultSystem(def.name, def.modules, def.policy)
+		var procs []moca.ProcSpec
+		for _, app := range mix.Apps {
+			procs = append(procs, instr[app].Proc(def.policy, moca.Ref))
+		}
+		res, err := moca.Run(cfg, procs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if def.name == "Homogen-DDR3" {
+			baseEDP, basePerf = res.MemEDP(), float64(res.AvgMemAccessTime())
+		}
+		fmt.Printf("%-14s %14.1f %10.1fmW %14.3e %14.3e\n",
+			def.name, float64(res.AvgMemAccessTime())/1000,
+			res.MemPowerW()*1000, res.MemEDP(), res.SystemEDP())
+		if def.name == "MOCA" {
+			fmt.Printf("\nMOCA vs Homogen-DDR3: %.0f%% faster memory, %.0f%% lower memory EDP\n",
+				(1-float64(res.AvgMemAccessTime())/basePerf)*100,
+				(1-res.MemEDP()/baseEDP)*100)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: the complete MOCA pipeline on one application.
+//
+// This walks the exact flow of the paper's Fig. 7: profile the application
+// on its training input, classify its memory objects, instrument the
+// classification, and run the reference input on the heterogeneous memory
+// system under MOCA — compared against the homogeneous DDR3 baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"moca"
+)
+
+func main() {
+	app := moca.AppByNameMust("disparity")
+
+	// 1. Offline profiling (training input) + classification.
+	fw := moca.NewFramework()
+	ins, err := fw.Instrument(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %s: application-level class %v\n", app.Name, ins.AppClass)
+	fmt.Println("memory objects:")
+	for _, o := range ins.Profile.HeapObjects() {
+		fmt.Printf("  %-14s %6d KB   MPKI %6.2f   stall/miss %6.1f   -> %v\n",
+			o.Label, o.SizeBytes/1024, o.MPKI, o.StallPerMiss, o.Class)
+	}
+
+	// 2. Run the reference input on both systems.
+	baseline := moca.DefaultSystem("homogen-ddr3", moca.Homogeneous(moca.DDR3), moca.PolicyFixed)
+	mocaSys := moca.DefaultSystem("moca", moca.Heterogeneous(moca.Config1), moca.PolicyMOCA)
+
+	resBase, err := moca.Run(baseline, ins.Proc(moca.PolicyFixed, moca.Ref))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resMoca, err := moca.Run(mocaSys, ins.Proc(moca.PolicyMOCA, moca.Ref))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Compare.
+	fmt.Printf("\n%-22s %18s %18s\n", "", "Homogen-DDR3", "MOCA (config1)")
+	row := func(name string, a, b float64, unit string) {
+		fmt.Printf("%-22s %15.2f %2s %15.2f %2s\n", name, a, unit, b, unit)
+	}
+	row("memory access time", float64(resBase.AvgMemAccessTime())/1000,
+		float64(resMoca.AvgMemAccessTime())/1000, "ns")
+	row("memory power", resBase.MemPowerW()*1000, resMoca.MemPowerW()*1000, "mW")
+	fmt.Printf("%-22s %15.3e    %15.3e\n", "memory EDP", resBase.MemEDP(), resMoca.MemEDP())
+
+	speedup := 1 - float64(resMoca.AvgMemAccessTime())/float64(resBase.AvgMemAccessTime())
+	edpGain := 1 - resMoca.MemEDP()/resBase.MemEDP()
+	fmt.Printf("\nMOCA reduces memory access time by %.0f%% and memory EDP by %.0f%%\n",
+		speedup*100, edpGain*100)
+
+	fmt.Println("\npage placement under MOCA:")
+	for kind, pages := range resMoca.PagesOnKind() {
+		fmt.Printf("  %-8v %5d pages\n", kind, pages)
+	}
+}

@@ -1,0 +1,3 @@
+module moca
+
+go 1.22

@@ -1,0 +1,259 @@
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"moca/internal/vm"
+)
+
+// Migrator implements the dynamic hot-page migration baseline the paper
+// contrasts MOCA against (Section IV-E; Tikir & Hollingsworth; Meswani et
+// al.'s HMA): pages start in slow memory, per-page access counters
+// accumulate during an epoch, and at each epoch boundary the hottest slow
+// pages are promoted into the fast modules — swapping with the coldest
+// fast pages when the fast modules are full. Unlike MOCA, this needs
+// runtime monitoring, epoch lag, copy traffic, and TLB shootdowns; the
+// simulator charges all of them.
+type Migrator struct {
+	os  *OS
+	cfg MigratorConfig
+
+	counts [][]uint32 // [module][frame] accesses this epoch
+	owners [][]owner  // [module][frame] reverse map
+	stats  MigStats
+}
+
+type owner struct {
+	proc  int
+	vpage uint64
+	valid bool
+}
+
+// MigratorConfig tunes the migration policy.
+type MigratorConfig struct {
+	// FastModules are promotion targets in preference order (typically
+	// RLDRAM then HBM).
+	FastModules []int
+	// HotThreshold is the per-epoch access count above which a slow page
+	// is a promotion candidate (default 4 — page heat is flat for
+	// streaming and pointer-chasing objects, so the policy must promote
+	// aggressively to capture whole working sets, as HMA does).
+	HotThreshold uint32
+	// MaxMigrationsPerEpoch bounds copy traffic (default 16 pages,
+	// paced through the epoch by the simulator's copy engine).
+	MaxMigrationsPerEpoch int
+}
+
+func (c *MigratorConfig) setDefaults() {
+	if c.HotThreshold == 0 {
+		c.HotThreshold = 4
+	}
+	if c.MaxMigrationsPerEpoch == 0 {
+		c.MaxMigrationsPerEpoch = 16
+	}
+}
+
+// MigStats counts migration activity.
+type MigStats struct {
+	Epochs     uint64
+	Promotions uint64
+	Demotions  uint64 // swap-outs of cold fast pages
+	Shootdowns uint64 // TLB invalidations
+	CopiedKB   uint64
+}
+
+// Migration describes one page move for the caller to charge costs for
+// (copy traffic on both channels, cache shootdown for the old frame).
+type Migration struct {
+	Proc     int
+	VPage    uint64
+	From, To vm.Frame
+}
+
+// NewMigrator attaches a migration engine to an OS. The OS must have been
+// created with migration support (NewOS wires the reverse map either way).
+func NewMigrator(o *OS, cfg MigratorConfig) (*Migrator, error) {
+	cfg.setDefaults()
+	if len(cfg.FastModules) == 0 {
+		return nil, fmt.Errorf("alloc: migrator needs at least one fast module")
+	}
+	for _, id := range cfg.FastModules {
+		if id < 0 || id >= len(o.modules) {
+			return nil, fmt.Errorf("alloc: fast module %d out of range", id)
+		}
+	}
+	m := &Migrator{os: o, cfg: cfg}
+	for _, mod := range o.modules {
+		m.counts = append(m.counts, make([]uint32, mod.Frames()))
+		m.owners = append(m.owners, make([]owner, mod.Frames()))
+	}
+	o.migrator = m
+	return m, nil
+}
+
+// Stats returns a snapshot of migration activity.
+func (m *Migrator) Stats() MigStats { return m.stats }
+
+// RecordAccess counts one line access against its physical page; the
+// memory system calls this for every request when migration is active.
+func (m *Migrator) RecordAccess(paddr uint64) {
+	module := vm.ModuleOf(paddr)
+	if module < 0 || module >= len(m.counts) {
+		return
+	}
+	frame := vm.ModuleOffset(paddr) >> vm.PageShift
+	if frame < uint64(len(m.counts[module])) {
+		m.counts[module][frame]++
+	}
+}
+
+// noteMapping records frame ownership for the reverse map.
+func (m *Migrator) noteMapping(proc int, vpage uint64, f vm.Frame) {
+	m.owners[f.Module][f.Number] = owner{proc: proc, vpage: vpage, valid: true}
+}
+
+func (m *Migrator) isFast(module int) bool {
+	for _, id := range m.cfg.FastModules {
+		if id == module {
+			return true
+		}
+	}
+	return false
+}
+
+// Epoch processes one epoch boundary: promote the hottest slow pages into
+// fast modules (swapping with the coldest fast pages when full), reset the
+// counters, and return the performed migrations so the simulator can
+// charge copy traffic and cache shootdowns.
+func (m *Migrator) Epoch() []Migration {
+	m.stats.Epochs++
+
+	type page struct {
+		module int
+		frame  uint64
+		count  uint32
+	}
+	var hot []page  // slow pages above threshold
+	var cold []page // fast pages, for demotion candidates
+	for module := range m.counts {
+		fast := m.isFast(module)
+		for frame, n := range m.counts[module] {
+			if !m.owners[module][frame].valid {
+				continue
+			}
+			p := page{module: module, frame: uint64(frame), count: n}
+			if fast {
+				cold = append(cold, p)
+			} else if n >= m.cfg.HotThreshold {
+				hot = append(hot, p)
+			}
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].count != hot[j].count {
+			return hot[i].count > hot[j].count
+		}
+		if hot[i].module != hot[j].module {
+			return hot[i].module < hot[j].module
+		}
+		return hot[i].frame < hot[j].frame
+	})
+	sort.Slice(cold, func(i, j int) bool {
+		if cold[i].count != cold[j].count {
+			return cold[i].count < cold[j].count
+		}
+		if cold[i].module != cold[j].module {
+			return cold[i].module < cold[j].module
+		}
+		return cold[i].frame < cold[j].frame
+	})
+
+	var moves []Migration
+	coldIdx := 0
+	for _, h := range hot {
+		if len(moves) >= m.cfg.MaxMigrationsPerEpoch {
+			break
+		}
+		// Find a free frame in a fast module.
+		target := vm.Frame{Module: -1}
+		for _, id := range m.cfg.FastModules {
+			if f, ok := m.os.modules[id].Alloc(); ok {
+				target = vm.Frame{Module: id, Number: f}
+				break
+			}
+		}
+		if target.Module == -1 {
+			// Fast memory full: swap with the coldest fast page, but
+			// only if the hot page is strictly hotter.
+			for coldIdx < len(cold) && !m.owners[cold[coldIdx].module][cold[coldIdx].frame].valid {
+				coldIdx++
+			}
+			if coldIdx >= len(cold) || cold[coldIdx].count >= h.count {
+				break
+			}
+			victim := cold[coldIdx]
+			coldIdx++
+			if demoted := m.demote(victim.module, victim.frame); demoted != nil {
+				moves = append(moves, *demoted)
+			} else {
+				continue
+			}
+			f, ok := m.os.modules[victim.module].Alloc()
+			if !ok {
+				continue
+			}
+			target = vm.Frame{Module: victim.module, Number: f}
+		}
+		if mv := m.move(h.module, h.frame, target); mv != nil {
+			moves = append(moves, *mv)
+			m.stats.Promotions++
+		} else {
+			m.os.modules[target.Module].Release(target.Number)
+		}
+	}
+
+	for module := range m.counts {
+		clear(m.counts[module])
+	}
+	return moves
+}
+
+// demote moves a fast page to the first slow module with space.
+func (m *Migrator) demote(module int, frame uint64) *Migration {
+	for id := range m.os.modules {
+		if m.isFast(id) {
+			continue
+		}
+		if f, ok := m.os.modules[id].Alloc(); ok {
+			mv := m.move(module, frame, vm.Frame{Module: id, Number: f})
+			if mv != nil {
+				m.stats.Demotions++
+				return mv
+			}
+			m.os.modules[id].Release(f)
+			return nil
+		}
+	}
+	return nil
+}
+
+// move retargets a page's translation to the new frame and releases the
+// old frame. Returns nil if the source frame has no owner (already moved).
+func (m *Migrator) move(module int, frame uint64, to vm.Frame) *Migration {
+	own := m.owners[module][frame]
+	if !own.valid {
+		return nil
+	}
+	p := m.os.procs[own.proc]
+	from := p.table.Remap(own.vpage, to)
+	if p.tlb.Invalidate(own.vpage) {
+		m.stats.Shootdowns++
+	}
+	m.owners[module][frame] = owner{}
+	m.owners[to.Module][to.Number] = owner{proc: own.proc, vpage: own.vpage, valid: true}
+	m.os.modules[from.Module].Release(from.Number)
+	m.stats.CopiedKB += vm.PageBytes / 1024
+	m.os.stats.PagesByModule[to.Module]++
+	return &Migration{Proc: own.proc, VPage: own.vpage, From: from, To: to}
+}

@@ -1,0 +1,195 @@
+package alloc
+
+import (
+	"testing"
+
+	"moca/internal/classify"
+	"moca/internal/heap"
+	"moca/internal/mem"
+	"moca/internal/vm"
+)
+
+// migrationFixture builds an OS with one tiny fast module (RLDRAM) and one
+// slow module (LPDDR2), pages starting slow, plus a migrator.
+func migrationFixture(t *testing.T, fastPages, slowPages uint64, mcfg MigratorConfig) (*OS, *Migrator) {
+	t.Helper()
+	fast, err := vm.NewModule(0, mem.RLDRAM, fastPages*vm.PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := vm.NewModule(1, mem.LPDDR2, slowPages*vm.PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOS([]*vm.Module{fast, slow}, NewFixed("migrate", []int{1, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.AddProcess(0, classify.NonIntensive)
+	mcfg.FastModules = []int{0}
+	mig, err := NewMigrator(o, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, mig
+}
+
+func touch(t *testing.T, o *OS, vaddr uint64, times int, mig *Migrator) uint64 {
+	t.Helper()
+	var paddr uint64
+	for i := 0; i < times; i++ {
+		p, ok := o.Translate(0, vaddr, false)
+		if !ok {
+			t.Fatalf("translate %#x failed", vaddr)
+		}
+		paddr = p
+		mig.RecordAccess(p)
+	}
+	return paddr
+}
+
+func TestMigratorPromotesHotPage(t *testing.T) {
+	o, mig := migrationFixture(t, 4, 16, MigratorConfig{HotThreshold: 10})
+
+	hot := heap.HeapDefaultBase
+	cold := heap.HeapDefaultBase + 64*vm.PageBytes
+	p1 := touch(t, o, hot, 50, mig)
+	touch(t, o, cold, 2, mig)
+	if vm.ModuleOf(p1) != 1 {
+		t.Fatalf("page started on module %d, want slow (1)", vm.ModuleOf(p1))
+	}
+
+	moves := mig.Epoch()
+	if len(moves) != 1 {
+		t.Fatalf("epoch produced %d moves, want 1 (only the hot page)", len(moves))
+	}
+	if moves[0].To.Module != 0 {
+		t.Errorf("promoted to module %d, want fast (0)", moves[0].To.Module)
+	}
+	// Translation now lands in the fast module; the old frame is free.
+	p2, _ := o.Translate(0, hot, false)
+	if vm.ModuleOf(p2) != 0 {
+		t.Errorf("post-migration translation on module %d, want 0", vm.ModuleOf(p2))
+	}
+	pc, _ := o.Translate(0, cold, false)
+	if vm.ModuleOf(pc) != 1 {
+		t.Errorf("cold page moved to module %d", vm.ModuleOf(pc))
+	}
+	st := mig.Stats()
+	if st.Promotions != 1 || st.Epochs != 1 || st.CopiedKB != vm.PageBytes/1024 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMigratorEpochResetsCounters(t *testing.T) {
+	o, mig := migrationFixture(t, 4, 16, MigratorConfig{HotThreshold: 10})
+	touch(t, o, heap.HeapDefaultBase, 50, mig)
+	if n := len(mig.Epoch()); n != 1 {
+		t.Fatalf("first epoch moves = %d", n)
+	}
+	// No further accesses: second epoch must move nothing.
+	if n := len(mig.Epoch()); n != 0 {
+		t.Errorf("second epoch moved %d pages with zero new accesses", n)
+	}
+}
+
+func TestMigratorSwapsWhenFastFull(t *testing.T) {
+	o, mig := migrationFixture(t, 2, 32, MigratorConfig{HotThreshold: 5, MaxMigrationsPerEpoch: 10})
+
+	// Fill fast memory with two lukewarm pages.
+	warm1 := touch(t, o, heap.HeapDefaultBase, 10, mig)
+	warm2 := touch(t, o, heap.HeapDefaultBase+vm.PageBytes, 10, mig)
+	_ = warm1
+	_ = warm2
+	mig.Epoch()
+	if free := o.modules[0].Free(); free != 0 {
+		t.Fatalf("fast module has %d free frames, want 0", free)
+	}
+
+	// A much hotter page arrives: it must swap with the coldest fast page.
+	touch(t, o, heap.HeapDefaultBase+10*vm.PageBytes, 100, mig)
+	// Keep one fast page warm so the other is the obvious victim.
+	touch(t, o, heap.HeapDefaultBase, 50, mig)
+	moves := mig.Epoch()
+	var promoted, demoted int
+	for _, mv := range moves {
+		if mv.To.Module == 0 {
+			promoted++
+		} else {
+			demoted++
+		}
+	}
+	if promoted != 1 || demoted != 1 {
+		t.Fatalf("moves = %+v, want one promotion and one demotion", moves)
+	}
+	p, _ := o.Translate(0, heap.HeapDefaultBase+10*vm.PageBytes, false)
+	if vm.ModuleOf(p) != 0 {
+		t.Error("hot page not in fast memory after swap")
+	}
+	if st := mig.Stats(); st.Demotions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMigratorColdPagesStay(t *testing.T) {
+	o, mig := migrationFixture(t, 4, 16, MigratorConfig{HotThreshold: 100})
+	touch(t, o, heap.HeapDefaultBase, 50, mig) // below threshold
+	if n := len(mig.Epoch()); n != 0 {
+		t.Errorf("cold page migrated (%d moves)", n)
+	}
+}
+
+func TestMigratorBoundsMovesPerEpoch(t *testing.T) {
+	o, mig := migrationFixture(t, 16, 64, MigratorConfig{HotThreshold: 5, MaxMigrationsPerEpoch: 3})
+	for i := uint64(0); i < 10; i++ {
+		touch(t, o, heap.HeapDefaultBase+i*vm.PageBytes, 20, mig)
+	}
+	if n := len(mig.Epoch()); n > 3 {
+		t.Errorf("epoch performed %d moves, cap is 3", n)
+	}
+}
+
+func TestMigratorTLBShootdown(t *testing.T) {
+	o, mig := migrationFixture(t, 4, 16, MigratorConfig{HotThreshold: 5})
+	touch(t, o, heap.HeapDefaultBase, 20, mig) // translation cached in TLB
+	mig.Epoch()
+	if st := mig.Stats(); st.Shootdowns != 1 {
+		t.Errorf("shootdowns = %d, want 1", st.Shootdowns)
+	}
+	tlb, _ := o.TLB(0)
+	misses := tlb.Misses()
+	o.Translate(0, heap.HeapDefaultBase, false)
+	if tlb.Misses() != misses+1 {
+		t.Error("TLB entry survived the shootdown")
+	}
+}
+
+func TestNewMigratorErrors(t *testing.T) {
+	slow, _ := vm.NewModule(0, mem.LPDDR2, 16*vm.PageBytes)
+	o, _ := NewOS([]*vm.Module{slow}, NewFixed("x", []int{0}))
+	if _, err := NewMigrator(o, MigratorConfig{}); err == nil {
+		t.Error("no fast modules accepted")
+	}
+	if _, err := NewMigrator(o, MigratorConfig{FastModules: []int{5}}); err == nil {
+		t.Error("out-of-range fast module accepted")
+	}
+}
+
+func TestMigratorDeterministicOrder(t *testing.T) {
+	run := func() []Migration {
+		o, mig := migrationFixture(t, 8, 32, MigratorConfig{HotThreshold: 5, MaxMigrationsPerEpoch: 4})
+		for i := uint64(0); i < 6; i++ {
+			touch(t, o, heap.HeapDefaultBase+i*vm.PageBytes, int(10+i), mig)
+		}
+		return mig.Epoch()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("move counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("move %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package alloc
+
+import (
+	"testing"
+
+	"moca/internal/classify"
+	"moca/internal/heap"
+	"moca/internal/mem"
+	"moca/internal/vm"
+)
+
+// config1Modules mirrors the paper's config1: RLDRAM, HBM, two LPDDR2.
+func config1Modules(t *testing.T, pagesEach uint64) []*vm.Module {
+	t.Helper()
+	specs := []mem.Kind{mem.RLDRAM, mem.HBM, mem.LPDDR2, mem.LPDDR2}
+	var out []*vm.Module
+	for i, k := range specs {
+		m, err := vm.NewModule(i, k, pagesEach*vm.PageBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func infosOf(ms []*vm.Module) []ModuleInfo {
+	var out []ModuleInfo
+	for _, m := range ms {
+		out = append(out, ModuleInfo{ID: m.ID, Kind: m.Kind})
+	}
+	return out
+}
+
+func TestExpandChain(t *testing.T) {
+	infos := []ModuleInfo{
+		{0, mem.RLDRAM}, {1, mem.HBM}, {2, mem.LPDDR2}, {3, mem.LPDDR2},
+	}
+	got := ExpandChain(infos, []mem.Kind{mem.HBM, mem.LPDDR2, mem.RLDRAM})
+	want := []int{1, 2, 3, 0}
+	if len(got) != len(want) {
+		t.Fatalf("chain %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chain %v, want %v", got, want)
+		}
+	}
+	// Kinds not mentioned still appear at the end.
+	got = ExpandChain(infos, []mem.Kind{mem.RLDRAM})
+	if len(got) != 4 || got[0] != 0 {
+		t.Errorf("safety-net expansion = %v", got)
+	}
+}
+
+func TestMOCAPreference(t *testing.T) {
+	infos := []ModuleInfo{{0, mem.RLDRAM}, {1, mem.HBM}, {2, mem.LPDDR2}, {3, mem.LPDDR2}}
+	p := NewMOCA(infos, nil)
+	latReq := Request{Segment: heap.SegHeap, ObjClass: classify.LatencySensitive, ObjClassKnown: true}
+	if pref := p.Preference(latReq); pref[0] != 0 {
+		t.Errorf("L object first choice = module %d, want RLDRAM (0)", pref[0])
+	}
+	bwReq := Request{Segment: heap.SegHeap, ObjClass: classify.BandwidthSensitive, ObjClassKnown: true}
+	pref := p.Preference(bwReq)
+	if pref[0] != 1 {
+		t.Errorf("B object first choice = module %d, want HBM (1)", pref[0])
+	}
+	// "Next best for HBM is LPDDR" (Section III-C).
+	if pref[1] != 2 {
+		t.Errorf("B object second choice = module %d, want LPDDR (2)", pref[1])
+	}
+	stackReq := Request{Segment: heap.SegStack, AppClass: classify.LatencySensitive}
+	if pref := p.Preference(stackReq); pref[0] != 2 {
+		t.Errorf("stack first choice = module %d, want LPDDR (2) per Section VI-D", pref[0])
+	}
+	unknownHeap := Request{Segment: heap.SegHeap, ObjClassKnown: false}
+	if pref := p.Preference(unknownHeap); pref[0] != 2 {
+		t.Errorf("unclassified heap first choice = %d, want LPDDR", pref[0])
+	}
+}
+
+func TestAppLevelPreference(t *testing.T) {
+	infos := []ModuleInfo{{0, mem.RLDRAM}, {1, mem.HBM}, {2, mem.LPDDR2}, {3, mem.LPDDR2}}
+	p := NewAppLevel(infos, nil)
+	// Heter-App ignores object class entirely: an N-class *object* inside
+	// an L-class *app* still goes to RLDRAM.
+	r := Request{
+		Segment: heap.SegHeap, AppClass: classify.LatencySensitive,
+		ObjClass: classify.NonIntensive, ObjClassKnown: true,
+	}
+	if pref := p.Preference(r); pref[0] != 0 {
+		t.Errorf("Heter-App first choice = %d, want RLDRAM (0)", pref[0])
+	}
+	if p.Name() != "heter-app" {
+		t.Error("policy name")
+	}
+}
+
+func TestFixedPolicy(t *testing.T) {
+	p := NewFixed("homogen-ddr3", []int{0})
+	if got := p.Preference(Request{}); len(got) != 1 || got[0] != 0 {
+		t.Errorf("fixed preference = %v", got)
+	}
+	if p.Name() != "homogen-ddr3" {
+		t.Error("name")
+	}
+}
+
+func TestOSFirstTouchAndStability(t *testing.T) {
+	ms := config1Modules(t, 16)
+	os, err := NewOS(ms, NewMOCA(infosOf(ms), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.AddProcess(0, classify.LatencySensitive)
+
+	vaddr := heap.HeapLatBase + 123
+	p1, ok := os.Translate(0, vaddr, false)
+	if !ok {
+		t.Fatal("translate failed")
+	}
+	if vm.ModuleOf(p1) != 0 {
+		t.Errorf("L-partition page on module %d, want RLDRAM (0)", vm.ModuleOf(p1))
+	}
+	// Same page again: same frame (via TLB), offset preserved.
+	p2, _ := os.Translate(0, vaddr+5, false)
+	if vm.ModuleOf(p2) != vm.ModuleOf(p1) || (p2-p1) != 5 {
+		t.Errorf("retranslation moved: %#x then %#x", p1, p2)
+	}
+	st := os.Stats()
+	if st.Faults != 1 || st.PagesByModule[0] != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestOSFallbackWhenPreferredFull(t *testing.T) {
+	ms := config1Modules(t, 4) // tiny RLDRAM: 4 pages
+	os, _ := NewOS(ms, NewMOCA(infosOf(ms), nil))
+	os.AddProcess(0, classify.LatencySensitive)
+
+	// Touch 6 latency-partition pages; the last 2 must fall back to HBM.
+	for i := uint64(0); i < 6; i++ {
+		paddr, ok := os.Translate(0, heap.HeapLatBase+i*vm.PageBytes, false)
+		if !ok {
+			t.Fatalf("page %d failed", i)
+		}
+		if i < 4 && vm.ModuleOf(paddr) != 0 {
+			t.Errorf("page %d on module %d, want RLDRAM", i, vm.ModuleOf(paddr))
+		}
+		if i >= 4 && vm.ModuleOf(paddr) != 1 {
+			t.Errorf("overflow page %d on module %d, want HBM (next best)", i, vm.ModuleOf(paddr))
+		}
+	}
+	if st := os.Stats(); st.FallbackPages != 2 {
+		t.Errorf("fallback pages = %d, want 2", st.FallbackPages)
+	}
+}
+
+func TestOSOOM(t *testing.T) {
+	ms := config1Modules(t, 2) // 8 pages total
+	os, _ := NewOS(ms, NewFixed("all", []int{0, 1, 2, 3}))
+	os.AddProcess(0, classify.NonIntensive)
+	oks := 0
+	for i := uint64(0); i < 10; i++ {
+		if _, ok := os.Translate(0, heap.HeapDefaultBase+i*vm.PageBytes, false); ok {
+			oks++
+		}
+	}
+	if oks != 8 {
+		t.Errorf("placed %d pages in an 8-page system", oks)
+	}
+	if st := os.Stats(); st.OOMFailures != 2 {
+		t.Errorf("OOM failures = %d, want 2", st.OOMFailures)
+	}
+}
+
+func TestOSMultiProcessIsolation(t *testing.T) {
+	ms := config1Modules(t, 16)
+	os, _ := NewOS(ms, NewMOCA(infosOf(ms), nil))
+	os.AddProcess(0, classify.LatencySensitive)
+	os.AddProcess(1, classify.NonIntensive)
+
+	vaddr := heap.HeapPowBase + 64
+	pa, _ := os.Translate(0, vaddr, false)
+	pb, _ := os.Translate(1, vaddr, false)
+	if pa == pb {
+		t.Error("two processes share a physical page for the same vaddr")
+	}
+	t0, _ := os.PageTable(0)
+	t1, _ := os.PageTable(1)
+	if t0.Mapped() != 1 || t1.Mapped() != 1 {
+		t.Error("page tables not per-process")
+	}
+}
+
+func TestOSPanicsOnUnknownProcess(t *testing.T) {
+	ms := config1Modules(t, 4)
+	os, _ := NewOS(ms, NewFixed("x", []int{0}))
+	defer func() {
+		if recover() == nil {
+			t.Error("translate for unknown process did not panic")
+		}
+	}()
+	os.Translate(9, 0, false)
+}
+
+func TestOSDuplicateProcessPanics(t *testing.T) {
+	ms := config1Modules(t, 4)
+	os, _ := NewOS(ms, NewFixed("x", []int{0}))
+	os.AddProcess(0, classify.NonIntensive)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate AddProcess did not panic")
+		}
+	}()
+	os.AddProcess(0, classify.NonIntensive)
+}
+
+func TestNewOSErrors(t *testing.T) {
+	if _, err := NewOS(nil, NewFixed("x", nil)); err == nil {
+		t.Error("no modules accepted")
+	}
+	ms := config1Modules(t, 4)
+	if _, err := NewOS(ms, nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+func TestTranslatorAdapter(t *testing.T) {
+	ms := config1Modules(t, 8)
+	os, _ := NewOS(ms, NewMOCA(infosOf(ms), nil))
+	os.AddProcess(3, classify.BandwidthSensitive)
+	tr := Translator{OS: os, Proc: 3}
+	if _, ok := tr.Translate(heap.HeapBWBase, false); !ok {
+		t.Error("adapter translate failed")
+	}
+	if tlb, ok := os.TLB(3); !ok || tlb.Misses() == 0 {
+		t.Error("TLB not exercised")
+	}
+}
+
+func TestHeterAppCapacityMisallocation(t *testing.T) {
+	// The disparity case study (Section VI-A): under Heter-App, whichever
+	// object faults first claims the scarce RLDRAM; under MOCA, only the
+	// latency-classified object does.
+	ms := config1Modules(t, 4) // 4-page RLDRAM
+
+	osApp, _ := NewOS(ms, NewAppLevel(infosOf(ms), nil))
+	osApp.AddProcess(0, classify.LatencySensitive)
+	// The "cold" object faults first and eats all of RLDRAM...
+	for i := uint64(0); i < 4; i++ {
+		paddr, _ := osApp.Translate(0, heap.HeapDefaultBase+i*vm.PageBytes, false)
+		if vm.ModuleOf(paddr) != 0 {
+			t.Fatalf("cold page %d not on RLDRAM under Heter-App", i)
+		}
+	}
+	// ...so the hot object lands elsewhere.
+	paddr, _ := osApp.Translate(0, heap.HeapDefaultBase+100*vm.PageBytes, false)
+	if vm.ModuleOf(paddr) == 0 {
+		t.Error("RLDRAM should be exhausted")
+	}
+
+	// MOCA with fresh modules: the cold object is typed N and never
+	// touches RLDRAM.
+	ms2 := config1Modules(t, 4)
+	osMoca, _ := NewOS(ms2, NewMOCA(infosOf(ms2), nil))
+	osMoca.AddProcess(0, classify.LatencySensitive)
+	for i := uint64(0); i < 4; i++ {
+		paddr, _ := osMoca.Translate(0, heap.HeapPowBase+i*vm.PageBytes, false)
+		if vm.ModuleOf(paddr) == 0 {
+			t.Error("N object placed in RLDRAM under MOCA")
+		}
+	}
+	paddr, _ = osMoca.Translate(0, heap.HeapLatBase, false)
+	if vm.ModuleOf(paddr) != 0 {
+		t.Error("L object denied RLDRAM under MOCA")
+	}
+}

@@ -1,0 +1,276 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func smallCfg() Config {
+	return Config{SizeBytes: 4 * 1024, Ways: 2, LatencyCycles: 2, MSHRs: 4}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		smallCfg(),
+		{SizeBytes: 64 << 10, Ways: 2, LatencyCycles: 2, MSHRs: 4},
+		{SizeBytes: 512 << 10, Ways: 16, LatencyCycles: 20, MSHRs: 20},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", c, err)
+		}
+	}
+	bad := []Config{
+		{SizeBytes: 0, Ways: 2},
+		{SizeBytes: 100, Ways: 2},
+		{SizeBytes: 4096, Ways: 0},
+		{SizeBytes: 4096, Ways: 3},            // 64 lines / 3 ways
+		{SizeBytes: 12 * 1024, Ways: 2},       // 96 sets, not power of two
+		{SizeBytes: 4096, Ways: 2, MSHRs: -1}, // negative MSHRs
+		{SizeBytes: 4096, Ways: 2, LatencyCycles: -5},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v accepted", c)
+		}
+	}
+}
+
+func TestLookupMissThenFillHit(t *testing.T) {
+	c := mustNew(t, smallCfg())
+	if c.Lookup(0x1000, false) {
+		t.Fatal("cold cache hit")
+	}
+	c.Fill(0x1000, false)
+	if !c.Lookup(0x1000, false) {
+		t.Fatal("miss after fill")
+	}
+	if !c.Lookup(0x1008, false) {
+		t.Fatal("same line different offset missed")
+	}
+	st := c.Stats()
+	if st.Accesses != 3 || st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := mustNew(t, smallCfg()) // 32 sets, 2 ways
+	setSpan := uint64(32 * LineBytes)
+	a, b, d := uint64(0), setSpan*32, setSpan*64 // all map to set 0
+	c.Fill(a, false)
+	c.Fill(b, false)
+	c.Lookup(a, false) // make a more recent than b
+	v := c.Fill(d, false)
+	if !v.Valid || v.Addr != b {
+		t.Errorf("evicted %+v, want addr %#x (LRU)", v, b)
+	}
+	if !c.Probe(a) || !c.Probe(d) || c.Probe(b) {
+		t.Error("wrong set contents after eviction")
+	}
+}
+
+func TestDirtyWritebackSignal(t *testing.T) {
+	c := mustNew(t, smallCfg())
+	setSpan := uint64(32 * LineBytes)
+	c.Fill(0, false)
+	c.Lookup(0, true) // dirty it
+	c.Fill(setSpan*32, false)
+	v := c.Fill(setSpan*64, false) // evicts line 0 (LRU)
+	if !v.Valid || !v.Dirty || v.Addr != 0 {
+		t.Errorf("victim = %+v, want dirty addr 0", v)
+	}
+	if st := c.Stats(); st.Writebacks != 1 || st.Evictions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFillExistingUpdatesDirty(t *testing.T) {
+	c := mustNew(t, smallCfg())
+	c.Fill(0x40, false)
+	if v := c.Fill(0x40, true); v.Valid {
+		t.Errorf("refill of present line evicted %+v", v)
+	}
+	_, dirty := c.Invalidate(0x40)
+	if !dirty {
+		t.Error("refill with dirty=true did not mark line dirty")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := mustNew(t, smallCfg())
+	c.Fill(0x80, true)
+	present, dirty := c.Invalidate(0x80)
+	if !present || !dirty {
+		t.Errorf("Invalidate = (%v,%v), want (true,true)", present, dirty)
+	}
+	if present, _ := c.Invalidate(0x80); present {
+		t.Error("double invalidate reported present")
+	}
+	if c.Probe(0x80) {
+		t.Error("line still present after invalidate")
+	}
+}
+
+func TestSetDirty(t *testing.T) {
+	c := mustNew(t, smallCfg())
+	c.Fill(0xc0, false)
+	if !c.SetDirty(0xc0) {
+		t.Error("SetDirty missed a present line")
+	}
+	if c.SetDirty(0x123400) {
+		t.Error("SetDirty hit an absent line")
+	}
+	_, dirty := c.Invalidate(0xc0)
+	if !dirty {
+		t.Error("SetDirty did not stick")
+	}
+}
+
+func TestProbeDoesNotPerturb(t *testing.T) {
+	c := mustNew(t, smallCfg())
+	c.Fill(0, false)
+	before := c.Stats()
+	for i := 0; i < 10; i++ {
+		c.Probe(0)
+		c.Probe(0x999940)
+	}
+	if c.Stats() != before {
+		t.Error("Probe changed stats")
+	}
+}
+
+func TestOccupancyBounded(t *testing.T) {
+	cfg := smallCfg()
+	c := mustNew(t, cfg)
+	maxLines := cfg.SizeBytes / LineBytes
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10*maxLines; i++ {
+		c.Fill(uint64(rng.Intn(1<<24))&^63, rng.Intn(2) == 0)
+	}
+	if occ := c.Occupancy(); occ > maxLines {
+		t.Errorf("occupancy %d exceeds capacity %d", occ, maxLines)
+	}
+}
+
+func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	cfg := smallCfg()
+	c := mustNew(t, cfg)
+	lines := cfg.SizeBytes / LineBytes / 2 // half capacity, 2-way: no conflicts
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < lines; i++ {
+			addr := uint64(i * LineBytes)
+			if !c.Lookup(addr, false) {
+				c.Fill(addr, false)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Misses != uint64(lines) {
+		t.Errorf("misses = %d, want %d (only cold misses)", st.Misses, lines)
+	}
+}
+
+// Property: a cache never holds two copies of one line, and occupancy never
+// exceeds capacity, under arbitrary mixed operations.
+func TestPropertyNoDuplicatesBoundedOccupancy(t *testing.T) {
+	cfg := Config{SizeBytes: 2048, Ways: 4, LatencyCycles: 1, MSHRs: 1}
+	f := func(seed int64, ops uint8) bool {
+		c, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := int(ops)%200 + 20
+		for i := 0; i < n; i++ {
+			addr := uint64(rng.Intn(1<<14)) &^ 63
+			switch rng.Intn(4) {
+			case 0:
+				c.Lookup(addr, rng.Intn(2) == 0)
+			case 1:
+				c.Fill(addr, rng.Intn(2) == 0)
+			case 2:
+				c.Invalidate(addr)
+			case 3:
+				if !c.Lookup(addr, false) {
+					c.Fill(addr, false)
+				}
+			}
+		}
+		if c.Occupancy() > cfg.SizeBytes/LineBytes {
+			return false
+		}
+		// No duplicates: probing and invalidating every line twice must
+		// never find a second copy.
+		for a := uint64(0); a < 1<<14; a += 64 {
+			if c.Probe(a) {
+				c.Invalidate(a)
+				if c.Probe(a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LRU means a just-touched line in a full set survives the next
+// single fill to that set.
+func TestPropertyLRUKeepsMostRecent(t *testing.T) {
+	cfg := smallCfg()
+	f := func(seed int64) bool {
+		c, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		sets := cfg.SizeBytes / LineBytes / cfg.Ways
+		set := uint64(rng.Intn(sets))
+		span := uint64(sets * LineBytes)
+		base := set * LineBytes
+		// Fill the set with Ways distinct lines.
+		for w := 0; w < cfg.Ways; w++ {
+			c.Fill(base+uint64(w)*span*2, false)
+		}
+		keep := base + uint64(rng.Intn(cfg.Ways))*span*2
+		c.Lookup(keep, false)
+		c.Fill(base+uint64(cfg.Ways)*span*2+span*64, false)
+		return c.Probe(keep)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	if LineAddr(0x12345) != 0x12340 {
+		t.Errorf("LineAddr = %#x", LineAddr(0x12345))
+	}
+	if LineAddr(0x40) != 0x40 {
+		t.Error("aligned address changed")
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	c, _ := New(Config{SizeBytes: 512 << 10, Ways: 16, LatencyCycles: 20, MSHRs: 20})
+	for i := 0; i < 1024; i++ {
+		c.Fill(uint64(i*LineBytes), false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(uint64(i%1024)*LineBytes, false)
+	}
+}

@@ -1,0 +1,451 @@
+package cache
+
+import (
+	"fmt"
+
+	"moca/internal/event"
+)
+
+// Level identifies where an access was satisfied.
+type Level int
+
+const (
+	// L1Hit: satisfied by the L1 data cache.
+	L1Hit Level = iota + 1
+	// L2Hit: satisfied by the unified L2 (the LLC).
+	L2Hit
+	// MemHit: LLC miss, satisfied by a memory module.
+	MemHit
+)
+
+func (l Level) String() string {
+	switch l {
+	case L1Hit:
+		return "L1"
+	case L2Hit:
+		return "L2"
+	case MemHit:
+		return "Mem"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Backend is the memory system below the LLC. Submit requests a 64 B line
+// at a physical address; done (may be nil for writebacks) fires when the
+// line returns. Submit reports false under backpressure, in which case the
+// hierarchy retries later.
+type Backend interface {
+	Submit(lineAddr uint64, write bool, core int, obj uint64, done func(at event.Time)) bool
+}
+
+// HierarchyConfig configures one core's private cache hierarchy.
+type HierarchyConfig struct {
+	L1       Config
+	L2       Config
+	CPUCycle event.Time // duration of one core clock
+	Core     int        // core ID stamped on memory requests
+	// Prefetch enables the optional stride prefetcher (off by default;
+	// the paper's system has none).
+	Prefetch PrefetchConfig
+}
+
+// DefaultHierarchyConfig returns the Table I cache parameters.
+func DefaultHierarchyConfig(core int) HierarchyConfig {
+	return HierarchyConfig{
+		L1:       Config{SizeBytes: 64 << 10, Ways: 2, LatencyCycles: 2, MSHRs: 4},
+		L2:       Config{SizeBytes: 512 << 10, Ways: 16, LatencyCycles: 20, MSHRs: 20},
+		CPUCycle: event.Nanosecond,
+		Core:     core,
+	}
+}
+
+// HierStats aggregates hierarchy-level counters beyond the per-level ones.
+type HierStats struct {
+	DemandMisses   uint64 // primary LLC misses (MSHR allocations)
+	MergedMisses   uint64 // accesses merged into an in-flight MSHR
+	MSHRFullStalls uint64 // accesses that waited for a free MSHR
+	Writebacks     uint64 // dirty lines written to memory
+	BackPressure   uint64 // submissions rejected by the backend
+}
+
+type mshrEntry struct {
+	lineAddr  uint64
+	dirty     bool // a store is merged; fill L1 dirty
+	submitted bool
+	prefetch  bool   // speculative fetch: fills L2 only, invisible to stats
+	obj       uint64 // object of the triggering access
+	waiters   []func(at event.Time, level Level)
+}
+
+type pendingMiss struct {
+	lineAddr uint64
+	obj      uint64
+	write    bool
+	done     func(at event.Time, level Level)
+}
+
+// Hierarchy is one core's timed two-level cache hierarchy. L2 is inclusive
+// of L1 (evictions back-invalidate), write-back, write-allocate.
+// It is single-threaded, driven by the shared event queue.
+type Hierarchy struct {
+	cfg     HierarchyConfig
+	q       *event.Queue
+	backend Backend
+	l1      *Cache
+	l2      *Cache
+
+	mshrs   map[uint64]*mshrEntry
+	waiting []pendingMiss // stalled on a full MSHR file
+	wbQ     []uint64      // writebacks awaiting backend acceptance
+	subQ    []*mshrEntry  // fetches awaiting backend acceptance (FIFO, deterministic)
+
+	stats      HierStats
+	pf         *prefetcher // nil unless enabled
+	retryArmed bool
+
+	// OnLLCMiss, if set, is invoked for every primary LLC miss with the
+	// object of the triggering access — the profiler's miss counter.
+	OnLLCMiss func(obj uint64)
+	// OnStore and OnLoad, if set, are invoked for every store/load access
+	// (any hit level) — the profiler's per-object access counters, from
+	// which write ratios derive.
+	OnStore func(obj uint64)
+	OnLoad  func(obj uint64)
+}
+
+// NewHierarchy builds the hierarchy on the given event queue and backend.
+func NewHierarchy(q *event.Queue, backend Backend, cfg HierarchyConfig) (*Hierarchy, error) {
+	l1, err := New(cfg.L1)
+	if err != nil {
+		return nil, fmt.Errorf("L1: %w", err)
+	}
+	l2, err := New(cfg.L2)
+	if err != nil {
+		return nil, fmt.Errorf("L2: %w", err)
+	}
+	if cfg.CPUCycle <= 0 {
+		return nil, fmt.Errorf("cache: CPU cycle must be positive")
+	}
+	if cfg.L2.MSHRs == 0 {
+		return nil, fmt.Errorf("cache: L2 needs at least one MSHR")
+	}
+	h := &Hierarchy{
+		cfg:     cfg,
+		q:       q,
+		backend: backend,
+		l1:      l1,
+		l2:      l2,
+		mshrs:   make(map[uint64]*mshrEntry),
+	}
+	if cfg.Prefetch.Enable {
+		h.pf = newPrefetcher(cfg.Prefetch)
+	}
+	return h, nil
+}
+
+// PrefetchStats returns the stride prefetcher's counters (zero value when
+// disabled).
+func (h *Hierarchy) PrefetchStats() PrefetchStats {
+	if h.pf == nil {
+		return PrefetchStats{}
+	}
+	return h.pf.stats
+}
+
+// L1 returns the L1 data cache (for stats and tests).
+func (h *Hierarchy) L1() *Cache { return h.l1 }
+
+// L2 returns the unified L2 / LLC (for stats and tests).
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// Stats returns hierarchy-level counters.
+func (h *Hierarchy) Stats() HierStats { return h.stats }
+
+// ResetStats clears hierarchy, per-level, and prefetcher counters;
+// contents persist.
+func (h *Hierarchy) ResetStats() {
+	h.stats = HierStats{}
+	h.l1.ResetStats()
+	h.l2.ResetStats()
+	if h.pf != nil {
+		h.pf.stats = PrefetchStats{}
+	}
+}
+
+// OutstandingMisses returns the number of in-flight LLC misses.
+func (h *Hierarchy) OutstandingMisses() int { return len(h.mshrs) }
+
+// Access performs a load (write=false) or store (write=true) to a physical
+// address on behalf of memory object obj. done, if non-nil, fires when the
+// access completes, with the level that satisfied it. Stores are posted:
+// callers typically pass done=nil and never stall on them.
+func (h *Hierarchy) Access(addr uint64, obj uint64, write bool, done func(at event.Time, level Level)) {
+	lineAddr := LineAddr(addr)
+	cycle := h.cfg.CPUCycle
+
+	if write {
+		if h.OnStore != nil {
+			h.OnStore(obj)
+		}
+	} else if h.OnLoad != nil {
+		h.OnLoad(obj)
+	}
+	if h.pf != nil {
+		h.pf.demandTouch(lineAddr)
+		for _, target := range h.pf.observe(obj, lineAddr) {
+			h.issuePrefetch(target, obj)
+		}
+	}
+
+	if h.l1.Lookup(addr, write) {
+		if done != nil {
+			at := h.q.Now() + event.Time(h.cfg.L1.LatencyCycles)*cycle
+			h.q.Schedule(at, func() { done(at, L1Hit) })
+		}
+		return
+	}
+
+	// L1 miss: look up L2 after the L1 latency. The L2 copy stays clean;
+	// store dirtiness lives in L1 until eviction.
+	if h.l2.Lookup(addr, false) {
+		h.fillL1(lineAddr, write)
+		if done != nil {
+			at := h.q.Now() + event.Time(h.cfg.L1.LatencyCycles+h.cfg.L2.LatencyCycles)*cycle
+			h.q.Schedule(at, func() { done(at, L2Hit) })
+		}
+		return
+	}
+
+	// LLC miss.
+	if e, ok := h.mshrs[lineAddr]; ok {
+		h.stats.MergedMisses++
+		e.dirty = e.dirty || write
+		if e.prefetch && h.pf != nil {
+			// Demand caught an in-flight prefetch: late but not useless.
+			h.pf.stats.Late++
+			e.prefetch = false
+		}
+		if done != nil {
+			e.waiters = append(e.waiters, done)
+		}
+		return
+	}
+	if len(h.mshrs) >= h.mshrLimit(write) {
+		h.stats.MSHRFullStalls++
+		h.waiting = append(h.waiting, pendingMiss{lineAddr, obj, write, done})
+		return
+	}
+	h.allocateMSHR(pendingMiss{lineAddr, obj, write, done})
+}
+
+// mshrLimit implements read priority: store write-allocate fetches may not
+// occupy the last few MSHRs, so demand loads are never starved by a burst
+// of posted stores (the read-over-write priority every real memory system
+// applies).
+func (h *Hierarchy) mshrLimit(write bool) int {
+	limit := h.cfg.L2.MSHRs
+	if write {
+		reserve := limit / 5
+		if reserve < 1 {
+			reserve = 1
+		}
+		if limit > reserve {
+			limit -= reserve
+		}
+	}
+	return limit
+}
+
+func (h *Hierarchy) allocateMSHR(m pendingMiss) {
+	e := &mshrEntry{lineAddr: m.lineAddr, dirty: m.write, obj: m.obj}
+	if m.done != nil {
+		e.waiters = append(e.waiters, m.done)
+	}
+	h.mshrs[m.lineAddr] = e
+	h.stats.DemandMisses++
+	if h.OnLLCMiss != nil {
+		h.OnLLCMiss(m.obj)
+	}
+	// The request reaches the memory system after both lookup latencies.
+	delay := event.Time(h.cfg.L1.LatencyCycles+h.cfg.L2.LatencyCycles) * h.cfg.CPUCycle
+	h.q.After(delay, func() { h.submit(e) })
+}
+
+func (h *Hierarchy) submit(e *mshrEntry) {
+	if e.submitted {
+		return
+	}
+	ok := h.backend.Submit(e.lineAddr, false, h.cfg.Core, e.obj, func(at event.Time) {
+		h.onFill(e, at)
+	})
+	if !ok {
+		h.stats.BackPressure++
+		h.subQ = append(h.subQ, e)
+		h.armRetry()
+		return
+	}
+	e.submitted = true
+}
+
+func (h *Hierarchy) pumpSubmissions() {
+	for len(h.subQ) > 0 {
+		e := h.subQ[0]
+		h.subQ = h.subQ[1:]
+		wasQueued := len(h.subQ)
+		h.submit(e)
+		if len(h.subQ) > wasQueued {
+			return // backend still full; submit re-queued it
+		}
+	}
+}
+
+// issuePrefetch speculatively fetches a line into the L2. Prefetches never
+// queue: they are dropped when the line is resident or in flight, or when
+// the MSHR file lacks spare capacity beyond a small demand reserve.
+func (h *Hierarchy) issuePrefetch(lineAddr uint64, obj uint64) {
+	if h.l2.Probe(lineAddr) || h.l1.Probe(lineAddr) {
+		return
+	}
+	if _, inflight := h.mshrs[lineAddr]; inflight {
+		return
+	}
+	if len(h.mshrs) >= h.cfg.L2.MSHRs-2 {
+		return
+	}
+	e := &mshrEntry{lineAddr: lineAddr, obj: obj, prefetch: true}
+	h.mshrs[lineAddr] = e
+	h.pf.stats.Issued++
+	delay := event.Time(h.cfg.L1.LatencyCycles+h.cfg.L2.LatencyCycles) * h.cfg.CPUCycle
+	h.q.After(delay, func() { h.submit(e) })
+}
+
+// onFill handles a returning memory line: fill L2 then L1 (maintaining
+// inclusion), wake waiters, free the MSHR, and admit stalled misses.
+func (h *Hierarchy) onFill(e *mshrEntry, at event.Time) {
+	if v := h.l2.Fill(e.lineAddr, false); v.Valid {
+		// Inclusion: remove the victim from L1; a dirty copy at either
+		// level must be written back to memory.
+		_, l1Dirty := h.l1.Invalidate(v.Addr)
+		if v.Dirty || l1Dirty {
+			h.queueWriteback(v.Addr)
+		}
+		if h.pf != nil {
+			h.pf.evicted(v.Addr)
+		}
+	}
+	if e.prefetch {
+		// Speculative fill: L2 only, invisible to demand statistics.
+		h.pf.markPrefetched(e.lineAddr)
+		delete(h.mshrs, e.lineAddr)
+		h.admitWaiting()
+		h.pumpWritebacks()
+		return
+	}
+	h.fillL1(e.lineAddr, e.dirty)
+
+	delete(h.mshrs, e.lineAddr)
+	for _, w := range e.waiters {
+		w(at, MemHit)
+	}
+
+	h.admitWaiting()
+	h.pumpWritebacks()
+}
+
+// admitWaiting admits misses stalled on the MSHR file, loads before stores
+// (read priority). A stalled miss may target a line that just became
+// present or in-flight again; re-run the full access path.
+func (h *Hierarchy) admitWaiting() {
+	for len(h.waiting) > 0 {
+		idx := -1
+		for i := range h.waiting {
+			if !h.waiting[i].write {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			idx = 0
+		}
+		m := h.waiting[idx]
+		if len(h.mshrs) >= h.mshrLimit(m.write) {
+			break
+		}
+		h.waiting = append(h.waiting[:idx], h.waiting[idx+1:]...)
+		h.reAccess(m)
+	}
+}
+
+// reAccess re-executes a previously stalled miss without recounting cache
+// lookup stats (the miss was already counted when it first accessed).
+func (h *Hierarchy) reAccess(m pendingMiss) {
+	if h.l2.Probe(m.lineAddr) {
+		h.fillL1(m.lineAddr, m.write)
+		if m.done != nil {
+			at := h.q.Now()
+			m.done(at, L2Hit)
+		}
+		return
+	}
+	if e, ok := h.mshrs[m.lineAddr]; ok {
+		h.stats.MergedMisses++
+		e.dirty = e.dirty || m.write
+		if m.done != nil {
+			e.waiters = append(e.waiters, m.done)
+		}
+		return
+	}
+	h.allocateMSHR(m)
+}
+
+// fillL1 inserts a line into L1; a displaced dirty line merges into its L2
+// copy (guaranteed present by inclusion).
+func (h *Hierarchy) fillL1(lineAddr uint64, dirty bool) {
+	if v := h.l1.Fill(lineAddr, dirty); v.Valid && v.Dirty {
+		if !h.l2.SetDirty(v.Addr) {
+			// Inclusion should make this unreachable; never lose data.
+			h.queueWriteback(v.Addr)
+		}
+	}
+}
+
+func (h *Hierarchy) queueWriteback(lineAddr uint64) {
+	h.stats.Writebacks++
+	h.wbQ = append(h.wbQ, lineAddr)
+	h.pumpWritebacks()
+}
+
+func (h *Hierarchy) pumpWritebacks() {
+	for len(h.wbQ) > 0 {
+		addr := h.wbQ[0]
+		if !h.backend.Submit(addr, true, h.cfg.Core, 0, nil) {
+			h.stats.BackPressure++
+			h.armRetry()
+			return
+		}
+		h.wbQ = h.wbQ[1:]
+	}
+}
+
+// InvalidateLine removes a physical line from both levels (page-migration
+// shootdown) and reports whether any copy was dirty — the migrator must
+// then write the line to the page's new location.
+func (h *Hierarchy) InvalidateLine(lineAddr uint64) (present, dirty bool) {
+	p1, d1 := h.l1.Invalidate(lineAddr)
+	p2, d2 := h.l2.Invalidate(lineAddr)
+	return p1 || p2, d1 || d2
+}
+
+// armRetry schedules a pump of backpressured work a few cycles out.
+func (h *Hierarchy) armRetry() {
+	if h.retryArmed {
+		return
+	}
+	h.retryArmed = true
+	h.q.After(8*h.cfg.CPUCycle, func() {
+		h.retryArmed = false
+		h.pumpWritebacks()
+		h.pumpSubmissions()
+	})
+}

@@ -1,0 +1,256 @@
+package cache
+
+import (
+	"testing"
+
+	"moca/internal/event"
+)
+
+// fakeBackend satisfies Backend with a fixed latency and optional
+// backpressure window.
+type fakeBackend struct {
+	q        *event.Queue
+	latency  event.Time
+	reads    int
+	writes   int
+	rejectN  int // reject the first N submissions
+	rejected int
+}
+
+func (f *fakeBackend) Submit(lineAddr uint64, write bool, core int, obj uint64, done func(at event.Time)) bool {
+	if f.rejected < f.rejectN {
+		f.rejected++
+		return false
+	}
+	if write {
+		f.writes++
+	} else {
+		f.reads++
+	}
+	if done != nil {
+		f.q.After(f.latency, func() { done(f.q.Now()) })
+	}
+	return true
+}
+
+func newTestHierarchy(t *testing.T, rejectN int) (*event.Queue, *fakeBackend, *Hierarchy) {
+	t.Helper()
+	q := event.NewQueue()
+	be := &fakeBackend{q: q, latency: 100 * event.Nanosecond, rejectN: rejectN}
+	cfg := HierarchyConfig{
+		L1:       Config{SizeBytes: 1024, Ways: 2, LatencyCycles: 2, MSHRs: 4},
+		L2:       Config{SizeBytes: 8192, Ways: 4, LatencyCycles: 20, MSHRs: 4},
+		CPUCycle: event.Nanosecond,
+	}
+	h, err := NewHierarchy(q, be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, be, h
+}
+
+func TestAccessLevels(t *testing.T) {
+	q, be, h := newTestHierarchy(t, 0)
+
+	var level Level
+	var at event.Time
+	record := func(a event.Time, l Level) { at, level = a, l }
+
+	h.Access(0x1000, 7, false, record)
+	q.Drain()
+	if level != MemHit {
+		t.Fatalf("cold access level = %v, want Mem", level)
+	}
+	if at < 100*event.Nanosecond {
+		t.Errorf("memory access completed at %d, before backend latency", at)
+	}
+	if be.reads != 1 {
+		t.Errorf("backend reads = %d, want 1", be.reads)
+	}
+
+	h.Access(0x1000, 7, false, record)
+	q.Drain()
+	if level != L1Hit {
+		t.Fatalf("second access level = %v, want L1", level)
+	}
+
+	// Evict from L1 only: fill two more lines mapping to the same L1 set.
+	// L1: 1024 B / 64 / 2 ways = 8 sets.
+	h.Access(0x1000+8*64, 7, false, nil)
+	h.Access(0x1000+16*64, 7, false, nil)
+	q.Drain()
+	h.Access(0x1000, 7, false, record)
+	q.Drain()
+	if level != L2Hit {
+		t.Fatalf("after L1 eviction, level = %v, want L2", level)
+	}
+}
+
+func TestMSHRMerging(t *testing.T) {
+	q, be, h := newTestHierarchy(t, 0)
+	completions := 0
+	for i := 0; i < 3; i++ {
+		h.Access(0x2000+uint64(i*8), 1, false, func(event.Time, Level) { completions++ })
+	}
+	if got := h.OutstandingMisses(); got != 1 {
+		t.Fatalf("outstanding misses = %d, want 1 (same line merged)", got)
+	}
+	q.Drain()
+	if completions != 3 {
+		t.Errorf("completions = %d, want 3", completions)
+	}
+	if be.reads != 1 {
+		t.Errorf("backend reads = %d, want 1 (merged)", be.reads)
+	}
+	st := h.Stats()
+	if st.DemandMisses != 1 || st.MergedMisses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMSHRLimitStalls(t *testing.T) {
+	q, be, h := newTestHierarchy(t, 0)
+	done := 0
+	for i := 0; i < 8; i++ { // 8 distinct lines, 4 MSHRs
+		h.Access(uint64(0x10000+i*4096), 1, false, func(event.Time, Level) { done++ })
+	}
+	if h.OutstandingMisses() != 4 {
+		t.Fatalf("outstanding = %d, want 4 (MSHR limit)", h.OutstandingMisses())
+	}
+	if st := h.Stats(); st.MSHRFullStalls != 4 {
+		t.Errorf("MSHR-full stalls = %d, want 4", st.MSHRFullStalls)
+	}
+	q.Drain()
+	if done != 8 {
+		t.Errorf("completions = %d, want 8", done)
+	}
+	if be.reads != 8 {
+		t.Errorf("backend reads = %d, want 8", be.reads)
+	}
+}
+
+func TestLLCMissCallback(t *testing.T) {
+	q, _, h := newTestHierarchy(t, 0)
+	var objs []uint64
+	h.OnLLCMiss = func(obj uint64) { objs = append(objs, obj) }
+	h.Access(0x100, 42, false, nil)
+	h.Access(0x120, 42, false, nil) // merges: no second callback
+	h.Access(0x4000, 43, true, nil)
+	q.Drain()
+	h.Access(0x100, 42, false, nil) // L1 hit: no callback
+	q.Drain()
+	if len(objs) != 2 || objs[0] != 42 || objs[1] != 43 {
+		t.Errorf("LLC miss objects = %v, want [42 43]", objs)
+	}
+}
+
+func TestStoreWriteAllocateAndWriteback(t *testing.T) {
+	q, be, h := newTestHierarchy(t, 0)
+	// Store to a cold line: write-allocate fetches it (1 read).
+	h.Access(0x8000, 5, true, nil)
+	q.Drain()
+	if be.reads != 1 || be.writes != 0 {
+		t.Fatalf("after store miss: reads=%d writes=%d, want 1,0", be.reads, be.writes)
+	}
+	// Push the dirty line out of both levels: fill the entire L2 set.
+	// L2: 8192/64/4 ways = 32 sets; same set stride = 32*64.
+	for i := 1; i <= 4; i++ {
+		h.Access(uint64(0x8000+i*32*64), 5, false, nil)
+		q.Drain()
+	}
+	if be.writes == 0 {
+		t.Error("dirty line eviction produced no memory write")
+	}
+	if st := h.Stats(); st.Writebacks == 0 {
+		t.Error("no writebacks recorded")
+	}
+}
+
+func TestInclusionBackInvalidation(t *testing.T) {
+	q, _, h := newTestHierarchy(t, 0)
+	h.Access(0x8000, 5, true, nil) // dirty in L1
+	q.Drain()
+	if !h.L1().Probe(0x8000) {
+		t.Fatal("line not in L1")
+	}
+	// Evict from L2 (same L2 set): the L1 copy must vanish too and its
+	// dirty data must be written back.
+	for i := 1; i <= 4; i++ {
+		h.Access(uint64(0x8000+i*32*64), 5, false, nil)
+		q.Drain()
+	}
+	if h.L1().Probe(0x8000) {
+		t.Error("L1 retains a line L2 evicted (inclusion violated)")
+	}
+	if st := h.Stats(); st.Writebacks == 0 {
+		t.Error("dirty L1 copy lost on back-invalidation")
+	}
+}
+
+func TestBackpressureRetry(t *testing.T) {
+	q, be, h := newTestHierarchy(t, 3)
+	done := false
+	h.Access(0x100, 1, false, func(event.Time, Level) { done = true })
+	q.Drain()
+	if !done {
+		t.Fatal("access never completed under backpressure")
+	}
+	if be.reads != 1 {
+		t.Errorf("reads = %d, want 1", be.reads)
+	}
+	if st := h.Stats(); st.BackPressure == 0 {
+		t.Error("backpressure not recorded")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	q, _, h := newTestHierarchy(t, 0)
+	h.Access(0x100, 1, false, nil)
+	q.Drain()
+	h.ResetStats()
+	if st := h.Stats(); st.DemandMisses != 0 {
+		t.Error("hierarchy stats not reset")
+	}
+	if h.L1().Stats().Accesses != 0 || h.L2().Stats().Accesses != 0 {
+		t.Error("level stats not reset")
+	}
+	if !h.L1().Probe(0x100) {
+		t.Error("reset should preserve contents")
+	}
+}
+
+func TestDefaultHierarchyConfigMatchesTableI(t *testing.T) {
+	cfg := DefaultHierarchyConfig(0)
+	if cfg.L1.SizeBytes != 64<<10 || cfg.L1.Ways != 2 || cfg.L1.LatencyCycles != 2 || cfg.L1.MSHRs != 4 {
+		t.Errorf("L1 config %+v does not match Table I", cfg.L1)
+	}
+	if cfg.L2.SizeBytes != 512<<10 || cfg.L2.Ways != 16 || cfg.L2.LatencyCycles != 20 || cfg.L2.MSHRs != 20 {
+		t.Errorf("L2 config %+v does not match Table I", cfg.L2)
+	}
+	if err := cfg.L1.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := cfg.L2.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewHierarchyErrors(t *testing.T) {
+	q := event.NewQueue()
+	be := &fakeBackend{q: q}
+	bad := DefaultHierarchyConfig(0)
+	bad.L1.Ways = 0
+	if _, err := NewHierarchy(q, be, bad); err == nil {
+		t.Error("bad L1 accepted")
+	}
+	bad = DefaultHierarchyConfig(0)
+	bad.CPUCycle = 0
+	if _, err := NewHierarchy(q, be, bad); err == nil {
+		t.Error("zero CPU cycle accepted")
+	}
+	bad = DefaultHierarchyConfig(0)
+	bad.L2.MSHRs = 0
+	if _, err := NewHierarchy(q, be, bad); err == nil {
+		t.Error("zero MSHRs accepted")
+	}
+}

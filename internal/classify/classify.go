@@ -1,0 +1,133 @@
+// Package classify implements MOCA's memory-object classification stage
+// (paper Section III-B, Fig. 5): objects are typed by two profiled metrics,
+// LLC misses per kilo-instruction (memory intensity) and ROB-head stall
+// cycles per load miss (inverse memory-level parallelism).
+//
+//   - LLC MPKI <= Thr_Lat                  -> non-memory-intensive (Pow Mem)
+//   - MPKI > Thr_Lat, stalls >  Thr_BW     -> latency-sensitive    (Lat Mem)
+//   - MPKI > Thr_Lat, stalls <= Thr_BW     -> bandwidth-sensitive  (BW Mem)
+//
+// The paper sets Thr_Lat = 1 and Thr_BW = 20 for its target system
+// (Section IV-C) and notes both must be recalibrated per system; Calibrate
+// reproduces that empirical sweep given an evaluation function.
+package classify
+
+import "fmt"
+
+// Class is a memory-access behavior type for an object or an application.
+type Class int
+
+const (
+	// NonIntensive objects rarely miss the LLC; placing them in the
+	// low-power module costs no performance (paper: "N").
+	NonIntensive Class = iota
+	// LatencySensitive objects miss often with low MLP; they want the
+	// reduced-latency module (paper: "L").
+	LatencySensitive
+	// BandwidthSensitive objects miss often with high MLP; they want the
+	// high-bandwidth module (paper: "B").
+	BandwidthSensitive
+)
+
+func (c Class) String() string {
+	switch c {
+	case NonIntensive:
+		return "N"
+	case LatencySensitive:
+		return "L"
+	case BandwidthSensitive:
+		return "B"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Classes lists all classes in paper order (L, B, N).
+func Classes() []Class {
+	return []Class{LatencySensitive, BandwidthSensitive, NonIntensive}
+}
+
+// Thresholds are the two classification cut points.
+type Thresholds struct {
+	// LatMPKI is Thr_Lat: the LLC MPKI above which an object is
+	// memory-intensive.
+	LatMPKI float64
+	// BWStallCycles is Thr_BW: the ROB-head stall cycles per load miss
+	// above which a memory-intensive object is latency- rather than
+	// bandwidth-sensitive.
+	BWStallCycles float64
+}
+
+// DefaultThresholds returns the paper's empirically chosen values for its
+// target heterogeneous system: Thr_Lat = 1, Thr_BW = 20 (Section IV-C).
+func DefaultThresholds() Thresholds {
+	return Thresholds{LatMPKI: 1, BWStallCycles: 20}
+}
+
+// DefaultAppThresholds returns the application-level cut points used to
+// reproduce Table III for the Heter-App baseline. Application-level
+// classification (Phadke & Narayanasamy) tolerates more aggregate MPKI
+// before calling a whole program memory-intensive than MOCA's per-object
+// Thr_Lat does — gcc is "N" in Table III even though one of its objects
+// exceeds the object threshold (Section VI-A).
+func DefaultAppThresholds() Thresholds {
+	return Thresholds{LatMPKI: 5, BWStallCycles: 20}
+}
+
+// Validate reports a threshold configuration error, if any.
+func (t Thresholds) Validate() error {
+	if t.LatMPKI < 0 {
+		return fmt.Errorf("classify: negative Thr_Lat %v", t.LatMPKI)
+	}
+	if t.BWStallCycles < 0 {
+		return fmt.Errorf("classify: negative Thr_BW %v", t.BWStallCycles)
+	}
+	return nil
+}
+
+// Classify types a memory object (or a whole application) from its profiled
+// LLC MPKI and average ROB-head stall cycles per load miss.
+func (t Thresholds) Classify(mpki, stallPerMiss float64) Class {
+	if mpki <= t.LatMPKI {
+		return NonIntensive
+	}
+	if stallPerMiss > t.BWStallCycles {
+		return LatencySensitive
+	}
+	return BandwidthSensitive
+}
+
+// Metrics is a (MPKI, stall) point, the coordinate system of Figs. 1 and 2.
+type Metrics struct {
+	MPKI         float64
+	StallPerMiss float64
+}
+
+// CalibrationResult records one evaluated threshold candidate.
+type CalibrationResult struct {
+	Thresholds Thresholds
+	Score      float64
+}
+
+// Calibrate reproduces the paper's empirical threshold setup (Section
+// IV-C): it evaluates every combination of the candidate Thr_Lat and Thr_BW
+// values with the provided scoring function (typically memory EDP of a
+// training workload; lower is better) and returns the best thresholds along
+// with the full sweep for reporting.
+func Calibrate(latCandidates, bwCandidates []float64, score func(Thresholds) float64) (Thresholds, []CalibrationResult) {
+	best := Thresholds{}
+	bestScore := 0.0
+	first := true
+	var sweep []CalibrationResult
+	for _, lat := range latCandidates {
+		for _, bw := range bwCandidates {
+			th := Thresholds{LatMPKI: lat, BWStallCycles: bw}
+			s := score(th)
+			sweep = append(sweep, CalibrationResult{Thresholds: th, Score: s})
+			if first || s < bestScore {
+				best, bestScore, first = th, s, false
+			}
+		}
+	}
+	return best, sweep
+}

@@ -1,0 +1,121 @@
+package classify
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultThresholds(t *testing.T) {
+	th := DefaultThresholds()
+	if th.LatMPKI != 1 || th.BWStallCycles != 20 {
+		t.Errorf("defaults = %+v, want Thr_Lat=1 Thr_BW=20 (Section IV-C)", th)
+	}
+	if err := th.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassifyRegions(t *testing.T) {
+	// The Fig. 5 quadrants.
+	th := DefaultThresholds()
+	cases := []struct {
+		mpki, stall float64
+		want        Class
+	}{
+		{0.0, 0, NonIntensive},
+		{0.5, 100, NonIntensive}, // low MPKI: power module regardless of MLP
+		{1.0, 500, NonIntensive}, // boundary: <= Thr_Lat is non-intensive
+		{1.01, 21, LatencySensitive},
+		{50, 100, LatencySensitive},
+		{1.01, 20, BandwidthSensitive}, // boundary: <= Thr_BW is bandwidth
+		{50, 5, BandwidthSensitive},
+		{100, 0, BandwidthSensitive},
+	}
+	for _, c := range cases {
+		if got := th.Classify(c.mpki, c.stall); got != c.want {
+			t.Errorf("Classify(%v, %v) = %v, want %v", c.mpki, c.stall, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Thresholds{LatMPKI: -1}).Validate(); err == nil {
+		t.Error("negative Thr_Lat accepted")
+	}
+	if err := (Thresholds{BWStallCycles: -1}).Validate(); err == nil {
+		t.Error("negative Thr_BW accepted")
+	}
+}
+
+func TestClassStringsAndOrder(t *testing.T) {
+	if LatencySensitive.String() != "L" || BandwidthSensitive.String() != "B" || NonIntensive.String() != "N" {
+		t.Error("class strings do not match the paper's L/B/N")
+	}
+	cs := Classes()
+	if len(cs) != 3 || cs[0] != LatencySensitive || cs[1] != BandwidthSensitive || cs[2] != NonIntensive {
+		t.Errorf("Classes() = %v", cs)
+	}
+	if Class(9).String() != "Class(9)" {
+		t.Error("unknown class string")
+	}
+}
+
+func TestCalibratePicksMinimum(t *testing.T) {
+	// Score surface with a unique minimum at (2, 30).
+	score := func(th Thresholds) float64 {
+		return (th.LatMPKI-2)*(th.LatMPKI-2) + (th.BWStallCycles-30)*(th.BWStallCycles-30)
+	}
+	best, sweep := Calibrate([]float64{0.5, 1, 2, 4}, []float64{10, 20, 30, 40}, score)
+	if best.LatMPKI != 2 || best.BWStallCycles != 30 {
+		t.Errorf("Calibrate best = %+v, want (2,30)", best)
+	}
+	if len(sweep) != 16 {
+		t.Errorf("sweep has %d entries, want 16", len(sweep))
+	}
+}
+
+func TestCalibrateEmptyCandidates(t *testing.T) {
+	best, sweep := Calibrate(nil, nil, func(Thresholds) float64 { return 0 })
+	if len(sweep) != 0 {
+		t.Error("sweep should be empty")
+	}
+	if best != (Thresholds{}) {
+		t.Errorf("best = %+v, want zero value", best)
+	}
+}
+
+// Property: classification is monotone — raising MPKI never moves an object
+// toward NonIntensive; raising stalls never moves it from Latency to
+// Bandwidth.
+func TestPropertyMonotonicity(t *testing.T) {
+	th := DefaultThresholds()
+	f := func(mpkiRaw, stallRaw uint16, dm, ds uint8) bool {
+		mpki := float64(mpkiRaw) / 100
+		stall := float64(stallRaw) / 100
+		c1 := th.Classify(mpki, stall)
+		c2 := th.Classify(mpki+float64(dm), stall)
+		if c1 != NonIntensive && c2 == NonIntensive {
+			return false
+		}
+		c3 := th.Classify(mpki, stall+float64(ds))
+		if c1 == LatencySensitive && c3 == BandwidthSensitive {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every (mpki, stall) point gets exactly one of the three classes.
+func TestPropertyTotalAndExclusive(t *testing.T) {
+	th := DefaultThresholds()
+	f := func(mpkiRaw, stallRaw uint16) bool {
+		c := th.Classify(float64(mpkiRaw)/10, float64(stallRaw)/10)
+		return c == NonIntensive || c == LatencySensitive || c == BandwidthSensitive
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+
+	"moca/internal/classify"
+	"moca/internal/heap"
+	"moca/internal/sim"
+	"moca/internal/workload"
+)
+
+func fastFramework() *Framework {
+	f := NewFramework()
+	f.ProfileWindow = 120_000
+	return f
+}
+
+func TestProfilePipeline(t *testing.T) {
+	f := fastFramework()
+	pr, err := f.Profile(workload.MCF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.App != "mcf" {
+		t.Errorf("profile app = %q", pr.App)
+	}
+	objs := pr.HeapObjects()
+	if len(objs) < 4 {
+		t.Fatalf("mcf profile has %d heap objects", len(objs))
+	}
+	// mcf's chase objects must classify latency-sensitive.
+	var sawL bool
+	for _, o := range objs {
+		if o.Label == "nodes" || o.Label == "arcs" {
+			if o.Class != classify.LatencySensitive {
+				t.Errorf("%s classified %v, want L (MPKI %.1f, stall %.1f)",
+					o.Label, o.Class, o.MPKI, o.StallPerMiss)
+			}
+			sawL = true
+		}
+	}
+	if !sawL {
+		t.Error("mcf hot objects not found")
+	}
+}
+
+func TestInstrumentation(t *testing.T) {
+	f := fastFramework()
+	ins, err := f.Instrument(workload.LBM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins.Classes) == 0 {
+		t.Fatal("empty class map")
+	}
+	if ins.AppClass != classify.BandwidthSensitive {
+		t.Errorf("lbm app class = %v, want B (Table III)", ins.AppClass)
+	}
+
+	// MOCA procs carry the class map; others don't.
+	moca := ins.Proc(sim.PolicyMOCA, workload.Ref)
+	if moca.Classes == nil {
+		t.Error("MOCA proc without classes")
+	}
+	app := ins.Proc(sim.PolicyAppLevel, workload.Ref)
+	if app.Classes != nil {
+		t.Error("Heter-App proc got a class map")
+	}
+	if app.AppClass != classify.BandwidthSensitive {
+		t.Error("app class not propagated")
+	}
+}
+
+func TestClassificationTransfersAcrossInputs(t *testing.T) {
+	// Profile on train, run on ref: object keys must match so the
+	// ClassMap routes ref-input allocations.
+	f := fastFramework()
+	ins, err := f.Instrument(workload.Disparity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refAlloc := heap.New(heap.Config{NamingDepth: f.NamingDepth, Classes: ins.Classes})
+	app, err := workload.Instantiate(workload.Disparity().ForInput(workload.Ref), refAlloc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, ok := app.Object("disparity_map")
+	if !ok {
+		t.Fatal("disparity_map missing")
+	}
+	if _, found := ins.Classes[o.Key]; !found {
+		t.Error("train-input classification does not cover the ref-input object (naming unstable)")
+	}
+	if c, _ := heap.PartitionClassOf(o.Base); c != classify.LatencySensitive {
+		t.Errorf("disparity_map landed in %v partition, want L", c)
+	}
+}
+
+func TestInstrumentFromProfileRethresholds(t *testing.T) {
+	f := fastFramework()
+	pr, err := f.Profile(workload.Mser())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Absurdly high Thr_Lat: everything becomes non-intensive.
+	strict := NewFramework()
+	strict.ObjectThresholds = classify.Thresholds{LatMPKI: 1e9, BWStallCycles: 20}
+	ins := strict.InstrumentFromProfile(workload.Mser(), pr)
+	for key, c := range ins.Classes {
+		if c != classify.NonIntensive {
+			t.Errorf("object %v class %v under infinite threshold", key, c)
+		}
+	}
+}
+
+func TestProfileMulti(t *testing.T) {
+	f := fastFramework()
+	f.ProfileWindow = 60_000
+	pr, err := f.ProfileMulti(workload.GCC(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.HeapObjects()) == 0 {
+		t.Error("merged profile empty")
+	}
+	if _, err := f.ProfileMulti(workload.GCC(), 0); err == nil {
+		t.Error("zero points accepted")
+	}
+}
+
+func TestGCCCaseStudy(t *testing.T) {
+	// Section VI-A: gcc is non-intensive at the application level, yet
+	// owns one object above the MOCA latency threshold.
+	f := fastFramework()
+	ins, err := f.Instrument(workload.GCC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.AppClass != classify.NonIntensive {
+		m := ins.Profile.AppMetrics()
+		t.Errorf("gcc app class = %v (MPKI %.2f, stall %.1f), want N", ins.AppClass, m.MPKI, m.StallPerMiss)
+	}
+	symtab := findByLabel(t, ins, "symtab")
+	if symtab.Class != classify.LatencySensitive {
+		t.Errorf("gcc symtab class = %v (MPKI %.2f, stall %.1f), want L",
+			symtab.Class, symtab.MPKI, symtab.StallPerMiss)
+	}
+}
+
+func findByLabel(t *testing.T, ins Instrumentation, label string) *struct {
+	Class        classify.Class
+	MPKI         float64
+	StallPerMiss float64
+} {
+	t.Helper()
+	for _, o := range ins.Profile.HeapObjects() {
+		if o.Label == label {
+			return &struct {
+				Class        classify.Class
+				MPKI         float64
+				StallPerMiss float64
+			}{o.Class, o.MPKI, o.StallPerMiss}
+		}
+	}
+	t.Fatalf("label %q not in profile", label)
+	return nil
+}
+
+func TestTieringClassMap(t *testing.T) {
+	f := fastFramework()
+	// Short windows leave src_grid's stall metric noisy; use a window
+	// long enough for the steady-state signal.
+	f.ProfileWindow = 250_000
+	pr, err := f.Profile(workload.LBM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := f.TieringClassMap(pr, 0.125)
+	if len(cm) == 0 {
+		t.Fatal("empty tiering map")
+	}
+	// Only two tiers may appear: L (DRAM) or N (NVM).
+	for key, c := range cm {
+		if c != classify.LatencySensitive && c != classify.NonIntensive {
+			t.Errorf("object %v tiered %v; want L or N only", key, c)
+		}
+	}
+	// lbm's write-heavy dst_grid must land in the DRAM tier, and the
+	// read-dominated src_grid in the NVM tier.
+	var dstKey, srcKey heap.NameKey
+	for _, o := range pr.HeapObjects() {
+		switch o.Label {
+		case "dst_grid":
+			dstKey = o.Key
+		case "src_grid":
+			srcKey = o.Key
+		}
+	}
+	if cm[dstKey] != classify.LatencySensitive {
+		t.Errorf("write-heavy dst_grid tiered %v, want DRAM (L)", cm[dstKey])
+	}
+	if cm[srcKey] != classify.NonIntensive {
+		t.Errorf("read-stream src_grid tiered %v, want NVM (N)", cm[srcKey])
+	}
+}

@@ -1,0 +1,391 @@
+// Package cpu models the paper's execution core (Table I): a 1 GHz x86-like
+// out-of-order core with fetch/dispatch/issue/commit width 3, an 84-entry
+// reorder buffer, and a 32-entry load queue, calibrated on the AMD
+// Magny-Cours. The model executes an abstract instruction stream: loads and
+// stores carry virtual addresses and memory-object identities; everything
+// else is a "compute" instruction that completes in one cycle.
+//
+// The model is deliberately register-free: memory-level parallelism is
+// expressed by the stream itself. A load marked DependsOnPrev cannot issue
+// until the previous load completes (pointer chasing, MLP=1); independent
+// loads overlap up to the load queue and MSHR limits. Loads complete out of
+// order but retire in order, and every cycle an incomplete load sits at the
+// head of the ROB is accounted as a "ROB head stall" cycle attributed to
+// the object being loaded — exactly the MLP metric MOCA classifies on
+// (Mutlu et al., IEEE Micro 2006; paper Sections II-III).
+package cpu
+
+import (
+	"fmt"
+
+	"moca/internal/cache"
+	"moca/internal/event"
+)
+
+// Kind discriminates stream instructions.
+type Kind uint8
+
+const (
+	// Compute is a batch of N single-cycle non-memory instructions.
+	Compute Kind = iota
+	// Load reads VAddr on behalf of object Obj.
+	Load
+	// Store writes VAddr on behalf of object Obj (posted; never stalls
+	// retirement).
+	Store
+)
+
+// Instr is one element of an application's instruction stream.
+type Instr struct {
+	Kind Kind
+	// N is the batch size for Compute instructions (>= 1).
+	N int
+	// VAddr is the virtual address for Load/Store.
+	VAddr uint64
+	// Obj names the memory object being accessed (profiling identity).
+	Obj uint64
+	// DependsOnPrev marks a load that consumes the previous load's value
+	// and therefore cannot issue until it completes.
+	DependsOnPrev bool
+}
+
+// Stream supplies instructions to a core. Next returns false at program end.
+type Stream interface {
+	Next() (Instr, bool)
+}
+
+// Translator maps virtual to physical addresses, faulting pages in as
+// needed (the OS page-allocation path). ok=false means physical memory is
+// exhausted, which aborts the core with an error.
+type Translator interface {
+	Translate(vaddr uint64, write bool) (paddr uint64, ok bool)
+}
+
+// MemPort is the cache hierarchy interface the core issues accesses to.
+type MemPort interface {
+	Access(paddr uint64, obj uint64, write bool, done func(at event.Time, level cache.Level))
+}
+
+// Config sizes the core per Table I.
+type Config struct {
+	Width   int        // fetch/dispatch/issue/commit width
+	ROBSize int        // reorder buffer entries
+	LQSize  int        // load queue entries
+	Cycle   event.Time // clock period
+}
+
+// DefaultConfig returns the Table I core: width 3, 84-entry ROB, 32-entry
+// LQ, 1 GHz.
+func DefaultConfig() Config {
+	return Config{Width: 3, ROBSize: 84, LQSize: 32, Cycle: event.Nanosecond}
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.Width <= 0:
+		return fmt.Errorf("cpu: width must be positive, got %d", c.Width)
+	case c.ROBSize <= 0:
+		return fmt.Errorf("cpu: ROB size must be positive, got %d", c.ROBSize)
+	case c.LQSize <= 0:
+		return fmt.Errorf("cpu: LQ size must be positive, got %d", c.LQSize)
+	case c.Cycle <= 0:
+		return fmt.Errorf("cpu: cycle time must be positive")
+	}
+	return nil
+}
+
+// Stats aggregates core activity.
+type Stats struct {
+	Cycles       uint64
+	Instructions uint64 // retired
+	Loads        uint64
+	Stores       uint64
+
+	// ROBHeadStallCycles counts cycles an incomplete load blocked the ROB
+	// head; MemStallCycles is the subset attributed to loads that missed
+	// the LLC (the denominator for "stall cycles per load miss").
+	ROBHeadStallCycles uint64
+	MemStallCycles     uint64
+	MemLoads           uint64 // retired loads that were LLC misses
+
+	LQFullCycles  uint64 // dispatch stalled on a full load queue
+	ROBFullCycles uint64 // dispatch stalled on a full ROB
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+type robEntry struct {
+	kind       Kind
+	done       bool
+	issued     bool
+	obj        uint64
+	vaddr      uint64
+	depends    bool
+	level      cache.Level
+	headStalls uint64
+}
+
+// Core is one simulated core. Drive it by calling Tick once per clock; the
+// surrounding simulator interleaves Tick with the event queue.
+type Core struct {
+	ID  int
+	cfg Config
+
+	stream Stream
+	xlate  Translator
+	mem    MemPort
+
+	rob        []robEntry // ring buffer
+	head, tail int        // head = oldest; tail = next free
+	occupancy  int
+	loadsInLQ  int
+
+	fb         fetchBuf
+	streamDone bool
+	faulted    error
+
+	stats Stats
+
+	// OnMemLoadRetire, if set, fires when a load that missed the LLC
+	// retires, reporting the ROB-head stall cycles it caused — the
+	// profiler's per-object MLP signal.
+	OnMemLoadRetire func(obj uint64, headStallCycles uint64)
+	// OnRetire, if set, fires with the number of instructions retired
+	// each cycle (profiler's instruction counter).
+	OnRetire func(n uint64)
+}
+
+// New builds a core over the given stream, translator, and memory port.
+func New(id int, cfg Config, stream Stream, xlate Translator, mem MemPort) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if stream == nil || xlate == nil || mem == nil {
+		return nil, fmt.Errorf("cpu: nil stream, translator, or memory port")
+	}
+	return &Core{
+		ID:     id,
+		cfg:    cfg,
+		stream: stream,
+		xlate:  xlate,
+		mem:    mem,
+		rob:    make([]robEntry, cfg.ROBSize),
+	}, nil
+}
+
+// Stats returns a snapshot of the core's counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// ResetStats clears counters (pipeline state is preserved).
+func (c *Core) ResetStats() { c.stats = Stats{} }
+
+// Done reports whether the core has retired its entire stream.
+func (c *Core) Done() bool { return (c.streamDone && c.occupancy == 0) || c.faulted != nil }
+
+// Err returns the fatal error that halted the core, if any (for example,
+// physical memory exhaustion).
+func (c *Core) Err() error { return c.faulted }
+
+// Tick advances the core by one clock: retire, then dispatch/issue.
+func (c *Core) Tick() {
+	if c.Done() {
+		return
+	}
+	c.stats.Cycles++
+	c.retire()
+	c.dispatch()
+}
+
+func (c *Core) retire() {
+	retired := uint64(0)
+	for i := 0; i < c.cfg.Width && c.occupancy > 0; i++ {
+		e := &c.rob[c.head]
+		if !e.done {
+			if e.kind == Load {
+				e.headStalls++
+				c.stats.ROBHeadStallCycles++
+			}
+			break
+		}
+		if e.kind == Load {
+			c.loadsInLQ--
+			if e.level == cache.MemHit {
+				c.stats.MemLoads++
+				c.stats.MemStallCycles += e.headStalls
+				if c.OnMemLoadRetire != nil {
+					c.OnMemLoadRetire(e.obj, e.headStalls)
+				}
+			}
+		}
+		c.head = (c.head + 1) % c.cfg.ROBSize
+		c.occupancy--
+		retired++
+	}
+	if retired > 0 {
+		c.stats.Instructions += retired
+		if c.OnRetire != nil {
+			c.OnRetire(retired)
+		}
+	}
+}
+
+func (c *Core) dispatch() {
+	for i := 0; i < c.cfg.Width; i++ {
+		if c.occupancy >= c.cfg.ROBSize {
+			c.stats.ROBFullCycles++
+			return
+		}
+		in, ok := c.peek()
+		if !ok {
+			return
+		}
+		switch in.Kind {
+		case Compute:
+			c.consumeComputeOne()
+			c.push(robEntry{kind: Compute, done: true})
+		case Store:
+			c.consume()
+			c.push(robEntry{kind: Store, done: true})
+			c.stats.Stores++
+			if paddr, ok := c.translate(in.VAddr, true); ok {
+				c.mem.Access(paddr, in.Obj, true, nil)
+			}
+		case Load:
+			if c.loadsInLQ >= c.cfg.LQSize {
+				c.stats.LQFullCycles++
+				return
+			}
+			c.consume()
+			idx := c.push(robEntry{kind: Load, obj: in.Obj, vaddr: in.VAddr, depends: in.DependsOnPrev})
+			c.loadsInLQ++
+			c.stats.Loads++
+			c.maybeIssueLoad(idx)
+		}
+		if c.faulted != nil {
+			return
+		}
+	}
+}
+
+// maybeIssueLoad issues the load at ROB index idx unless it depends on an
+// earlier, still-incomplete load (pointer chasing).
+func (c *Core) maybeIssueLoad(idx int) {
+	e := &c.rob[idx]
+	if e.issued {
+		return
+	}
+	if e.depends {
+		if p, ok := c.prevLoadIndex(idx); ok && !c.rob[p].done {
+			// Issue when the producer completes (its completion
+			// callback re-runs dependents).
+			return
+		}
+	}
+	e.issued = true
+	paddr, ok := c.translate(e.vaddr, false)
+	if !ok {
+		e.done = true
+		return
+	}
+	c.mem.Access(paddr, e.obj, false, func(at event.Time, level cache.Level) {
+		e.done = true
+		e.level = level
+		c.wakeDependents(idx)
+	})
+}
+
+// wakeDependents issues any younger dependent load that was waiting on the
+// load at index idx.
+func (c *Core) wakeDependents(idx int) {
+	// Scan forward from idx+1 to tail for the next load; if it is a
+	// dependent unissued load, issue it now.
+	i := (idx + 1) % c.cfg.ROBSize
+	for i != c.tail {
+		e := &c.rob[i]
+		if e.kind == Load {
+			if e.depends && !e.issued {
+				c.maybeIssueLoad(i)
+			}
+			return // only the immediately next load can depend on idx
+		}
+		i = (i + 1) % c.cfg.ROBSize
+	}
+}
+
+// prevLoadIndex finds the most recent load older than idx.
+func (c *Core) prevLoadIndex(idx int) (int, bool) {
+	if c.occupancy == 0 {
+		return 0, false
+	}
+	i := idx
+	for i != c.head {
+		i = (i - 1 + c.cfg.ROBSize) % c.cfg.ROBSize
+		if c.rob[i].kind == Load {
+			return i, true
+		}
+	}
+	if c.rob[c.head].kind == Load && idx != c.head {
+		return c.head, true
+	}
+	return 0, false
+}
+
+func (c *Core) push(e robEntry) int {
+	idx := c.tail
+	c.rob[idx] = e
+	c.tail = (c.tail + 1) % c.cfg.ROBSize
+	c.occupancy++
+	return idx
+}
+
+func (c *Core) translate(vaddr uint64, write bool) (uint64, bool) {
+	paddr, ok := c.xlate.Translate(vaddr, write)
+	if !ok {
+		c.faulted = fmt.Errorf("cpu: core %d: out of physical memory translating %#x", c.ID, vaddr)
+		return 0, false
+	}
+	return paddr, true
+}
+
+// Stream buffering: peek/consume with Compute batch expansion.
+
+type fetchBuf struct {
+	in    Instr
+	valid bool
+}
+
+// peek returns the next instruction without consuming it. Compute batches
+// are surfaced one instruction at a time via consumeComputeOne.
+func (c *Core) peek() (Instr, bool) {
+	if !c.fb.valid {
+		if c.streamDone {
+			return Instr{}, false
+		}
+		in, ok := c.stream.Next()
+		if !ok {
+			c.streamDone = true
+			return Instr{}, false
+		}
+		if in.Kind == Compute && in.N < 1 {
+			in.N = 1
+		}
+		c.fb = fetchBuf{in: in, valid: true}
+	}
+	return c.fb.in, true
+}
+
+func (c *Core) consume() { c.fb.valid = false }
+
+func (c *Core) consumeComputeOne() {
+	c.fb.in.N--
+	if c.fb.in.N <= 0 {
+		c.fb.valid = false
+	}
+}

@@ -1,0 +1,167 @@
+// Package event provides the discrete-event simulation core used by every
+// timed component in the simulator (memory controllers, refresh timers,
+// response delivery). It is a minimal replacement for the event queue at the
+// heart of architectural simulators such as Gem5.
+//
+// Time is measured in integer picoseconds so that memory-device clocks that
+// are not integer nanoseconds (e.g. RLDRAM3 tCK = 0.93 ns) can be expressed
+// exactly enough, while a 1 GHz CPU cycle is exactly 1000 ps.
+package event
+
+// Time is a simulation timestamp in picoseconds.
+type Time = int64
+
+// Common durations, in picoseconds.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Func is the body of a scheduled event.
+type Func func()
+
+type item struct {
+	at  Time
+	seq uint64 // FIFO tie-break for events at the same timestamp
+	fn  Func
+}
+
+// Queue is a time-ordered event queue. Events scheduled for the same
+// timestamp run in the order they were scheduled. Queue is not safe for
+// concurrent use; the simulator is single-threaded by design so that runs
+// are exactly reproducible.
+type Queue struct {
+	heap []item
+	seq  uint64
+	now  Time
+	runs uint64
+}
+
+// NewQueue returns an empty queue positioned at time 0.
+func NewQueue() *Queue { return &Queue{} }
+
+// Now returns the timestamp of the most recently executed event, or the
+// time passed to the latest AdvanceTo, whichever is later.
+func (q *Queue) Now() Time { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Executed returns the total number of events executed so far.
+func (q *Queue) Executed() uint64 { return q.runs }
+
+// Schedule enqueues fn to run at the given absolute time. Scheduling in the
+// past is a simulator bug; it panics rather than silently reordering time.
+func (q *Queue) Schedule(at Time, fn Func) {
+	if at < q.now {
+		panic("event: scheduled in the past")
+	}
+	q.heap = append(q.heap, item{at: at, seq: q.seq, fn: fn})
+	q.seq++
+	q.up(len(q.heap) - 1)
+}
+
+// After enqueues fn to run delay picoseconds after the current time.
+func (q *Queue) After(delay Time, fn Func) { q.Schedule(q.now+delay, fn) }
+
+// NextTime returns the timestamp of the earliest pending event and true, or
+// (0, false) if the queue is empty.
+func (q *Queue) NextTime() (Time, bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].at, true
+}
+
+// RunOne executes the earliest pending event, advancing Now to its
+// timestamp. It reports whether an event was executed.
+func (q *Queue) RunOne() bool {
+	if len(q.heap) == 0 {
+		return false
+	}
+	it := q.heap[0]
+	q.pop()
+	q.now = it.at
+	q.runs++
+	it.fn()
+	return true
+}
+
+// RunUntil executes every event with timestamp <= t (including events those
+// events schedule, if they also fall within t) and then advances Now to t.
+// It returns the number of events executed.
+func (q *Queue) RunUntil(t Time) int {
+	n := 0
+	for len(q.heap) > 0 && q.heap[0].at <= t {
+		if !q.RunOne() {
+			break
+		}
+		n++
+	}
+	if q.now < t {
+		q.now = t
+	}
+	return n
+}
+
+// Drain runs events until the queue is empty and returns the number
+// executed. Useful at the end of a simulation to let in-flight memory
+// traffic settle.
+func (q *Queue) Drain() int {
+	n := 0
+	for q.RunOne() {
+		n++
+	}
+	return n
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *Queue) pop() {
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap[last] = item{} // release closure for GC
+	q.heap = q.heap[:last]
+	if len(q.heap) > 0 {
+		q.down(0)
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,207 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	q := NewQueue()
+	var got []int
+	q.Schedule(30, func() { got = append(got, 3) })
+	q.Schedule(10, func() { got = append(got, 1) })
+	q.Schedule(20, func() { got = append(got, 2) })
+	q.Drain()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if q.Now() != 30 {
+		t.Errorf("Now() = %d, want 30", q.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	q := NewQueue()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(100, func() { got = append(got, i) })
+	}
+	q.Drain()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	q := NewQueue()
+	ran := 0
+	for _, at := range []Time{5, 10, 15, 20} {
+		q.Schedule(at, func() { ran++ })
+	}
+	if n := q.RunUntil(12); n != 2 {
+		t.Fatalf("RunUntil(12) executed %d, want 2", n)
+	}
+	if q.Now() != 12 {
+		t.Errorf("Now() = %d, want 12", q.Now())
+	}
+	if q.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", q.Len())
+	}
+	if n := q.RunUntil(100); n != 2 {
+		t.Fatalf("RunUntil(100) executed %d, want 2", n)
+	}
+	if ran != 4 {
+		t.Errorf("total ran = %d, want 4", ran)
+	}
+}
+
+func TestRunUntilIncludesCascades(t *testing.T) {
+	q := NewQueue()
+	var got []Time
+	q.Schedule(5, func() {
+		got = append(got, 5)
+		q.Schedule(7, func() { got = append(got, 7) })
+		q.Schedule(50, func() { got = append(got, 50) })
+	})
+	if n := q.RunUntil(10); n != 2 {
+		t.Fatalf("RunUntil executed %d events, want 2 (cascaded event within window)", n)
+	}
+	if len(got) != 2 || got[0] != 5 || got[1] != 7 {
+		t.Fatalf("got %v, want [5 7]", got)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	q := NewQueue()
+	var at Time = -1
+	q.Schedule(100, func() {
+		q.After(25, func() { at = q.Now() })
+	})
+	q.Drain()
+	if at != 125 {
+		t.Errorf("After fired at %d, want 125", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	q := NewQueue()
+	q.Schedule(100, func() {})
+	q.RunOne()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	q.Schedule(50, func() {})
+}
+
+func TestNextTime(t *testing.T) {
+	q := NewQueue()
+	if _, ok := q.NextTime(); ok {
+		t.Fatal("NextTime on empty queue reported an event")
+	}
+	q.Schedule(42, func() {})
+	if at, ok := q.NextTime(); !ok || at != 42 {
+		t.Fatalf("NextTime = (%d,%v), want (42,true)", at, ok)
+	}
+}
+
+func TestRunOneEmpty(t *testing.T) {
+	q := NewQueue()
+	if q.RunOne() {
+		t.Fatal("RunOne on empty queue reported execution")
+	}
+}
+
+func TestExecutedCount(t *testing.T) {
+	q := NewQueue()
+	for i := Time(0); i < 100; i++ {
+		q.Schedule(i, func() {})
+	}
+	q.Drain()
+	if q.Executed() != 100 {
+		t.Errorf("Executed() = %d, want 100", q.Executed())
+	}
+}
+
+// Property: events always execute in nondecreasing time order, matching the
+// sorted schedule, regardless of insertion order.
+func TestPropertyHeapOrdering(t *testing.T) {
+	f := func(times []uint16) bool {
+		q := NewQueue()
+		var got []Time
+		for _, raw := range times {
+			at := Time(raw)
+			q.Schedule(at, func() { got = append(got, at) })
+		}
+		q.Drain()
+		want := make([]Time, len(times))
+		for i, raw := range times {
+			want[i] = Time(raw)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interleaving Schedule and RunOne never yields an event executed
+// at a time earlier than one already executed.
+func TestPropertyMonotonicNow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := NewQueue()
+	var last Time = -1
+	violated := false
+	pending := 0
+	for step := 0; step < 5000; step++ {
+		if pending == 0 || rng.Intn(2) == 0 {
+			q.Schedule(q.Now()+Time(rng.Intn(1000)), func() {
+				if q.Now() < last {
+					violated = true
+				}
+				last = q.Now()
+			})
+			pending++
+		} else {
+			q.RunOne()
+			pending--
+		}
+	}
+	q.Drain()
+	if violated {
+		t.Fatal("executed an event at a time earlier than a previous event")
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	q := NewQueue()
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		q.Schedule(q.Now()+Time(i%64), fn)
+		if q.Len() > 1024 {
+			q.RunOne()
+		}
+	}
+	q.Drain()
+}

@@ -1,0 +1,235 @@
+package exp
+
+import (
+	"fmt"
+
+	"moca/internal/classify"
+	"moca/internal/mem"
+	"moca/internal/sim"
+	"moca/internal/stats"
+	"moca/internal/workload"
+)
+
+// ExtensionPCM demonstrates the framework beyond the paper's Table II: a
+// DRAM + PCM tiered system in the style of the data-tiering related work
+// the paper positions itself against (Section VII; Dulloor et al.). PCM
+// offers cheap capacity with slow reads and much slower writes; the
+// comparison shows object-level classification carrying over unchanged —
+// hot objects tier into the small DRAM, cold objects live in PCM.
+//
+// Variants: everything in PCM (capacity-only baseline), first-touch
+// DRAM-then-PCM (naive tiering), and MOCA object-level tiering. The
+// workload is a 4-core mix whose hot data far exceeds the DRAM tier, so
+// *which* pages win DRAM decides performance.
+func (r *Runner) ExtensionPCM(mixName string) (*stats.Table, error) {
+	if mixName == "" {
+		mixName = "2B2N"
+	}
+	mix, ok := workload.MixByName(mixName)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown mix %q", mixName)
+	}
+
+	// DRAM is sized so the mix's hot (L/B) objects just fit — but only
+	// if placement spends DRAM on them rather than on whatever faults
+	// first (the N apps' pages and the cold input buffers).
+	const (
+		mb       = 1 << 20
+		dramSize = 12 * mb
+		pcmSize  = 20 * mb
+	)
+	tieringChains := map[classify.Class][]mem.Kind{
+		classify.LatencySensitive:   {mem.DDR3, mem.PCM},
+		classify.BandwidthSensitive: {mem.DDR3, mem.PCM},
+		classify.NonIntensive:       {mem.PCM, mem.DDR3},
+	}
+	variants := []SystemDef{
+		{
+			Name: "all-PCM",
+			Modules: []sim.ModuleSpec{
+				{Kind: mem.PCM, CapacityBytes: pcmSize + dramSize, Channels: 1},
+			},
+			Policy: sim.PolicyFixed,
+		},
+		{
+			Name: "first-touch-tier",
+			Modules: []sim.ModuleSpec{
+				{Kind: mem.DDR3, CapacityBytes: dramSize, Channels: 1},
+				{Kind: mem.PCM, CapacityBytes: pcmSize, Channels: 1},
+			},
+			Policy: sim.PolicyFixed,
+		},
+		{
+			Name: "moca-tier",
+			Modules: []sim.ModuleSpec{
+				{Kind: mem.DDR3, CapacityBytes: dramSize, Channels: 1},
+				{Kind: mem.PCM, CapacityBytes: pcmSize, Channels: 1},
+			},
+			Policy: sim.PolicyMOCA,
+			Chains: tieringChains,
+		},
+	}
+
+	t := stats.NewTable(
+		fmt.Sprintf("Extension: DRAM+PCM data tiering on %s (beyond the paper; Section VII related work)", mixName),
+		"variant", "mem time (ns)", "memory EDP", "DRAM pages", "PCM pages", "PCM writes")
+	report := func(name string, res *sim.Result) {
+		pages := res.PagesOnKind()
+		var pcmWrites uint64
+		for _, ch := range res.Channels {
+			if ch.Kind == mem.PCM {
+				pcmWrites += ch.Stats.Writes
+			}
+		}
+		t.AddRow(name,
+			stats.F(float64(res.AvgMemAccessTime())/1000),
+			fmt.Sprintf("%.3e", res.MemEDP()),
+			fmt.Sprintf("%d", pages[mem.DDR3]),
+			fmt.Sprintf("%d", pages[mem.PCM]),
+			fmt.Sprintf("%d", pcmWrites))
+	}
+	for _, def := range variants {
+		res, err := r.RunMix(def, mix)
+		if err != nil {
+			return nil, err
+		}
+		report(def.Name, res)
+	}
+
+	// A fourth variant: write-aware tiering (TieringClassMap) — NVM gets
+	// read-dominated data only, the Dulloor-style refinement.
+	const maxWriteRatio = 0.125
+	var procs []sim.ProcSpec
+	for _, app := range mix.Apps {
+		ins, err := r.Instrument(app)
+		if err != nil {
+			return nil, err
+		}
+		p := ins.Proc(sim.PolicyMOCA, workload.Ref)
+		p.Classes = r.FW.TieringClassMap(ins.Profile, maxWriteRatio)
+		procs = append(procs, p)
+	}
+	cfg := sim.DefaultConfig("moca-tier-write-aware", variants[2].Modules, sim.PolicyMOCA)
+	cfg.Chains = tieringChains
+	sys, err := sim.New(cfg, procs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sys.Run(sys.SuggestedWarmup(), r.Measure)
+	if err != nil {
+		return nil, err
+	}
+	report("moca-tier-write-aware", res)
+
+	t.AddNote("moca-tier routes L/B objects to DRAM and N objects (plus stack/code) to PCM;")
+	t.AddNote("the write-aware variant sends read-dominated streams to PCM too, but never writes (write ratio > 12.5% stays in DRAM)")
+	return t, nil
+}
+
+// ExtensionKNL models the Knights Landing memory organization the paper
+// cites as motivation (Section II: on-package HBM "flat mode" plus
+// off-chip DDR4; in real KNL the *programmer* chooses what lives in
+// MCDRAM via memkind). The comparison: everything in DDR4, application-
+// level HBM placement (what naive memkind usage gives), and MOCA's
+// object-level placement — automatic, no annotations.
+func (r *Runner) ExtensionKNL(mixName string) (*stats.Table, error) {
+	if mixName == "" {
+		mixName = "2L1B1N"
+	}
+	mix, ok := workload.MixByName(mixName)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown mix %q", mixName)
+	}
+	const mb = 1 << 20
+	knlModules := []sim.ModuleSpec{
+		{Kind: mem.HBM, CapacityBytes: 12 * mb, Channels: 1},
+		{Kind: mem.DDR4, CapacityBytes: 24 * mb, Channels: 2},
+	}
+	knlChains := map[classify.Class][]mem.Kind{
+		classify.LatencySensitive:   {mem.HBM, mem.DDR4},
+		classify.BandwidthSensitive: {mem.HBM, mem.DDR4},
+		classify.NonIntensive:       {mem.DDR4, mem.HBM},
+	}
+	variants := []SystemDef{
+		{
+			Name: "ddr4-only",
+			Modules: []sim.ModuleSpec{
+				{Kind: mem.DDR4, CapacityBytes: 36 * mb, Channels: 3},
+			},
+			Policy: sim.PolicyFixed,
+		},
+		{Name: "knl-app-level", Modules: knlModules, Policy: sim.PolicyAppLevel, Chains: knlChains},
+		{Name: "knl-moca", Modules: knlModules, Policy: sim.PolicyMOCA, Chains: knlChains},
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Extension: KNL-style HBM+DDR4 flat mode on %s (Section II motivation)", mixName),
+		"variant", "mem time (ns)", "memory EDP", "HBM pages", "DDR4 pages")
+	for _, def := range variants {
+		res, err := r.RunMix(def, mix)
+		if err != nil {
+			return nil, err
+		}
+		pages := res.PagesOnKind()
+		t.AddRow(def.Name,
+			stats.F(float64(res.AvgMemAccessTime())/1000),
+			fmt.Sprintf("%.3e", res.MemEDP()),
+			fmt.Sprintf("%d", pages[mem.HBM]),
+			fmt.Sprintf("%d", pages[mem.DDR4]))
+	}
+	t.AddNote("knl-moca fills the scarce on-package HBM with profiled hot objects automatically,")
+	t.AddNote("replacing KNL's manual memkind annotations")
+	return t, nil
+}
+
+// ExtensionPhases probes MOCA's stable-behavior assumption (Section III:
+// "profiling-based approaches work well for applications with fairly
+// similar behavior"): a two-phase application alternates its hot object.
+// MOCA's static placement fits whichever phase dominated profiling;
+// dynamic migration re-adapts each phase at its usual costs.
+func (r *Runner) ExtensionPhases() (*stats.Table, error) {
+	const mb = 1 << 20
+	phased := workload.AppSpec{
+		Name:             "phaseflip",
+		ComputePerMemory: 8,
+		ComputeJitter:    3,
+		Seed:             0x70686173,
+		Objects: []workload.ObjectSpec{
+			{Label: "front_graph", Site: 0x40d100, SizeBytes: 3 * mb, Pattern: workload.Chase, Weight: 0.40, WriteFrac: 0.05},
+			{Label: "back_graph", Site: 0x40d110, SizeBytes: 3 * mb, Pattern: workload.Chase, Weight: 0.005, WriteFrac: 0.05},
+		},
+		StackWeight: 0.12, CodeWeight: 0.05,
+		Phases: []workload.PhaseSpec{
+			{Items: 45_000, Weights: map[string]float64{"front_graph": 0.40, "back_graph": 0.005}},
+			{Items: 45_000, Weights: map[string]float64{"front_graph": 0.005, "back_graph": 0.40}},
+		},
+	}
+	ins, err := r.FW.Instrument(phased)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Extension: phase-changing application (Section III's stability assumption)",
+		"policy", "mem access time (ns)", "memory EDP", "promotions")
+	for _, def := range []SystemDef{
+		{Name: "Heter-App", Modules: sim.Heterogeneous(sim.Config1), Policy: sim.PolicyAppLevel},
+		{Name: "MOCA", Modules: sim.Heterogeneous(sim.Config1), Policy: sim.PolicyMOCA},
+		{Name: "Migration", Modules: sim.Heterogeneous(sim.Config1), Policy: sim.PolicyMigrate},
+	} {
+		cfg := sim.DefaultConfig(def.Name, def.Modules, def.Policy)
+		sys, err := sim.New(cfg, []sim.ProcSpec{ins.Proc(def.Policy, workload.Ref)})
+		if err != nil {
+			return nil, err
+		}
+		res, err := sys.Run(sys.SuggestedWarmup(), 4*r.Measure)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(def.Name,
+			stats.F(float64(res.AvgMemAccessTime())/1000),
+			fmt.Sprintf("%.3e", res.MemEDP()),
+			fmt.Sprintf("%d", res.Migration.Promotions))
+	}
+	t.AddNote("the hot object flips every 45k stream items and profiling sees only the first phase,")
+	t.AddNote("so MOCA types back_graph non-intensive and strands it in LPDDR for the second phase:")
+	t.AddNote("its usual edge over Heter-App disappears — the paper's stable-behavior caveat, quantified")
+	return t, nil
+}

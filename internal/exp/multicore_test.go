@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"testing"
+)
+
+// The multi-program experiments are the heaviest in the suite; they run at
+// a reduced window here and at full size in the repository benchmarks.
+func multiRunner() *Runner {
+	r := NewRunner()
+	r.Measure = 100_000
+	r.FW.ProfileWindow = 200_000
+	return r
+}
+
+func TestFig10Through13Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full multi-program sweep")
+	}
+	r := multiRunner()
+	f10, err := r.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f11, err := r.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f12, err := r.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f13, err := r.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fig. 10 shapes: Homogen-RL and Homogen-HBM are the fastest memory
+	// systems; Homogen-LP is the slowest; MOCA beats Heter-App and DDR3
+	// on average ("MOCA reduces the memory access time by 26% over
+	// Heter-App").
+	if f10.ColMean(SysRL) >= f10.ColMean(SysDDR3) {
+		t.Errorf("Homogen-RL mean %.3f not below DDR3\n%s", f10.ColMean(SysRL), f10.Table())
+	}
+	for _, sys := range []string{SysDDR3, SysRL, SysHBM, SysHeterApp, SysMOCA} {
+		if f10.ColMean(SysLP) <= f10.ColMean(sys) {
+			t.Errorf("Homogen-LP mean %.3f not the slowest vs %s", f10.ColMean(SysLP), sys)
+		}
+	}
+	if f10.ColMean(SysMOCA) >= f10.ColMean(SysHeterApp) {
+		t.Errorf("MOCA access time %.3f not below Heter-App %.3f\n%s",
+			f10.ColMean(SysMOCA), f10.ColMean(SysHeterApp), f10.Table())
+	}
+	if f10.ColMean(SysMOCA) >= 1 {
+		t.Errorf("MOCA mean access time %.3f not below DDR3", f10.ColMean(SysMOCA))
+	}
+
+	// Fig. 11 shapes: MOCA is the most energy-efficient heterogeneous
+	// option and beats Heter-App clearly ("33%"); Homogen-RL is the least
+	// efficient system multicore.
+	if f11.ColMean(SysMOCA) >= f11.ColMean(SysHeterApp) {
+		t.Errorf("MOCA memory EDP %.3f not below Heter-App %.3f\n%s",
+			f11.ColMean(SysMOCA), f11.ColMean(SysHeterApp), f11.Table())
+	}
+	for _, sys := range []string{SysDDR3, SysHBM, SysLP, SysMOCA, SysHeterApp} {
+		if f11.ColMean(SysRL) <= f11.ColMean(sys) {
+			t.Errorf("Homogen-RL EDP %.3f not the worst vs %s %.3f\n%s",
+				f11.ColMean(SysRL), sys, f11.ColMean(sys), f11.Table())
+		}
+	}
+
+	// Figs. 12-13: system-level, MOCA within the paper's "10% over
+	// Heter-App" story — at minimum not worse.
+	if f12.ColMean(SysMOCA) > f12.ColMean(SysHeterApp)*1.02 {
+		t.Errorf("MOCA system runtime %.3f worse than Heter-App %.3f\n%s",
+			f12.ColMean(SysMOCA), f12.ColMean(SysHeterApp), f12.Table())
+	}
+	if f13.ColMean(SysMOCA) > f13.ColMean(SysHeterApp)*1.02 {
+		t.Errorf("MOCA system EDP %.3f worse than Heter-App %.3f\n%s",
+			f13.ColMean(SysMOCA), f13.ColMean(SysHeterApp), f13.Table())
+	}
+}
+
+func TestFig14And15ConfigSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("config sweep")
+	}
+	r := multiRunner()
+	f14, err := r.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f15, err := r.Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Section VI-C: under config1 (scarce RLDRAM) MOCA wins on
+	// performance for memory-intensive sets; under config3 (ample
+	// RLDRAM) Heter-App catches up or wins. Energy efficiency favors
+	// MOCA across configurations.
+	wins := 0
+	for _, mix := range f14.Rows {
+		if f14.Get(mix, "config1/MOCA") <= 1.0 {
+			wins++
+		}
+	}
+	if wins < 3 {
+		t.Errorf("MOCA faster than Heter-App on only %d/5 mixes under config1\n%s", wins, f14.Table())
+	}
+	// Heter-App's relative performance improves from config1 to config3.
+	c1 := f14.ColMean("config1/MOCA")
+	c3 := f14.ColMean("config3/MOCA")
+	if c3 < c1*0.9 {
+		t.Errorf("MOCA's edge should shrink with larger RLDRAM: config1 %.3f, config3 %.3f\n%s",
+			c1, c3, f14.Table())
+	}
+	for _, cfg := range []string{"config1", "config2", "config3"} {
+		if f15.ColMean(cfg+"/MOCA") >= 1.02 {
+			t.Errorf("MOCA mean memory EDP %.3f not better than Heter-App under %s\n%s",
+				f15.ColMean(cfg+"/MOCA"), cfg, f15.Table())
+		}
+	}
+}
+
+func TestHeadlineDirections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("headline needs both sweeps")
+	}
+	r := multiRunner()
+	h, table, err := r.Headline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, v, min float64) {
+		if v < min {
+			t.Errorf("%s = %.0f%%, want >= %.0f%% (paper direction)\n%s", name, v*100, min*100, table)
+		}
+	}
+	check("single access time vs DDR3", h.SingleAccessTimeVsDDR3, 0.25)
+	check("single mem EDP vs DDR3", h.SingleMemEDPVsDDR3, 0.15)
+	check("single access time vs Heter-App", h.SingleAccessTimeVsApp, 0.05)
+	check("single mem EDP vs Heter-App", h.SingleMemEDPVsApp, 0.05)
+	check("multi mem EDP vs DDR3 (best)", h.MultiMemEDPVsDDR3Best, 0.15)
+	check("multi access time vs Heter-App", h.MultiAccessTimeVsApp, 0.05)
+	check("multi mem EDP vs Heter-App", h.MultiMemEDPVsApp, 0.05)
+	check("system perf vs Heter-App", h.SystemPerfVsApp, 0.0)
+	check("system EDP vs Heter-App", h.SystemEDPVsApp, 0.0)
+}

@@ -1,0 +1,236 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Section VI) from simulation. Each
+// FigN/TableN function returns both the underlying data and a rendered
+// text table; cmd/moca-bench and the repository benchmarks drive them.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"moca/internal/classify"
+	"moca/internal/core"
+	"moca/internal/mem"
+	"moca/internal/sim"
+	"moca/internal/workload"
+)
+
+// SystemDef names one memory system under test.
+type SystemDef struct {
+	Name    string
+	Modules []sim.ModuleSpec
+	Policy  sim.PolicyKind
+	Chains  map[classify.Class][]mem.Kind // nil = paper defaults
+}
+
+// The six systems of Figs. 8-13, in the paper's presentation order.
+const (
+	SysDDR3     = "Homogen-DDR3"
+	SysRL       = "Homogen-RL"
+	SysHBM      = "Homogen-HBM"
+	SysLP       = "Homogen-LP"
+	SysHeterApp = "Heter-App"
+	SysMOCA     = "MOCA"
+)
+
+// StandardSystems returns the six memory systems every main experiment
+// compares: four homogeneous baselines plus the heterogeneous system
+// (config1) under application-level and MOCA placement.
+func StandardSystems() []SystemDef {
+	return []SystemDef{
+		{Name: SysDDR3, Modules: sim.Homogeneous(mem.DDR3), Policy: sim.PolicyFixed},
+		{Name: SysRL, Modules: sim.Homogeneous(mem.RLDRAM), Policy: sim.PolicyFixed},
+		{Name: SysHBM, Modules: sim.Homogeneous(mem.HBM), Policy: sim.PolicyFixed},
+		{Name: SysLP, Modules: sim.Homogeneous(mem.LPDDR2), Policy: sim.PolicyFixed},
+		{Name: SysHeterApp, Modules: sim.Heterogeneous(sim.Config1), Policy: sim.PolicyAppLevel},
+		{Name: SysMOCA, Modules: sim.Heterogeneous(sim.Config1), Policy: sim.PolicyMOCA},
+	}
+}
+
+// SystemNames lists the standard system names in order.
+func SystemNames() []string {
+	return []string{SysDDR3, SysRL, SysHBM, SysLP, SysHeterApp, SysMOCA}
+}
+
+// Runner executes simulations with caching (profiles and results are
+// reused across figures, as Figs. 10-13 share the same runs) and bounded
+// parallelism across independent runs.
+type Runner struct {
+	// FW is the MOCA pipeline used for profiling runs.
+	FW *core.Framework
+	// Measure is the measured instruction quota per core per run.
+	Measure uint64
+	// Parallelism bounds concurrent simulations (default: NumCPU).
+	Parallelism int
+
+	mu      sync.Mutex
+	instr   map[string]core.Instrumentation
+	results map[string]*sim.Result
+}
+
+// NewRunner returns a runner with paper-default settings.
+func NewRunner() *Runner {
+	return &Runner{
+		FW:      core.NewFramework(),
+		Measure: 300_000,
+	}
+}
+
+// Instrument profiles an application (once; cached) and returns its
+// instrumentation.
+func (r *Runner) Instrument(appName string) (core.Instrumentation, error) {
+	r.mu.Lock()
+	if r.instr == nil {
+		r.instr = make(map[string]core.Instrumentation)
+	}
+	if ins, ok := r.instr[appName]; ok {
+		r.mu.Unlock()
+		return ins, nil
+	}
+	r.mu.Unlock()
+
+	spec, ok := workload.ByName(appName)
+	if !ok {
+		return core.Instrumentation{}, fmt.Errorf("exp: unknown app %q", appName)
+	}
+	ins, err := r.FW.Instrument(spec)
+	if err != nil {
+		return core.Instrumentation{}, err
+	}
+	r.mu.Lock()
+	r.instr[appName] = ins
+	r.mu.Unlock()
+	return ins, nil
+}
+
+// RunSingle simulates one application alone on the given system (cached).
+func (r *Runner) RunSingle(def SystemDef, appName string) (*sim.Result, error) {
+	return r.run(def, "single/"+appName, []string{appName})
+}
+
+// RunMix simulates a 4-application mix on the given system (cached).
+func (r *Runner) RunMix(def SystemDef, mix workload.Mix) (*sim.Result, error) {
+	return r.run(def, "mix/"+mix.Name, mix.Apps)
+}
+
+func (r *Runner) run(def SystemDef, key string, apps []string) (*sim.Result, error) {
+	cacheKey := def.Name + "|" + key
+	r.mu.Lock()
+	if r.results == nil {
+		r.results = make(map[string]*sim.Result)
+	}
+	if res, ok := r.results[cacheKey]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	var procs []sim.ProcSpec
+	for _, app := range apps {
+		ins, err := r.Instrument(app)
+		if err != nil {
+			return nil, err
+		}
+		procs = append(procs, ins.Proc(def.Policy, workload.Ref))
+	}
+	cfg := sim.DefaultConfig(def.Name, def.Modules, def.Policy)
+	cfg.Chains = def.Chains
+	sys, err := sim.New(cfg, procs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sys.Run(sys.SuggestedWarmup(), r.Measure)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s on %s: %w", key, def.Name, err)
+	}
+	r.mu.Lock()
+	r.results[cacheKey] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// parallel runs the tasks with bounded concurrency and returns the first
+// error (after all tasks complete).
+func (r *Runner) parallel(tasks []func() error) error {
+	limit := r.Parallelism
+	if limit <= 0 {
+		limit = runtime.NumCPU()
+	}
+	if limit > len(tasks) {
+		limit = len(tasks)
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	sem := make(chan struct{}, limit)
+	errs := make(chan error, len(tasks))
+	var wg sync.WaitGroup
+	for _, task := range tasks {
+		task := task
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs <- task()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// warmAll pre-executes the cross product of systems and workloads in
+// parallel so subsequent sequential reads hit the cache.
+func (r *Runner) warmSingles(systems []SystemDef, apps []string) error {
+	var tasks []func() error
+	// Profile serially first: instrumentation is shared across systems.
+	for _, app := range apps {
+		if _, err := r.Instrument(app); err != nil {
+			return err
+		}
+	}
+	for _, def := range systems {
+		for _, app := range apps {
+			def, app := def, app
+			tasks = append(tasks, func() error {
+				_, err := r.RunSingle(def, app)
+				return err
+			})
+		}
+	}
+	return r.parallel(tasks)
+}
+
+func (r *Runner) warmMixes(systems []SystemDef, mixes []workload.Mix) error {
+	appSet := map[string]bool{}
+	for _, m := range mixes {
+		for _, a := range m.Apps {
+			appSet[a] = true
+		}
+	}
+	for app := range appSet {
+		// Serial profiling below is deterministic per app; order across
+		// apps does not matter because each profile is independent.
+		if _, err := r.Instrument(app); err != nil {
+			return err
+		}
+	}
+	var tasks []func() error
+	for _, def := range systems {
+		for _, m := range mixes {
+			def, m := def, m
+			tasks = append(tasks, func() error {
+				_, err := r.RunMix(def, m)
+				return err
+			})
+		}
+	}
+	return r.parallel(tasks)
+}

@@ -1,0 +1,370 @@
+// Package heap simulates the dynamic memory allocator MOCA instruments:
+// it names every heap object by the return address of its allocation call
+// plus up to five levels of calling context (paper Fig. 3, Sections III-A
+// and V-A), and it partitions the heap virtual address space by object
+// type so the OS can recognize an object's class from its virtual page
+// number alone (Fig. 6, Section III-C).
+//
+// Go's managed runtime hides native allocation, so the workload framework
+// calls this allocator explicitly with synthetic call stacks — the
+// substitution DESIGN.md documents for the paper's preloaded malloc shim
+// and __builtin_return_address.
+package heap
+
+import (
+	"fmt"
+
+	"moca/internal/classify"
+)
+
+// Site is a synthetic return address identifying one allocation call site.
+type Site uint64
+
+// NameKey is the stable identity of a memory object: a hash of the
+// allocation site and its calling context. It is reproducible across runs,
+// which is what lets a profile from a training run drive allocation in a
+// reference run.
+type NameKey uint64
+
+// NameID is a dense per-allocator index for a NameKey, used for O(1)
+// statistics attribution during simulation.
+type NameID uint32
+
+// Reserved pseudo-object names for the non-heap segments (Section VI-D).
+const (
+	ObjStack   NameID = 0
+	ObjCode    NameID = 1
+	ObjGlobals NameID = 2
+	// FirstHeapName is the first NameID assigned to a real heap object.
+	FirstHeapName NameID = 3
+)
+
+// DefaultNamingDepth is the paper's call-stack depth for naming: "We
+// consider five levels of return addresses in our callstack" (Section V-A).
+const DefaultNamingDepth = 5
+
+// Segment classifies a virtual address range.
+type Segment int
+
+const (
+	SegCode Segment = iota
+	SegData
+	SegHeap
+	SegStack
+)
+
+func (s Segment) String() string {
+	switch s {
+	case SegCode:
+		return "code"
+	case SegData:
+		return "data"
+	case SegHeap:
+		return "heap"
+	case SegStack:
+		return "stack"
+	default:
+		return fmt.Sprintf("Segment(%d)", int(s))
+	}
+}
+
+// Virtual address space layout. The heap is split into one partition per
+// object type plus a default partition used when no classification is
+// installed (profiling and non-MOCA runs).
+const (
+	CodeBase   uint64 = 0x0000_0040_0000
+	CodeLimit  uint64 = 0x0000_0100_0000
+	DataBase   uint64 = 0x0000_1000_0000
+	DataLimit  uint64 = 0x0000_2000_0000
+	heapStride uint64 = 0x1000_0000_0000
+
+	HeapDefaultBase uint64 = 1 * heapStride // unclassified objects
+	HeapLatBase     uint64 = 2 * heapStride // latency-sensitive partition
+	HeapBWBase      uint64 = 3 * heapStride // bandwidth-sensitive partition
+	HeapPowBase     uint64 = 4 * heapStride // non-intensive partition
+	heapEnd         uint64 = 5 * heapStride
+
+	StackBase  uint64 = 0x7FFF_0000_0000
+	StackLimit uint64 = 0x7FFF_4000_0000
+)
+
+// SegmentOf classifies a virtual address into its segment.
+func SegmentOf(vaddr uint64) Segment {
+	switch {
+	case vaddr >= StackBase && vaddr < StackLimit:
+		return SegStack
+	case vaddr >= HeapDefaultBase && vaddr < heapEnd:
+		return SegHeap
+	case vaddr >= DataBase && vaddr < DataLimit:
+		return SegData
+	default:
+		return SegCode
+	}
+}
+
+// PartitionClassOf returns the object class encoded by a heap virtual
+// address's partition, and ok=false for the default partition or non-heap
+// addresses. This is the OS-visible typing mechanism of Fig. 6.
+func PartitionClassOf(vaddr uint64) (classify.Class, bool) {
+	switch {
+	case vaddr >= HeapLatBase && vaddr < HeapLatBase+heapStride:
+		return classify.LatencySensitive, true
+	case vaddr >= HeapBWBase && vaddr < HeapBWBase+heapStride:
+		return classify.BandwidthSensitive, true
+	case vaddr >= HeapPowBase && vaddr < HeapPowBase+heapStride:
+		return classify.NonIntensive, true
+	default:
+		return 0, false
+	}
+}
+
+// ClassMap carries a profiling run's classification into an allocation run
+// — the paper's "instrument the classification into the binary".
+type ClassMap map[NameKey]classify.Class
+
+// Config configures an Allocator.
+type Config struct {
+	// NamingDepth is how many call-stack levels participate in object
+	// names (the paper uses 5; 1 reduces naming to the return address
+	// only — the naming-depth ablation).
+	NamingDepth int
+	// Classes, when non-nil, routes each allocation to its class
+	// partition; nil sends every object to the default partition.
+	Classes ClassMap
+}
+
+// NameInfo describes one named object (one LUT row in Fig. 3).
+type NameInfo struct {
+	ID       NameID
+	Key      NameKey
+	Site     Site
+	Context  []Site // calling context, innermost first
+	Label    string // optional human-readable tag from the workload
+	Allocs   uint64
+	Frees    uint64
+	MaxBytes uint64 // peak live bytes
+	CurBytes uint64
+}
+
+// Object is one live allocation instance.
+type Object struct {
+	Name NameID
+	Key  NameKey
+	Base uint64
+	Size uint64
+	// Class is the partition the object was placed in (NonIntensive et
+	// al. for classified objects; reported even for the default
+	// partition, where it is meaningless for placement).
+	Class   classify.Class
+	typed   bool // true when placed in a class partition
+	freed   bool
+	binSize uint64 // rounded allocation size
+}
+
+// allocAlign keeps objects line-aligned so two objects never share a cache
+// line (matching real malloc behavior for the sizes profiled here).
+const allocAlign = 64
+
+type partition struct {
+	base  uint64
+	limit uint64
+	brk   uint64
+	free  map[uint64][]uint64 // binSize -> freed bases (LIFO)
+}
+
+// Allocator is the simulated heap for one process.
+type Allocator struct {
+	cfg        Config
+	names      []NameInfo
+	byKey      map[NameKey]NameID
+	partitions map[int]*partition // partition index -> state
+	liveBytes  uint64
+}
+
+// Partition indexes.
+const (
+	partDefault = iota
+	partLat
+	partBW
+	partPow
+)
+
+// New builds an empty heap. The three pseudo-objects (stack, code,
+// globals) are pre-registered as names 0..2.
+func New(cfg Config) *Allocator {
+	if cfg.NamingDepth <= 0 {
+		cfg.NamingDepth = DefaultNamingDepth
+	}
+	a := &Allocator{
+		cfg:   cfg,
+		byKey: make(map[NameKey]NameID),
+		partitions: map[int]*partition{
+			partDefault: newPartition(HeapDefaultBase),
+			partLat:     newPartition(HeapLatBase),
+			partBW:      newPartition(HeapBWBase),
+			partPow:     newPartition(HeapPowBase),
+		},
+	}
+	for _, pseudo := range []struct {
+		id    NameID
+		label string
+	}{{ObjStack, "stack"}, {ObjCode, "code"}, {ObjGlobals, "globals"}} {
+		key := NameKey(0xF000_0000_0000_0000 | uint64(pseudo.id))
+		a.names = append(a.names, NameInfo{ID: pseudo.id, Key: key, Label: pseudo.label})
+		a.byKey[key] = pseudo.id
+	}
+	return a
+}
+
+func newPartition(base uint64) *partition {
+	return &partition{base: base, limit: base + heapStride, brk: base, free: make(map[uint64][]uint64)}
+}
+
+// KeyOf computes the stable object name for an allocation site and calling
+// context, truncated to the configured naming depth (FNV-1a).
+func (a *Allocator) KeyOf(site Site, context []Site) NameKey {
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(site))
+	depth := a.cfg.NamingDepth - 1 // the site itself is level one
+	for i := 0; i < len(context) && i < depth; i++ {
+		mix(uint64(context[i]))
+	}
+	return NameKey(h)
+}
+
+// Alloc performs a named allocation: size bytes, instantiated at site with
+// the given calling context (innermost caller first), optionally labeled.
+// Same (site, context) pairs collapse to the same name across calls.
+func (a *Allocator) Alloc(size uint64, site Site, context []Site, label string) (*Object, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("heap: zero-size allocation at site %#x", uint64(site))
+	}
+	key := a.KeyOf(site, context)
+	id, ok := a.byKey[key]
+	if !ok {
+		id = NameID(len(a.names))
+		ctx := make([]Site, len(context))
+		copy(ctx, context)
+		a.names = append(a.names, NameInfo{ID: id, Key: key, Site: site, Context: ctx, Label: label})
+		a.byKey[key] = id
+	}
+	info := &a.names[id]
+	if info.Label == "" && label != "" {
+		info.Label = label
+	}
+
+	class, typed := classify.NonIntensive, false
+	part := partDefault
+	if a.cfg.Classes != nil {
+		if c, found := a.cfg.Classes[key]; found {
+			class, typed = c, true
+		} else {
+			// Unprofiled objects default to the power partition, the
+			// conservative choice the paper applies to non-heap data.
+			class, typed = classify.NonIntensive, true
+		}
+		switch class {
+		case classify.LatencySensitive:
+			part = partLat
+		case classify.BandwidthSensitive:
+			part = partBW
+		default:
+			part = partPow
+		}
+	}
+
+	binSize := (size + allocAlign - 1) &^ (allocAlign - 1)
+	p := a.partitions[part]
+	base, err := p.alloc(binSize)
+	if err != nil {
+		return nil, err
+	}
+
+	info.Allocs++
+	info.CurBytes += size
+	if info.CurBytes > info.MaxBytes {
+		info.MaxBytes = info.CurBytes
+	}
+	a.liveBytes += size
+
+	return &Object{
+		Name: id, Key: key, Base: base, Size: size,
+		Class: class, typed: typed, binSize: binSize,
+	}, nil
+}
+
+func (p *partition) alloc(binSize uint64) (uint64, error) {
+	if lst := p.free[binSize]; len(lst) > 0 {
+		base := lst[len(lst)-1]
+		p.free[binSize] = lst[:len(lst)-1]
+		return base, nil
+	}
+	if p.brk+binSize > p.limit {
+		return 0, fmt.Errorf("heap: partition at %#x exhausted", p.base)
+	}
+	base := p.brk
+	p.brk += binSize
+	return base, nil
+}
+
+// Free releases an object's virtual range for reuse by same-sized
+// allocations. Double frees are reported as errors.
+func (a *Allocator) Free(o *Object) error {
+	if o == nil {
+		return fmt.Errorf("heap: free of nil object")
+	}
+	if o.freed {
+		return fmt.Errorf("heap: double free of object %d at %#x", o.Name, o.Base)
+	}
+	o.freed = true
+	part := partDefault
+	if o.typed {
+		switch o.Class {
+		case classify.LatencySensitive:
+			part = partLat
+		case classify.BandwidthSensitive:
+			part = partBW
+		default:
+			part = partPow
+		}
+	}
+	p := a.partitions[part]
+	p.free[o.binSize] = append(p.free[o.binSize], o.Base)
+	info := &a.names[o.Name]
+	info.Frees++
+	info.CurBytes -= o.Size
+	a.liveBytes -= o.Size
+	return nil
+}
+
+// Names returns a snapshot of all registered object names (the LUT).
+func (a *Allocator) Names() []NameInfo {
+	out := make([]NameInfo, len(a.names))
+	copy(out, a.names)
+	return out
+}
+
+// Name returns one name's info.
+func (a *Allocator) Name(id NameID) (NameInfo, bool) {
+	if int(id) >= len(a.names) {
+		return NameInfo{}, false
+	}
+	return a.names[id], true
+}
+
+// NameCount returns the number of registered names, pseudo-objects
+// included.
+func (a *Allocator) NameCount() int { return len(a.names) }
+
+// LiveBytes returns currently allocated bytes across all partitions.
+func (a *Allocator) LiveBytes() uint64 { return a.liveBytes }

@@ -1,0 +1,318 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"moca/internal/classify"
+)
+
+func TestSegmentOf(t *testing.T) {
+	cases := []struct {
+		vaddr uint64
+		want  Segment
+	}{
+		{CodeBase, SegCode},
+		{CodeBase + 100, SegCode},
+		{DataBase, SegData},
+		{HeapDefaultBase, SegHeap},
+		{HeapLatBase + 12345, SegHeap},
+		{HeapBWBase, SegHeap},
+		{HeapPowBase + 1, SegHeap},
+		{StackBase, SegStack},
+		{StackBase + 4096, SegStack},
+	}
+	for _, c := range cases {
+		if got := SegmentOf(c.vaddr); got != c.want {
+			t.Errorf("SegmentOf(%#x) = %v, want %v", c.vaddr, got, c.want)
+		}
+	}
+}
+
+func TestPartitionClassOf(t *testing.T) {
+	if c, ok := PartitionClassOf(HeapLatBase + 64); !ok || c != classify.LatencySensitive {
+		t.Error("Lat partition not recognized")
+	}
+	if c, ok := PartitionClassOf(HeapBWBase); !ok || c != classify.BandwidthSensitive {
+		t.Error("BW partition not recognized")
+	}
+	if c, ok := PartitionClassOf(HeapPowBase + 999); !ok || c != classify.NonIntensive {
+		t.Error("Pow partition not recognized")
+	}
+	if _, ok := PartitionClassOf(HeapDefaultBase + 5); ok {
+		t.Error("default partition reported a class")
+	}
+	if _, ok := PartitionClassOf(StackBase); ok {
+		t.Error("stack reported a heap class")
+	}
+}
+
+func TestPseudoObjectsRegistered(t *testing.T) {
+	a := New(Config{})
+	if a.NameCount() != 3 {
+		t.Fatalf("fresh allocator has %d names, want 3 pseudo-objects", a.NameCount())
+	}
+	for id, label := range map[NameID]string{ObjStack: "stack", ObjCode: "code", ObjGlobals: "globals"} {
+		info, ok := a.Name(id)
+		if !ok || info.Label != label {
+			t.Errorf("pseudo-object %d = %+v", id, info)
+		}
+	}
+}
+
+func TestSameSiteSameName(t *testing.T) {
+	a := New(Config{})
+	ctx := []Site{0x4004d6, 0x4004fc}
+	o1, err := a.Alloc(128, 0x4004ee, ctx, "array")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := a.Alloc(256, 0x4004ee, ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.Name != o2.Name {
+		t.Errorf("same site+context produced names %d and %d", o1.Name, o2.Name)
+	}
+	if o1.Base == o2.Base {
+		t.Error("distinct live instances share an address")
+	}
+	info, _ := a.Name(o1.Name)
+	if info.Allocs != 2 {
+		t.Errorf("allocs = %d, want 2", info.Allocs)
+	}
+	if info.Label != "array" {
+		t.Errorf("label = %q", info.Label)
+	}
+}
+
+func TestDifferentContextDifferentName(t *testing.T) {
+	// The Fig. 3 motivation: the same allocation function called from
+	// different places must produce distinct names.
+	a := New(Config{})
+	o1, _ := a.Alloc(64, 0x4003b8, []Site{0x4004ee}, "")
+	o2, _ := a.Alloc(64, 0x4003b8, []Site{0x4004d6}, "")
+	if o1.Name == o2.Name {
+		t.Error("different calling contexts share a name")
+	}
+}
+
+func TestNamingDepthTruncation(t *testing.T) {
+	deep := []Site{1, 2, 3, 4, 5, 6, 7}
+	a5 := New(Config{NamingDepth: 5})
+	a1 := New(Config{NamingDepth: 1})
+
+	// Depth 5: site + 4 context levels. Differences at level 5+ of the
+	// context are invisible.
+	k1 := a5.KeyOf(0x100, deep)
+	alt := append([]Site{1, 2, 3, 4}, 99, 99, 99)
+	k2 := a5.KeyOf(0x100, alt)
+	if k1 != k2 {
+		t.Error("depth-5 naming sees beyond 4 context levels")
+	}
+	k3 := a5.KeyOf(0x100, []Site{1, 2, 3, 99})
+	if k1 == k3 {
+		t.Error("depth-5 naming blind within its depth")
+	}
+
+	// Depth 1: return address only.
+	if a1.KeyOf(0x100, deep) != a1.KeyOf(0x100, nil) {
+		t.Error("depth-1 naming uses context")
+	}
+	if a1.KeyOf(0x100, nil) == a1.KeyOf(0x200, nil) {
+		t.Error("depth-1 naming ignores the site")
+	}
+}
+
+func TestDefaultPartitionWithoutClasses(t *testing.T) {
+	a := New(Config{})
+	o, err := a.Alloc(4096, 1, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Base < HeapDefaultBase || o.Base >= HeapDefaultBase+heapStride {
+		t.Errorf("unclassified object at %#x, want default partition", o.Base)
+	}
+	if _, ok := PartitionClassOf(o.Base); ok {
+		t.Error("default partition address carries a class")
+	}
+}
+
+func TestClassRoutingToPartitions(t *testing.T) {
+	probe := New(Config{NamingDepth: 5})
+	keyL := probe.KeyOf(101, nil)
+	keyB := probe.KeyOf(102, nil)
+	keyN := probe.KeyOf(103, nil)
+	a := New(Config{Classes: ClassMap{
+		keyL: classify.LatencySensitive,
+		keyB: classify.BandwidthSensitive,
+		keyN: classify.NonIntensive,
+	}})
+	oL, _ := a.Alloc(100, 101, nil, "")
+	oB, _ := a.Alloc(100, 102, nil, "")
+	oN, _ := a.Alloc(100, 103, nil, "")
+	oU, _ := a.Alloc(100, 999, nil, "") // unprofiled
+
+	if c, ok := PartitionClassOf(oL.Base); !ok || c != classify.LatencySensitive {
+		t.Errorf("L object at %#x", oL.Base)
+	}
+	if c, ok := PartitionClassOf(oB.Base); !ok || c != classify.BandwidthSensitive {
+		t.Errorf("B object at %#x", oB.Base)
+	}
+	if c, ok := PartitionClassOf(oN.Base); !ok || c != classify.NonIntensive {
+		t.Errorf("N object at %#x", oN.Base)
+	}
+	if c, ok := PartitionClassOf(oU.Base); !ok || c != classify.NonIntensive {
+		t.Errorf("unprofiled object at %#x, want Pow partition", oU.Base)
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	a := New(Config{})
+	if _, err := a.Alloc(0, 1, nil, ""); err == nil {
+		t.Error("zero-size allocation accepted")
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	a := New(Config{})
+	o1, _ := a.Alloc(128, 1, nil, "")
+	base := o1.Base
+	if err := a.Free(o1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(o1); err == nil {
+		t.Error("double free accepted")
+	}
+	if err := a.Free(nil); err == nil {
+		t.Error("nil free accepted")
+	}
+	o2, _ := a.Alloc(128, 1, nil, "")
+	if o2.Base != base {
+		t.Errorf("same-size realloc at %#x, want recycled %#x", o2.Base, base)
+	}
+	if a.LiveBytes() != 128 {
+		t.Errorf("live bytes = %d, want 128", a.LiveBytes())
+	}
+}
+
+func TestLineAlignment(t *testing.T) {
+	a := New(Config{})
+	o1, _ := a.Alloc(1, 1, nil, "")
+	o2, _ := a.Alloc(1, 2, nil, "")
+	if o1.Base%allocAlign != 0 || o2.Base%allocAlign != 0 {
+		t.Error("allocations not line-aligned")
+	}
+	if o2.Base-o1.Base < allocAlign {
+		t.Error("objects share a cache line")
+	}
+}
+
+func TestMaxBytesTracksPeak(t *testing.T) {
+	a := New(Config{})
+	o1, _ := a.Alloc(100, 1, nil, "")
+	o2, _ := a.Alloc(100, 1, nil, "")
+	a.Free(o1)
+	info, _ := a.Name(o2.Name)
+	if info.MaxBytes != 200 || info.CurBytes != 100 {
+		t.Errorf("max=%d cur=%d, want 200/100", info.MaxBytes, info.CurBytes)
+	}
+}
+
+// Property: live objects never overlap, regardless of alloc/free pattern.
+func TestPropertyNoOverlap(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		a := New(Config{})
+		rng := rand.New(rand.NewSource(seed))
+		type span struct{ lo, hi uint64 }
+		live := map[*Object]span{}
+		ops := int(n)%150 + 20
+		for i := 0; i < ops; i++ {
+			if rng.Intn(3) > 0 || len(live) == 0 {
+				size := uint64(rng.Intn(5000) + 1)
+				site := Site(rng.Intn(10))
+				o, err := a.Alloc(size, site, []Site{Site(rng.Intn(3))}, "")
+				if err != nil {
+					return false
+				}
+				s := span{o.Base, o.Base + size}
+				for _, other := range live {
+					if s.lo < other.hi && other.lo < s.hi {
+						return false
+					}
+				}
+				live[o] = s
+			} else {
+				for o := range live {
+					if a.Free(o) != nil {
+						return false
+					}
+					delete(live, o)
+					break
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: naming is deterministic and depth-stable — two allocators with
+// the same config produce identical keys.
+func TestPropertyNamingDeterministic(t *testing.T) {
+	f := func(site uint64, ctx []uint64, depthRaw uint8) bool {
+		depth := int(depthRaw)%6 + 1
+		a1 := New(Config{NamingDepth: depth})
+		a2 := New(Config{NamingDepth: depth})
+		sites := make([]Site, len(ctx))
+		for i, c := range ctx {
+			sites[i] = Site(c)
+		}
+		return a1.KeyOf(Site(site), sites) == a2.KeyOf(Site(site), sites)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNameLookupOutOfRange(t *testing.T) {
+	a := New(Config{})
+	if _, ok := a.Name(NameID(999)); ok {
+		t.Error("out-of-range name lookup succeeded")
+	}
+}
+
+func TestPartitionExhaustion(t *testing.T) {
+	// The virtual partitions are enormous; exercise the error path with
+	// an allocation that cannot fit.
+	a := New(Config{})
+	if _, err := a.Alloc(1<<45, 1, nil, "huge"); err == nil {
+		t.Error("absurd allocation accepted")
+	}
+}
+
+func TestNamesSnapshotIsolation(t *testing.T) {
+	a := New(Config{})
+	o, _ := a.Alloc(64, 1, nil, "x")
+	snap := a.Names()
+	a.Free(o)
+	if snap[int(o.Name)].Frees != 0 {
+		t.Error("snapshot mutated by later Free")
+	}
+}
+
+func TestSegmentStrings(t *testing.T) {
+	for s, want := range map[Segment]string{
+		SegCode: "code", SegData: "data", SegHeap: "heap", SegStack: "stack",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+	if Segment(9).String() != "Segment(9)" {
+		t.Error("unknown segment string")
+	}
+}

@@ -1,0 +1,536 @@
+package mem
+
+import (
+	"fmt"
+
+	"moca/internal/event"
+)
+
+// RowPolicy selects what happens to a row after a CAS completes.
+type RowPolicy int
+
+const (
+	// OpenPage keeps rows open until a conflict or refresh closes them —
+	// best when consecutive requests share rows (the default, and what
+	// the paper's FR-FCFS configuration implies).
+	OpenPage RowPolicy = iota
+	// ClosedPage auto-precharges after every access — lower conflict
+	// latency for random traffic at the cost of all row hits.
+	ClosedPage
+)
+
+func (p RowPolicy) String() string {
+	if p == ClosedPage {
+		return "closed-page"
+	}
+	return "open-page"
+}
+
+// BankStripe selects where the bank bits sit in the module-local address.
+type BankStripe int
+
+const (
+	// StripeRowBuffer interleaves banks at row-buffer granularity
+	// (RoRaBaChCo, Table I): consecutive row-buffer-sized chunks rotate
+	// across banks, so streams exploit bank parallelism.
+	StripeRowBuffer BankStripe = iota
+	// StripePage places the bank bits above the OS page: an entire 4 KB
+	// page maps to one bank — the mapping ablation's strawman.
+	StripePage
+)
+
+func (b BankStripe) String() string {
+	if b == StripePage {
+		return "page-stripe"
+	}
+	return "rowbuf-stripe"
+}
+
+// Scheduler selects which pending request a controller serves next.
+type Scheduler int
+
+const (
+	// FRFCFS is first-ready, first-come-first-served: row-buffer hits are
+	// prioritized over older row misses (Table I's scheduling policy).
+	FRFCFS Scheduler = iota
+	// FCFS serves requests strictly in arrival order. Provided as a
+	// baseline for the scheduler ablation study.
+	FCFS
+)
+
+func (s Scheduler) String() string {
+	if s == FCFS {
+		return "FCFS"
+	}
+	return "FR-FCFS"
+}
+
+// ChannelConfig configures one memory channel.
+type ChannelConfig struct {
+	Device        DeviceParams
+	CapacityBytes uint64
+	Scheduler     Scheduler
+
+	// FrontendLatency is the on-chip interconnect delay from the LLC to
+	// the controller; BackendLatency is the return path. Both default to
+	// 4 ns, a typical on-chip crossbar traversal.
+	FrontendLatency event.Time
+	BackendLatency  event.Time
+
+	// MaxQueue bounds the controller read/write queue (default 128). When
+	// full, Enqueue reports backpressure and the caller must retry.
+	MaxQueue int
+
+	// StarvationLimit caps how long FR-FCFS may bypass the oldest request
+	// in favor of row hits; past it the controller serves strictly in
+	// order until the oldest request completes. Default 1 us.
+	StarvationLimit event.Time
+
+	// RowPolicy selects open- vs closed-page operation (default open).
+	RowPolicy RowPolicy
+	// BankStripe selects the bank-bit position (default row-buffer
+	// granularity, per Table I's RoRaBaChCo).
+	BankStripe BankStripe
+}
+
+func (c *ChannelConfig) setDefaults() {
+	if c.FrontendLatency == 0 {
+		c.FrontendLatency = 4 * ns
+	}
+	if c.BackendLatency == 0 {
+		c.BackendLatency = 4 * ns
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 128
+	}
+	if c.StarvationLimit == 0 {
+		c.StarvationLimit = 1 * us
+	}
+}
+
+type bank struct {
+	openRow        int64      // -1 when closed
+	casReadyAt     event.Time // tRCD after the last activate
+	preAllowedAt   event.Time // tRAS after the last activate
+	actAllowedAt   event.Time // tRC after the last activate / tRP after precharge
+	preInFlightRow int64      // row being closed, -1 if none
+}
+
+// ChannelStats aggregates the activity of one channel.
+type ChannelStats struct {
+	Reads       uint64
+	Writes      uint64
+	RowHits     uint64
+	RowMisses   uint64 // activate to a closed bank
+	RowConflict uint64 // precharge required first
+	Activations uint64
+	Precharges  uint64
+	Refreshes   uint64
+
+	BusBusyTime   event.Time // cumulative data-bus occupancy
+	TotalQueueing event.Time // sum of per-request queue delays
+	TotalService  event.Time // sum of per-request service times
+	TotalLatency  event.Time // sum of per-request total latencies
+	MaxQueueDepth int
+}
+
+// Requests returns the number of completed requests.
+func (s ChannelStats) Requests() uint64 { return s.Reads + s.Writes }
+
+// AvgLatency returns the mean controller-visible latency per request.
+func (s ChannelStats) AvgLatency() event.Time {
+	n := s.Requests()
+	if n == 0 {
+		return 0
+	}
+	return s.TotalLatency / event.Time(n)
+}
+
+// RowHitRate returns the fraction of requests served from an open row.
+func (s ChannelStats) RowHitRate() float64 {
+	n := s.Requests()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(n)
+}
+
+// Controller models one memory channel: a command scheduler ticking at the
+// device clock, per-bank row-buffer state, a shared data bus, and periodic
+// refresh. It issues at most Timing.CommandsPerTick commands per clock.
+type Controller struct {
+	Name string
+
+	cfg    ChannelConfig
+	q      *event.Queue
+	banks  []bank
+	queue  []*Request // pending requests in arrival order
+	stats  ChannelStats
+	httime Timing // cached timing
+
+	colBits  uint
+	bankMask uint64
+	lineTime event.Time // data-bus occupancy of one 64 B line
+
+	pendingArrivals int // Enqueued but not yet visible after frontend delay
+	busFreeAt       event.Time
+	ticking         bool
+	nextRefreshAt   event.Time
+}
+
+// LineBytes is the transfer granularity: one LLC line.
+const LineBytes = 64
+
+// NewController builds a channel controller attached to the event queue.
+func NewController(name string, q *event.Queue, cfg ChannelConfig) (*Controller, error) {
+	cfg.setDefaults()
+	if err := cfg.Device.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CapacityBytes == 0 {
+		return nil, fmt.Errorf("mem: %s: zero capacity", name)
+	}
+	c := &Controller{
+		Name:   name,
+		cfg:    cfg,
+		q:      q,
+		banks:  make([]bank, cfg.Device.Geometry.Banks),
+		httime: cfg.Device.Timing,
+	}
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+		c.banks[i].preInFlightRow = -1
+	}
+	c.colBits = uint(log2(uint64(cfg.Device.Geometry.RowBufferBytes)))
+	c.bankMask = uint64(cfg.Device.Geometry.Banks - 1)
+	// Time to move one 64 B line across a ChannelBits-wide bus moving
+	// DataRate beats per clock. At least one clock.
+	g := cfg.Device.Geometry
+	c.lineTime = event.Time(LineBytes*8) * c.httime.TCK /
+		event.Time(g.ChannelBits*cfg.Device.Timing.DataRate)
+	if c.lineTime < 1 {
+		c.lineTime = 1
+	}
+	if c.httime.TREFI > 0 {
+		c.nextRefreshAt = c.httime.TREFI
+	} else {
+		c.nextRefreshAt = 1 << 62 // non-volatile: never refresh
+	}
+	return c, nil
+}
+
+// Config returns the channel's configuration.
+func (c *Controller) Config() ChannelConfig { return c.cfg }
+
+// Stats returns a snapshot of the channel's statistics.
+func (c *Controller) Stats() ChannelStats { return c.stats }
+
+// ResetStats clears accumulated statistics (used to exclude warm-up).
+func (c *Controller) ResetStats() { c.stats = ChannelStats{} }
+
+// QueueLen returns the number of requests waiting for service.
+func (c *Controller) QueueLen() int { return len(c.queue) }
+
+// Enqueue presents a request to the channel. It reports false when the
+// controller queue is full (backpressure); the caller must retry later.
+func (c *Controller) Enqueue(r *Request) bool {
+	if len(c.queue)+c.pendingArrivals >= c.cfg.MaxQueue {
+		return false
+	}
+	c.pendingArrivals++
+	r.Arrive = c.q.Now() + c.cfg.FrontendLatency
+	r.FirstCmd = -1
+	c.mapAddress(r)
+	// The request becomes visible to the scheduler after the frontend
+	// interconnect delay.
+	c.q.Schedule(r.Arrive, func() {
+		c.pendingArrivals--
+		c.queue = append(c.queue, r)
+		if len(c.queue) > c.stats.MaxQueueDepth {
+			c.stats.MaxQueueDepth = len(c.queue)
+		}
+		c.armTick()
+	})
+	return true
+}
+
+// mapAddress decodes the module-local RoRaBaChCo address interleave: the
+// column bits are the least significant, then the bank bits, then the row.
+// (The Ch bits were consumed when the system routed to this channel.)
+func (c *Controller) mapAddress(r *Request) {
+	bankBits := uint(log2(uint64(c.cfg.Device.Geometry.Banks)))
+	stripe := c.colBits
+	if c.cfg.BankStripe == StripePage {
+		const pageShift = 12
+		if stripe < pageShift {
+			stripe = pageShift
+		}
+	}
+	r.bank = int((r.Addr >> stripe) & c.bankMask)
+	// Row bits: everything above the column, with the bank bits removed.
+	hi := r.Addr >> c.colBits
+	low := hi & ((1 << (stripe - c.colBits)) - 1)
+	high := hi >> (stripe - c.colBits + bankBits)
+	r.row = (high<<(stripe-c.colBits) | low) % uint64(c.cfg.Device.Geometry.Rows)
+}
+
+func (c *Controller) armTick() {
+	if c.ticking {
+		return
+	}
+	c.ticking = true
+	c.q.After(0, c.tick)
+}
+
+// tick runs one controller clock: refresh bookkeeping, then up to
+// CommandsPerTick command issues chosen by the scheduling policy.
+func (c *Controller) tick() {
+	now := c.q.Now()
+
+	// Refresh: when the interval elapses, all banks close and stay busy
+	// for tRFC. Modeled as a bank-timing update, not a queued command.
+	for now >= c.nextRefreshAt {
+		start := c.nextRefreshAt
+		for i := range c.banks {
+			b := &c.banks[i]
+			b.openRow = -1
+			b.preInFlightRow = -1
+			if t := start + c.httime.TRFC; t > b.actAllowedAt {
+				b.actAllowedAt = t
+			}
+		}
+		c.stats.Refreshes++
+		c.nextRefreshAt += c.httime.TREFI
+	}
+
+	for i := 0; i < c.httime.CommandsPerTick; i++ {
+		if !c.issueOne(now) {
+			break
+		}
+	}
+
+	if len(c.queue) == 0 {
+		c.ticking = false
+		return
+	}
+	c.q.Schedule(now+c.httime.TCK, c.tick)
+}
+
+// issueOne issues the single best command available this cycle, preferring
+// CAS (completes a request) over ACT over PRE so data flows as early as
+// possible. Returns false if no command could issue.
+func (c *Controller) issueOne(now event.Time) bool {
+	if r := c.pickCAS(now); r != nil {
+		c.issueCAS(now, r)
+		return true
+	}
+	if r := c.pickACT(now); r != nil {
+		c.issueACT(now, r)
+		return true
+	}
+	if r := c.pickPRE(now); r != nil {
+		c.issuePRE(now, r)
+		return true
+	}
+	return false
+}
+
+// scanLimit returns how many queued requests (in age order) the scheduler
+// may consider this cycle: all of them under FR-FCFS, only the oldest under
+// FCFS, and only the oldest when it has been starved past the limit.
+func (c *Controller) scanLimit(now event.Time) int {
+	if len(c.queue) == 0 {
+		return 0
+	}
+	if c.cfg.Scheduler == FCFS {
+		return 1
+	}
+	if now-c.queue[0].Arrive > c.cfg.StarvationLimit {
+		return 1
+	}
+	return len(c.queue)
+}
+
+// pickCAS finds the oldest request whose bank has its row open and ready
+// and whose data burst can claim the bus. Row hits inherently win under
+// FR-FCFS because conflicting requests are not CAS-ready.
+func (c *Controller) pickCAS(now event.Time) *Request {
+	limit := c.scanLimit(now)
+	for i := 0; i < limit; i++ {
+		r := c.queue[i]
+		b := &c.banks[r.bank]
+		if b.openRow == int64(r.row) && now >= b.casReadyAt && c.busFreeAt <= now+c.casDelay(r) {
+			return r
+		}
+	}
+	return nil
+}
+
+func (c *Controller) pickACT(now event.Time) *Request {
+	limit := c.scanLimit(now)
+	for i := 0; i < limit; i++ {
+		r := c.queue[i]
+		b := &c.banks[r.bank]
+		if b.openRow == -1 && b.preInFlightRow == -1 && now >= b.actAllowedAt {
+			return r
+		}
+	}
+	return nil
+}
+
+func (c *Controller) pickPRE(now event.Time) *Request {
+	limit := c.scanLimit(now)
+	for i := 0; i < limit; i++ {
+		r := c.queue[i]
+		b := &c.banks[r.bank]
+		if b.openRow != -1 && b.openRow != int64(r.row) && b.preInFlightRow == -1 &&
+			now >= b.preAllowedAt && !c.anyWantsRow(r.bank, b.openRow, limit) {
+			return r
+		}
+	}
+	return nil
+}
+
+// anyWantsRow prevents closing a row that a schedulable queued request
+// still targets — the essence of row-hit priority.
+func (c *Controller) anyWantsRow(bankID int, row int64, limit int) bool {
+	for i := 0; i < limit; i++ {
+		r := c.queue[i]
+		if r.bank == bankID && int64(r.row) == row {
+			return true
+		}
+	}
+	return false
+}
+
+// casDelay returns the CAS-to-data delay for a request: writes on
+// write-asymmetric devices (PCM) take far longer than reads.
+func (c *Controller) casDelay(r *Request) event.Time {
+	if r.Write && c.httime.TCASWrite > 0 {
+		return c.httime.TCASWrite
+	}
+	return c.httime.TCAS
+}
+
+func (c *Controller) issueCAS(now event.Time, r *Request) {
+	if r.FirstCmd < 0 {
+		r.FirstCmd = now
+		c.stats.RowHits++
+	}
+	dataStart := now + c.casDelay(r)
+	r.DataFinish = dataStart + c.lineTime
+	c.busFreeAt = r.DataFinish
+	c.stats.BusBusyTime += c.lineTime
+	if c.cfg.RowPolicy == ClosedPage {
+		// Auto-precharge: the row closes once tRAS allows, and the next
+		// activate waits out tRP from there.
+		b := &c.banks[r.bank]
+		preAt := b.preAllowedAt
+		if r.DataFinish > preAt {
+			preAt = r.DataFinish
+		}
+		b.openRow = -1
+		c.stats.Precharges++
+		if t := preAt + c.httime.TRP; t > b.actAllowedAt {
+			b.actAllowedAt = t
+		}
+	}
+	if r.Write && c.httime.TWR > 0 {
+		// Write recovery keeps the bank busy past the burst.
+		b := &c.banks[r.bank]
+		if t := r.DataFinish + c.httime.TWR; t > b.preAllowedAt {
+			b.preAllowedAt = t
+		}
+		if t := r.DataFinish + c.httime.TWR; t > b.actAllowedAt {
+			b.actAllowedAt = t
+		}
+		if t := r.DataFinish + c.httime.TWR; t > b.casReadyAt {
+			// Subsequent CAS to the open row also waits out recovery.
+			b.casReadyAt = t
+		}
+	}
+
+	// Keep the row open (open-page policy); tRAS still gates precharge.
+	if r.Write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	c.stats.TotalQueueing += r.QueueDelay()
+	c.stats.TotalService += r.ServiceTime()
+	c.stats.TotalLatency += r.TotalLatency()
+
+	c.removeRequest(r)
+	if r.Done != nil {
+		c.q.Schedule(r.DataFinish+c.cfg.BackendLatency, func() {
+			r.Done(r, c.q.Now())
+		})
+	}
+}
+
+func (c *Controller) issueACT(now event.Time, r *Request) {
+	b := &c.banks[r.bank]
+	if r.FirstCmd < 0 {
+		r.FirstCmd = now
+		c.stats.RowMisses++
+	}
+	b.openRow = int64(r.row)
+	b.casReadyAt = now + c.httime.TRCD
+	b.preAllowedAt = now + c.httime.TRAS
+	b.actAllowedAt = now + c.httime.TRC
+	c.stats.Activations++
+}
+
+func (c *Controller) issuePRE(now event.Time, r *Request) {
+	b := &c.banks[r.bank]
+	if r.FirstCmd < 0 {
+		r.FirstCmd = now
+		c.stats.RowConflict++
+	}
+	b.preInFlightRow = b.openRow
+	b.openRow = -1
+	c.stats.Precharges++
+	done := now + c.httime.TRP
+	if done > b.actAllowedAt {
+		b.actAllowedAt = done
+	}
+	c.q.Schedule(done, func() {
+		b.preInFlightRow = -1
+		c.armTick()
+	})
+}
+
+func (c *Controller) removeRequest(r *Request) {
+	for i, cur := range c.queue {
+		if cur == r {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// IdealReadLatency returns the unloaded read latency of this channel: a
+// closed-bank access with empty queues. Useful for sanity checks and for
+// reasoning about classification thresholds.
+func (c *Controller) IdealReadLatency() event.Time {
+	t := c.httime
+	return c.cfg.FrontendLatency + t.TRCD + t.TCAS + c.lineTime + c.cfg.BackendLatency
+}
+
+// LineTransferTime returns the data-bus occupancy of one 64 B line.
+func (c *Controller) LineTransferTime() event.Time { return c.lineTime }
+
+// PeakBandwidthGBps returns the data-bus peak bandwidth in GB/s
+// (64 B line / line transfer time). 1 byte/ps == 1000 GB/s.
+func (c *Controller) PeakBandwidthGBps() float64 {
+	return float64(LineBytes) / float64(c.lineTime) * 1000.0
+}
+
+func log2(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

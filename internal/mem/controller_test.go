@@ -1,0 +1,512 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"moca/internal/event"
+)
+
+func newTestController(t *testing.T, kind Kind, sched Scheduler) (*event.Queue, *Controller) {
+	t.Helper()
+	q := event.NewQueue()
+	c, err := NewController("test", q, ChannelConfig{
+		Device:        Preset(kind),
+		CapacityBytes: 1 << 28,
+		Scheduler:     sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, c
+}
+
+// run issues the given requests and drains the queue, returning completion
+// times in completion order.
+func run(q *event.Queue, c *Controller, reqs []*Request) []event.Time {
+	var done []event.Time
+	for _, r := range reqs {
+		r.Done = func(_ *Request, at event.Time) { done = append(done, at) }
+		if !c.Enqueue(r) {
+			panic("enqueue rejected in test")
+		}
+	}
+	q.Drain()
+	return done
+}
+
+func TestSingleReadLatency(t *testing.T) {
+	q, c := newTestController(t, DDR3, FRFCFS)
+	done := run(q, c, []*Request{{Addr: 0}})
+	if len(done) != 1 {
+		t.Fatalf("completed %d requests, want 1", len(done))
+	}
+	// Closed bank: frontend + (>=0 queue) + tRCD + tCAS + burst + backend.
+	// The command-level model may add up to a few tCK of command latency.
+	min := c.IdealReadLatency()
+	max := min + 4*c.Config().Device.Timing.TCK
+	if done[0] < min || done[0] > max {
+		t.Errorf("first read completed at %d ps, want in [%d,%d]", done[0], min, max)
+	}
+	st := c.Stats()
+	if st.Reads != 1 || st.Writes != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.RowMisses != 1 || st.RowHits != 0 {
+		t.Errorf("expected one row miss: %+v", st)
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	q, c := newTestController(t, DDR3, FRFCFS)
+	rb := uint64(c.Config().Device.Geometry.RowBufferBytes)
+	// Two sequential accesses in the same row, then one to another row of
+	// the same bank (row conflict).
+	done := run(q, c, []*Request{
+		{Addr: 0},
+		{Addr: 64},
+		{Addr: rb * uint64(c.Config().Device.Geometry.Banks) * 7}, // same bank 0, different row
+	})
+	if len(done) != 3 {
+		t.Fatalf("completed %d, want 3", len(done))
+	}
+	st := c.Stats()
+	if st.RowHits < 1 {
+		t.Errorf("expected at least one row hit, got %+v", st)
+	}
+	if st.RowConflict < 1 {
+		t.Errorf("expected a row conflict, got %+v", st)
+	}
+	hitGap := done[1] - done[0]
+	confGap := done[2] - done[1]
+	if hitGap >= confGap {
+		t.Errorf("row hit gap %d should be < conflict gap %d", hitGap, confGap)
+	}
+}
+
+func TestBankParallelismBeatsSingleBank(t *testing.T) {
+	// N row-miss requests spread over distinct banks must finish sooner
+	// than N row-conflict requests hammering one bank.
+	elapsed := func(spread bool) event.Time {
+		q := event.NewQueue()
+		c, _ := NewController("t", q, ChannelConfig{Device: Preset(DDR3), CapacityBytes: 1 << 28})
+		g := c.Config().Device.Geometry
+		rb, banks := uint64(g.RowBufferBytes), uint64(g.Banks)
+		var reqs []*Request
+		for i := uint64(0); i < 8; i++ {
+			var addr uint64
+			if spread {
+				addr = i*rb + i*rb*banks // distinct banks, distinct rows
+			} else {
+				addr = i * rb * banks // bank 0, distinct rows
+			}
+			reqs = append(reqs, &Request{Addr: addr})
+		}
+		done := run(q, c, reqs)
+		last := done[0]
+		for _, d := range done {
+			if d > last {
+				last = d
+			}
+		}
+		return last
+	}
+	spread, serial := elapsed(true), elapsed(false)
+	if spread >= serial {
+		t.Errorf("bank-parallel run (%d ps) not faster than single-bank run (%d ps)", spread, serial)
+	}
+}
+
+func TestRLDRAMFasterThanDDR3UnderPointerChase(t *testing.T) {
+	// Serialized (dependent) random accesses: each enqueued after the
+	// previous completes. RLDRAM's short tRC must win.
+	chase := func(kind Kind) event.Time {
+		q := event.NewQueue()
+		c, _ := NewController("t", q, ChannelConfig{Device: Preset(kind), CapacityBytes: 1 << 28})
+		rng := rand.New(rand.NewSource(1))
+		var finish event.Time
+		var issue func(n int)
+		issue = func(n int) {
+			if n == 0 {
+				return
+			}
+			r := &Request{Addr: uint64(rng.Intn(1<<26)) &^ 63}
+			r.Done = func(_ *Request, at event.Time) {
+				finish = at
+				issue(n - 1)
+			}
+			c.Enqueue(r)
+		}
+		issue(64)
+		q.Drain()
+		return finish
+	}
+	rl, d3 := chase(RLDRAM), chase(DDR3)
+	if rl >= d3 {
+		t.Errorf("RLDRAM chase time %d >= DDR3 %d", rl, d3)
+	}
+}
+
+func TestHBMHigherThroughputThanDDR3(t *testing.T) {
+	// A burst of independent streaming requests: HBM should sustain more
+	// bandwidth (finish sooner).
+	stream := func(kind Kind) event.Time {
+		q := event.NewQueue()
+		c, _ := NewController("t", q, ChannelConfig{Device: Preset(kind), CapacityBytes: 1 << 28})
+		var reqs []*Request
+		for i := 0; i < 100; i++ {
+			reqs = append(reqs, &Request{Addr: uint64(i) * 64})
+		}
+		done := run(q, c, reqs)
+		var last event.Time
+		for _, d := range done {
+			if d > last {
+				last = d
+			}
+		}
+		return last
+	}
+	hbm, d3 := stream(HBM), stream(DDR3)
+	if hbm >= d3 {
+		t.Errorf("HBM stream time %d >= DDR3 %d", hbm, d3)
+	}
+}
+
+func TestFCFSSlowerOrEqualOnConflictMix(t *testing.T) {
+	mix := func(s Scheduler) event.Time {
+		q := event.NewQueue()
+		c, _ := NewController("t", q, ChannelConfig{Device: Preset(DDR3), CapacityBytes: 1 << 28, Scheduler: s})
+		g := c.Config().Device.Geometry
+		rowSpan := uint64(g.RowBufferBytes) * uint64(g.Banks)
+		var reqs []*Request
+		// Interleave row-conflicting and row-hitting requests on bank 0.
+		for i := uint64(0); i < 32; i++ {
+			if i%2 == 0 {
+				reqs = append(reqs, &Request{Addr: (i % 4) * rowSpan})
+			} else {
+				reqs = append(reqs, &Request{Addr: 64 * (i % 2)})
+			}
+		}
+		done := run(q, c, reqs)
+		var last event.Time
+		for _, d := range done {
+			if d > last {
+				last = d
+			}
+		}
+		return last
+	}
+	if frfcfs, fcfs := mix(FRFCFS), mix(FCFS); frfcfs > fcfs {
+		t.Errorf("FR-FCFS (%d) slower than FCFS (%d) on a row-locality mix", frfcfs, fcfs)
+	}
+}
+
+func TestWriteCompletes(t *testing.T) {
+	q, c := newTestController(t, LPDDR2, FRFCFS)
+	done := run(q, c, []*Request{{Addr: 4096, Write: true}})
+	if len(done) != 1 {
+		t.Fatalf("write did not complete")
+	}
+	if st := c.Stats(); st.Writes != 1 || st.Reads != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	q := event.NewQueue()
+	c, _ := NewController("t", q, ChannelConfig{Device: Preset(DDR3), CapacityBytes: 1 << 28, MaxQueue: 4})
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if c.Enqueue(&Request{Addr: uint64(i) * 64}) {
+			accepted++
+		}
+	}
+	if accepted > 4 {
+		t.Errorf("accepted %d requests with MaxQueue=4", accepted)
+	}
+	q.Drain()
+	if !c.Enqueue(&Request{Addr: 0}) {
+		t.Error("enqueue rejected after drain")
+	}
+	q.Drain()
+}
+
+func TestRefreshOccurs(t *testing.T) {
+	q, c := newTestController(t, DDR3, FRFCFS)
+	// Issue sparse traffic across several tREFI intervals.
+	var reqs []*Request
+	for i := 0; i < 3; i++ {
+		reqs = append(reqs, &Request{Addr: uint64(i) * 64})
+	}
+	for _, r := range reqs {
+		c.Enqueue(r)
+	}
+	q.RunUntil(20 * event.Microsecond)
+	c.Enqueue(&Request{Addr: 1 << 20})
+	q.Drain()
+	if st := c.Stats(); st.Refreshes == 0 {
+		t.Errorf("no refreshes after 20 us (tREFI = 7.8 us): %+v", st)
+	}
+}
+
+func TestStatsLatencyAccounting(t *testing.T) {
+	q, c := newTestController(t, DDR3, FRFCFS)
+	run(q, c, []*Request{{Addr: 0}, {Addr: 64}, {Addr: 128}})
+	st := c.Stats()
+	if st.Requests() != 3 {
+		t.Fatalf("requests = %d", st.Requests())
+	}
+	if st.TotalLatency != st.TotalQueueing+st.TotalService {
+		t.Errorf("latency %d != queueing %d + service %d", st.TotalLatency, st.TotalQueueing, st.TotalService)
+	}
+	if st.AvgLatency() <= 0 {
+		t.Errorf("avg latency = %d", st.AvgLatency())
+	}
+	c.ResetStats()
+	if c.Stats().Requests() != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func TestStarvationBound(t *testing.T) {
+	// A stream of row hits must not starve a conflicting request beyond
+	// the starvation limit.
+	q := event.NewQueue()
+	c, _ := NewController("t", q, ChannelConfig{
+		Device: Preset(DDR3), CapacityBytes: 1 << 28, StarvationLimit: 500 * ns,
+	})
+	g := c.Config().Device.Geometry
+	rowSpan := uint64(g.RowBufferBytes) * uint64(g.Banks)
+
+	var victimDone event.Time
+	victim := &Request{Addr: 5 * rowSpan} // bank 0, row 5
+	victim.Done = func(_ *Request, at event.Time) { victimDone = at }
+
+	// Sustained row hits to bank 0 row 0: re-enqueue on completion.
+	hits := 0
+	var feed func()
+	feed = func() {
+		if hits >= 400 {
+			return
+		}
+		hits++
+		r := &Request{Addr: uint64(hits%2) * 64}
+		r.Done = func(_ *Request, _ event.Time) { feed() }
+		c.Enqueue(r)
+	}
+	// Prime several hits so the queue always holds a row-hit candidate.
+	for i := 0; i < 8; i++ {
+		feed()
+	}
+	c.Enqueue(victim)
+	q.Drain()
+	if victimDone == 0 {
+		t.Fatal("victim request never completed")
+	}
+	if victimDone > 2*event.Microsecond {
+		t.Errorf("victim starved for %d ps despite 500 ns starvation limit", victimDone)
+	}
+}
+
+// Property: every request eventually completes exactly once, and data
+// bursts never overlap on the shared bus.
+func TestPropertyAllCompleteNoBusOverlap(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		count := int(n%64) + 1
+		q := event.NewQueue()
+		c, _ := NewController("t", q, ChannelConfig{Device: Preset(DDR3), CapacityBytes: 1 << 28, MaxQueue: 256})
+		rng := rand.New(rand.NewSource(seed))
+		burst := c.Config().Device.Timing.BurstTime()
+		completions := 0
+		type span struct{ start, end event.Time }
+		var spans []span
+		for i := 0; i < count; i++ {
+			r := &Request{Addr: uint64(rng.Intn(1<<26)) &^ 63, Write: rng.Intn(4) == 0}
+			r.Done = func(r *Request, _ event.Time) {
+				completions++
+				spans = append(spans, span{r.DataFinish - burst, r.DataFinish})
+			}
+			if !c.Enqueue(r) {
+				return false
+			}
+		}
+		q.Drain()
+		if completions != count {
+			return false
+		}
+		for i := range spans {
+			for j := i + 1; j < len(spans); j++ {
+				a, b := spans[i], spans[j]
+				if a.start < b.end && b.start < a.end {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: per-request latency always >= the unavoidable floor
+// (frontend + tCAS + burst + backend) and queue+service == total.
+func TestPropertyLatencyFloor(t *testing.T) {
+	f := func(seed int64) bool {
+		q := event.NewQueue()
+		c, _ := NewController("t", q, ChannelConfig{Device: Preset(RLDRAM), CapacityBytes: 1 << 26})
+		cfg := c.Config()
+		floor := cfg.Device.Timing.TCAS + cfg.Device.Timing.BurstTime()
+		rng := rand.New(rand.NewSource(seed))
+		ok := true
+		var reqs []*Request
+		for i := 0; i < 24; i++ {
+			r := &Request{Addr: uint64(rng.Intn(1<<24)) &^ 63}
+			r.Done = func(r *Request, _ event.Time) {
+				if r.TotalLatency() < floor {
+					ok = false
+				}
+				if r.QueueDelay()+r.ServiceTime() != r.TotalLatency() {
+					ok = false
+				}
+				if r.QueueDelay() < 0 {
+					ok = false
+				}
+			}
+			reqs = append(reqs, r)
+			c.Enqueue(r)
+		}
+		q.Drain()
+		_ = reqs
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewControllerErrors(t *testing.T) {
+	q := event.NewQueue()
+	bad := Preset(DDR3)
+	bad.Geometry.Banks = 5
+	if _, err := NewController("x", q, ChannelConfig{Device: bad, CapacityBytes: 1 << 20}); err == nil {
+		t.Error("invalid device accepted")
+	}
+	if _, err := NewController("x", q, ChannelConfig{Device: Preset(DDR3)}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func BenchmarkControllerStream(b *testing.B) {
+	q := event.NewQueue()
+	c, _ := NewController("bench", q, ChannelConfig{Device: Preset(DDR3), CapacityBytes: 1 << 28, MaxQueue: 256})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := &Request{Addr: uint64(i*64) % (1 << 28)}
+		for !c.Enqueue(r) {
+			q.RunOne()
+		}
+		if i%32 == 31 {
+			q.Drain()
+		}
+	}
+	q.Drain()
+}
+
+func TestClosedPageNoRowHits(t *testing.T) {
+	q := event.NewQueue()
+	c, _ := NewController("t", q, ChannelConfig{
+		Device: Preset(DDR3), CapacityBytes: 1 << 28, RowPolicy: ClosedPage,
+	})
+	// Sequential same-row accesses: open-page would hit; closed must not.
+	var reqs []*Request
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, &Request{Addr: uint64(i) * 64})
+	}
+	run(q, c, reqs)
+	st := c.Stats()
+	if st.RowHits != 0 {
+		t.Errorf("closed-page produced %d row hits", st.RowHits)
+	}
+	if st.Precharges < 7 {
+		t.Errorf("precharges = %d, want auto-precharge per access", st.Precharges)
+	}
+}
+
+func TestClosedPageFasterForConflicts(t *testing.T) {
+	// Alternating rows on one bank: closed-page skips the explicit
+	// precharge wait.
+	elapsed := func(p RowPolicy) event.Time {
+		q := event.NewQueue()
+		c, _ := NewController("t", q, ChannelConfig{
+			Device: Preset(DDR3), CapacityBytes: 1 << 28, RowPolicy: p,
+		})
+		g := c.Config().Device.Geometry
+		rowSpan := uint64(g.RowBufferBytes) * uint64(g.Banks)
+		var last event.Time
+		var issue func(n int)
+		issue = func(n int) {
+			if n == 0 {
+				return
+			}
+			r := &Request{Addr: uint64(n%7) * rowSpan}
+			r.Done = func(_ *Request, at event.Time) { last = at; issue(n - 1) }
+			c.Enqueue(r)
+		}
+		issue(24)
+		q.Drain()
+		return last
+	}
+	open, closed := elapsed(OpenPage), elapsed(ClosedPage)
+	if closed > open {
+		t.Errorf("closed-page (%d) slower than open-page (%d) on a conflict chain", closed, open)
+	}
+}
+
+func TestPageStripeSerializesStreams(t *testing.T) {
+	// A page-sized stream: row-buffer striping spreads it over banks;
+	// page striping pins it to one bank.
+	banksTouched := func(stripe BankStripe) int {
+		q := event.NewQueue()
+		c, _ := NewController("t", q, ChannelConfig{
+			Device: Preset(DDR3), CapacityBytes: 1 << 28, BankStripe: stripe,
+		})
+		seen := map[int]bool{}
+		for i := 0; i < 64; i++ {
+			r := &Request{Addr: uint64(i) * 64}
+			c.mapAddress(r)
+			seen[r.bank] = true
+		}
+		_ = q
+		return len(seen)
+	}
+	if n := banksTouched(StripePage); n != 1 {
+		t.Errorf("page stripe touched %d banks for one page, want 1", n)
+	}
+	if n := banksTouched(StripeRowBuffer); n < 4 {
+		t.Errorf("row-buffer stripe touched only %d banks", n)
+	}
+}
+
+func TestMappingPreservesDistinctness(t *testing.T) {
+	// Distinct line addresses must map to distinct (bank,row,column)
+	// coordinates under both stripings.
+	for _, stripe := range []BankStripe{StripeRowBuffer, StripePage} {
+		q := event.NewQueue()
+		c, _ := NewController("t", q, ChannelConfig{
+			Device: Preset(DDR3), CapacityBytes: 1 << 24, BankStripe: stripe,
+		})
+		seen := map[[3]uint64]uint64{}
+		for addr := uint64(0); addr < 1<<20; addr += 64 {
+			r := &Request{Addr: addr}
+			c.mapAddress(r)
+			col := addr % uint64(c.Config().Device.Geometry.RowBufferBytes)
+			key := [3]uint64{uint64(r.bank), r.row, col}
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("%v: addresses %#x and %#x collide at bank/row/col %v", stripe, prev, addr, key)
+			}
+			seen[key] = addr
+		}
+	}
+}

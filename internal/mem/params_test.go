@@ -1,0 +1,222 @@
+package mem
+
+import (
+	"testing"
+
+	"moca/internal/event"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, k := range Kinds() {
+		p := Preset(k)
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s preset invalid: %v", k, err)
+		}
+		if p.Kind != k {
+			t.Errorf("%s preset Kind = %v", k, p.Kind)
+		}
+		if p.Name != k.String() {
+			t.Errorf("preset name %q != kind string %q", p.Name, k)
+		}
+	}
+}
+
+func TestPresetTableIIValues(t *testing.T) {
+	// Spot-check the Table II values that drive the experiments.
+	d := Preset(DDR3)
+	if d.Timing.TCK != 1070 {
+		t.Errorf("DDR3 tCK = %d ps, want 1070", d.Timing.TCK)
+	}
+	if d.Timing.TRC != 48750 {
+		t.Errorf("DDR3 tRC = %d ps, want 48750", d.Timing.TRC)
+	}
+	if d.Geometry.Banks != 8 || d.Geometry.RowBufferBytes != 128 {
+		t.Errorf("DDR3 geometry = %+v", d.Geometry)
+	}
+
+	r := Preset(RLDRAM)
+	if r.Timing.TRC != 8*event.Nanosecond {
+		t.Errorf("RLDRAM tRC = %d, want 8 ns", r.Timing.TRC)
+	}
+	if r.Geometry.Banks != 16 || r.Geometry.RowBufferBytes != 16 {
+		t.Errorf("RLDRAM geometry = %+v", r.Geometry)
+	}
+	// The text-driven power substitution: RLDRAM = 4.5x DDR3.
+	if r.Power.ActiveWattPerGB <= d.Power.ActiveWattPerGB*4 {
+		t.Errorf("RLDRAM active power %v should be >4x DDR3 %v per the paper's text",
+			r.Power.ActiveWattPerGB, d.Power.ActiveWattPerGB)
+	}
+
+	h := Preset(HBM)
+	if h.Timing.CommandsPerTick != 8 {
+		t.Errorf("HBM should model the dual command bus (8 cmds/tick), got %d", h.Timing.CommandsPerTick)
+	}
+	if h.Geometry.RowBufferBytes != 2048 {
+		t.Errorf("HBM row buffer = %d, want 2048", h.Geometry.RowBufferBytes)
+	}
+
+	l := Preset(LPDDR2)
+	if l.Power.StandbyMilliwattPerGB != 100 || l.Power.ActiveWattPerGB != 0.4 {
+		t.Errorf("LPDDR2 power = %+v", l.Power)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	// RLDRAM must have the lowest unloaded latency; that is its entire
+	// reason for existing in the heterogeneous system.
+	q := event.NewQueue()
+	lat := map[Kind]event.Time{}
+	for _, k := range Kinds() {
+		c, err := NewController(k.String(), q, ChannelConfig{Device: Preset(k), CapacityBytes: 1 << 28})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat[k] = c.IdealReadLatency()
+	}
+	if !(lat[RLDRAM] < lat[DDR3] && lat[RLDRAM] < lat[HBM] && lat[RLDRAM] < lat[LPDDR2]) {
+		t.Errorf("RLDRAM ideal latency %v not lowest: %v", lat[RLDRAM], lat)
+	}
+	if !(lat[LPDDR2] >= lat[DDR3]) {
+		t.Errorf("LPDDR2 latency %v should be >= DDR3 %v", lat[LPDDR2], lat[DDR3])
+	}
+}
+
+func TestBandwidthOrdering(t *testing.T) {
+	// HBM must offer the highest peak bandwidth per channel.
+	q := event.NewQueue()
+	bw := map[Kind]float64{}
+	for _, k := range Kinds() {
+		c, err := NewController(k.String(), q, ChannelConfig{Device: Preset(k), CapacityBytes: 1 << 28})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw[k] = c.PeakBandwidthGBps()
+	}
+	for _, k := range []Kind{DDR3, RLDRAM, LPDDR2} {
+		if bw[HBM] <= bw[k] {
+			t.Errorf("HBM peak bandwidth %.1f not above %s %.1f", bw[HBM], k, bw[k])
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []func(*DeviceParams){
+		func(p *DeviceParams) { p.Geometry.Banks = 3 },
+		func(p *DeviceParams) { p.Geometry.Banks = 0 },
+		func(p *DeviceParams) { p.Geometry.RowBufferBytes = 100 },
+		func(p *DeviceParams) { p.Geometry.Rows = 0 },
+		func(p *DeviceParams) { p.Timing.TCK = 0 },
+		func(p *DeviceParams) { p.Timing.TRC = p.Timing.TRAS - 1 },
+		func(p *DeviceParams) { p.Timing.BurstLength = 3; p.Timing.DataRate = 2 },
+		func(p *DeviceParams) { p.Timing.CommandsPerTick = 0 },
+		func(p *DeviceParams) { p.Timing.TREFI = -1 },
+		func(p *DeviceParams) { p.Timing.TCASWrite = -1 },
+		func(p *DeviceParams) { p.Timing.TWR = -1 },
+		func(p *DeviceParams) { p.Timing.TRCD = -1 },
+	}
+	for i, mutate := range cases {
+		p := Preset(DDR3)
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: mutated params validated successfully", i)
+		}
+	}
+}
+
+func TestBurstTime(t *testing.T) {
+	tm := Timing{TCK: 1000, BurstLength: 8, DataRate: 2}
+	if got := tm.BurstTime(); got != 4000 {
+		t.Errorf("BurstTime = %d, want 4000", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if DDR3.String() != "DDR3" || LPDDR2.String() != "LPDDR2" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unknown kind string = %q", Kind(99).String())
+	}
+}
+
+func TestPCMPreset(t *testing.T) {
+	p := Preset(PCM)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Timing.TREFI != 0 {
+		t.Error("PCM should not refresh (non-volatile)")
+	}
+	if p.Timing.TCASWrite <= p.Timing.TCAS {
+		t.Error("PCM writes should be slower than reads")
+	}
+	if p.Timing.TWR == 0 {
+		t.Error("PCM should have a write-recovery window")
+	}
+	if p.Power.StandbyMilliwattPerGB >= Preset(LPDDR2).Power.StandbyMilliwattPerGB {
+		t.Error("PCM standby should undercut LPDDR2")
+	}
+}
+
+func TestPCMWriteAsymmetry(t *testing.T) {
+	// A dependent chain of reads must finish far sooner than the same
+	// chain of writes on PCM; on DDR3 the two are nearly identical.
+	chain := func(kind Kind, write bool) event.Time {
+		q := event.NewQueue()
+		c, _ := NewController("t", q, ChannelConfig{Device: Preset(kind), CapacityBytes: 1 << 26})
+		var finish event.Time
+		var issue func(n int)
+		issue = func(n int) {
+			if n == 0 {
+				return
+			}
+			r := &Request{Addr: uint64(n) * 4096, Write: write}
+			r.Done = func(_ *Request, at event.Time) {
+				finish = at
+				issue(n - 1)
+			}
+			c.Enqueue(r)
+		}
+		issue(32)
+		q.Drain()
+		return finish
+	}
+	pcmR, pcmW := chain(PCM, false), chain(PCM, true)
+	if pcmW < pcmR*2 {
+		t.Errorf("PCM writes (%d) not much slower than reads (%d)", pcmW, pcmR)
+	}
+	d3R, d3W := chain(DDR3, false), chain(DDR3, true)
+	if d3W > d3R*3/2 {
+		t.Errorf("DDR3 writes (%d) unexpectedly slower than reads (%d)", d3W, d3R)
+	}
+}
+
+func TestPCMNoRefreshEvents(t *testing.T) {
+	q := event.NewQueue()
+	c, _ := NewController("t", q, ChannelConfig{Device: Preset(PCM), CapacityBytes: 1 << 26})
+	c.Enqueue(&Request{Addr: 0})
+	q.RunUntil(50 * event.Microsecond)
+	c.Enqueue(&Request{Addr: 4096})
+	q.Drain()
+	if st := c.Stats(); st.Refreshes != 0 {
+		t.Errorf("PCM refreshed %d times", st.Refreshes)
+	}
+}
+
+func TestPCMWriteRecoveryBlocksBank(t *testing.T) {
+	// A read to the same bank right after a write must wait out tWR.
+	q := event.NewQueue()
+	c, _ := NewController("t", q, ChannelConfig{Device: Preset(PCM), CapacityBytes: 1 << 26})
+	var writeDone, readDone event.Time
+	w := &Request{Addr: 0, Write: true}
+	w.Done = func(_ *Request, at event.Time) { writeDone = at }
+	r := &Request{Addr: 64} // same row, same bank
+	r.Done = func(_ *Request, at event.Time) { readDone = at }
+	c.Enqueue(w)
+	c.Enqueue(r)
+	q.Drain()
+	if readDone-writeDone < Preset(PCM).Timing.TWR/2 {
+		t.Errorf("read completed %d ps after write; expected to wait ~tWR (%d)",
+			readDone-writeDone, Preset(PCM).Timing.TWR)
+	}
+}

@@ -1,0 +1,39 @@
+package mem
+
+import "moca/internal/event"
+
+// Request is one line-sized memory access presented to a channel
+// controller. Addr is module-local (the byte offset within the module);
+// translating a global physical address to (module, offset) is the memory
+// system's job, mirroring how page placement selects the channel in the
+// paper's heterogeneous system.
+type Request struct {
+	Addr  uint64
+	Write bool
+
+	// Core and Obj identify the requester and the memory object the line
+	// belongs to, for statistics attribution. Both are opaque here.
+	Core int
+	Obj  uint64
+
+	// Done, if non-nil, is invoked exactly once when the access completes
+	// (data burst finished plus the channel's backend latency).
+	Done func(r *Request, at event.Time)
+
+	// Timestamps filled in by the controller.
+	Arrive     event.Time // enqueue time at the controller
+	FirstCmd   event.Time // when the first command for this request issued
+	DataFinish event.Time // end of the data burst
+
+	bank int
+	row  uint64
+}
+
+// QueueDelay is the time the request waited before its first command.
+func (r *Request) QueueDelay() event.Time { return r.FirstCmd - r.Arrive }
+
+// ServiceTime is the time from first command to the end of the data burst.
+func (r *Request) ServiceTime() event.Time { return r.DataFinish - r.FirstCmd }
+
+// TotalLatency is the controller-visible latency of the request.
+func (r *Request) TotalLatency() event.Time { return r.DataFinish - r.Arrive }

@@ -1,0 +1,143 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"moca/internal/event"
+	"moca/internal/mem"
+)
+
+func TestSeconds(t *testing.T) {
+	if got := Seconds(event.Second); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("Seconds(1s) = %v", got)
+	}
+	if got := Seconds(event.Nanosecond); math.Abs(got-1e-9) > 1e-21 {
+		t.Errorf("Seconds(1ns) = %v", got)
+	}
+}
+
+func TestBackgroundEnergyScalesWithCapacityAndTime(t *testing.T) {
+	dev := mem.Preset(mem.DDR3)
+	var st mem.ChannelStats
+	b1 := ChannelEnergy(dev, 1<<30, st, event.Second)
+	b2 := ChannelEnergy(dev, 2<<30, st, event.Second)
+	b3 := ChannelEnergy(dev, 1<<30, st, 2*event.Second)
+	if math.Abs(b1.BackgroundJ-0.256) > 1e-9 {
+		t.Errorf("1GB DDR3 standby for 1s = %v J, want 0.256", b1.BackgroundJ)
+	}
+	if math.Abs(b2.BackgroundJ-2*b1.BackgroundJ) > 1e-12 {
+		t.Error("background energy not linear in capacity")
+	}
+	if math.Abs(b3.BackgroundJ-2*b1.BackgroundJ) > 1e-12 {
+		t.Error("background energy not linear in time")
+	}
+	if b1.DynamicJ != 0 {
+		t.Errorf("idle channel dynamic energy = %v, want 0", b1.DynamicJ)
+	}
+}
+
+func TestDynamicEnergyAtFullUtilization(t *testing.T) {
+	// A channel whose bus was busy the whole interval with zero
+	// activations must dissipate exactly ActiveWattPerGB x GB.
+	dev := mem.Preset(mem.HBM)
+	st := mem.ChannelStats{BusBusyTime: event.Second}
+	b := ChannelEnergy(dev, 1<<30, st, event.Second)
+	if math.Abs(b.DynamicJ-4.5) > 1e-9 {
+		t.Errorf("HBM full-rate dynamic = %v J/s, want 4.5", b.DynamicJ)
+	}
+}
+
+func TestActivationEnergyAdds(t *testing.T) {
+	dev := mem.Preset(mem.DDR3)
+	base := ChannelEnergy(dev, 1<<30, mem.ChannelStats{}, event.Second)
+	act := ChannelEnergy(dev, 1<<30, mem.ChannelStats{Activations: 1000}, event.Second)
+	if act.DynamicJ <= base.DynamicJ {
+		t.Error("activations did not add dynamic energy")
+	}
+	want := 1.5 * Seconds(dev.Timing.TRCD) * ActivationWeight * 1000
+	if math.Abs(act.DynamicJ-want) > 1e-12 {
+		t.Errorf("activation energy = %v, want %v", act.DynamicJ, want)
+	}
+}
+
+func TestModuleEnergyEfficiencyOrdering(t *testing.T) {
+	// Same activity and capacity: LPDDR2 cheapest, RLDRAM most expensive
+	// (text-driven substitution), matching the paper's premise.
+	st := mem.ChannelStats{BusBusyTime: event.Millisecond * 100, Activations: 1e6}
+	total := map[mem.Kind]float64{}
+	for _, k := range mem.Kinds() {
+		total[k] = ChannelEnergy(mem.Preset(k), 1<<30, st, event.Second).TotalJ()
+	}
+	if !(total[mem.LPDDR2] < total[mem.DDR3]) {
+		t.Errorf("LPDDR2 energy %v not below DDR3 %v", total[mem.LPDDR2], total[mem.DDR3])
+	}
+	if !(total[mem.RLDRAM] > total[mem.DDR3] && total[mem.RLDRAM] > total[mem.HBM]) {
+		t.Errorf("RLDRAM energy %v not the highest: %v", total[mem.RLDRAM], total)
+	}
+}
+
+func TestAvgPowerW(t *testing.T) {
+	b := MemoryBreakdown{BackgroundJ: 1, DynamicJ: 1}
+	if got := b.AvgPowerW(2 * event.Second); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("AvgPowerW = %v, want 1", got)
+	}
+	if b.AvgPowerW(0) != 0 {
+		t.Error("AvgPowerW(0) should be 0")
+	}
+}
+
+func TestCoreModelCalibration(t *testing.T) {
+	m := DefaultCoreModel()
+	total := 4 * m.CorePowerW(1.0)
+	if math.Abs(total-21.0) > 0.01 {
+		t.Errorf("4-core power at IPC 1.0 = %v W, want ~21 (Section V-A calibration)", total)
+	}
+	if m.CorePowerW(-1) != m.StaticW {
+		t.Error("negative IPC should clamp to static power")
+	}
+}
+
+func TestCoreEnergy(t *testing.T) {
+	m := CoreModel{StaticW: 1, DynamicWPerIPC: 2}
+	got := m.CoreEnergyJ(0.5, event.Second)
+	if math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("CoreEnergyJ = %v, want 2", got)
+	}
+}
+
+func TestEDP(t *testing.T) {
+	if got := EDP(2.0, event.Second); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("EDP = %v, want 2", got)
+	}
+}
+
+// Property: energy is monotone in each activity counter.
+func TestPropertyEnergyMonotone(t *testing.T) {
+	dev := mem.Preset(mem.DDR3)
+	f := func(busy uint32, acts uint32) bool {
+		a := ChannelEnergy(dev, 1<<30, mem.ChannelStats{
+			BusBusyTime: event.Time(busy), Activations: uint64(acts),
+		}, event.Second)
+		b := ChannelEnergy(dev, 1<<30, mem.ChannelStats{
+			BusBusyTime: event.Time(busy) + 1000, Activations: uint64(acts) + 10,
+		}, event.Second)
+		return b.TotalJ() > a.TotalJ() && a.TotalJ() >= a.BackgroundJ
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: core power is affine and nondecreasing in IPC.
+func TestPropertyCorePowerMonotone(t *testing.T) {
+	m := DefaultCoreModel()
+	f := func(raw uint16) bool {
+		ipc := float64(raw) / 8192.0
+		return m.CorePowerW(ipc+0.1) > m.CorePowerW(ipc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"moca/internal/mem"
+	"moca/internal/workload"
+)
+
+// TestTrafficAccounting checks the end-to-end conservation of memory
+// traffic on a plain system (no prefetching, no migration): every channel
+// read corresponds to a demand LLC miss and every channel write to a dirty
+// writeback. Small discrepancies are allowed for requests in flight across
+// the warm-up stats reset and at window end.
+func TestTrafficAccounting(t *testing.T) {
+	for _, app := range []string{"mcf", "lbm", "gcc"} {
+		spec, _ := workload.ByName(app)
+		cfg := DefaultConfig("acct", Homogeneous(mem.DDR3), PolicyFixed)
+		sys, err := New(cfg, []ProcSpec{{App: spec, Input: workload.Ref}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(sys.SuggestedWarmup(), 200_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var chanReads, chanWrites uint64
+		for _, ch := range res.Channels {
+			chanReads += ch.Stats.Reads
+			chanWrites += ch.Stats.Writes
+		}
+		var misses, writebacks uint64
+		for _, c := range res.Cores {
+			misses += c.Hier.DemandMisses
+			writebacks += c.Hier.Writebacks
+		}
+		within := func(a, b uint64, tol float64) bool {
+			diff := math.Abs(float64(a) - float64(b))
+			// Requests in flight across the stats reset or the window
+			// end account for a few counts of slack.
+			return diff <= math.Max(tol*math.Max(float64(a), 1), 4)
+		}
+		if !within(chanReads, misses, 0.02) {
+			t.Errorf("%s: channel reads %d vs demand misses %d (>2%% apart)", app, chanReads, misses)
+		}
+		if !within(chanWrites, writebacks, 0.05) {
+			t.Errorf("%s: channel writes %d vs writebacks %d (>5%% apart)", app, chanWrites, writebacks)
+		}
+		if misses == 0 {
+			t.Errorf("%s: no misses measured", app)
+		}
+	}
+}
+
+// TestTrafficAccountingWithPrefetch extends the invariant: with the
+// prefetcher on, channel reads equal demand misses plus issued prefetches.
+func TestTrafficAccountingWithPrefetch(t *testing.T) {
+	spec, _ := workload.ByName("lbm")
+	cfg := DefaultConfig("acct-pf", Homogeneous(mem.DDR3), PolicyFixed)
+	cfg.Prefetch.Enable = true
+	sys, err := New(cfg, []ProcSpec{{App: spec, Input: workload.Ref}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(sys.SuggestedWarmup(), 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chanReads uint64
+	for _, ch := range res.Channels {
+		chanReads += ch.Stats.Reads
+	}
+	c := res.Cores[0]
+	expected := c.Hier.DemandMisses + c.Prefetch.Issued
+	diff := math.Abs(float64(chanReads) - float64(expected))
+	if diff/float64(expected) > 0.02 {
+		t.Errorf("channel reads %d vs demand+prefetch %d (>2%% apart)", chanReads, expected)
+	}
+	if c.Prefetch.Issued == 0 {
+		t.Error("prefetcher idle on lbm")
+	}
+	if c.Prefetch.Coverage() < 0.6 {
+		t.Errorf("prefetch coverage %.2f on a streaming app; expected high (useful %d, late %d, issued %d)",
+			c.Prefetch.Coverage(), c.Prefetch.Useful, c.Prefetch.Late, c.Prefetch.Issued)
+	}
+}
+
+// TestPrefetchImprovesStreamingApp: the end-to-end effect check.
+func TestPrefetchImprovesStreamingApp(t *testing.T) {
+	run := func(enable bool) *Result {
+		spec, _ := workload.ByName("lbm")
+		cfg := DefaultConfig("pf", Homogeneous(mem.DDR3), PolicyFixed)
+		cfg.Prefetch.Enable = enable
+		sys, err := New(cfg, []ProcSpec{{App: spec, Input: workload.Ref}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(sys.SuggestedWarmup(), 150_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off, on := run(false), run(true)
+	if on.Elapsed >= off.Elapsed {
+		t.Errorf("prefetching did not speed up lbm: %d vs %d ps", on.Elapsed, off.Elapsed)
+	}
+	if on.Cores[0].LLCMPKI() >= off.Cores[0].LLCMPKI() {
+		t.Errorf("prefetching did not reduce demand MPKI: %.1f vs %.1f",
+			on.Cores[0].LLCMPKI(), off.Cores[0].LLCMPKI())
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"fmt"
+
+	"moca/internal/alloc"
+	"moca/internal/cache"
+	"moca/internal/event"
+	"moca/internal/mem"
+	"moca/internal/vm"
+)
+
+// setupMigration attaches the hot-page migration engine (the Section IV-E
+// baseline) to the system: an access monitor on the memory router and a
+// recurring epoch event that promotes hot pages, charging copy traffic on
+// both channels and cache shootdowns for moved pages.
+func (s *System) setupMigration(cfg Config, infos []alloc.ModuleInfo) error {
+	mcfg := cfg.Migration
+	if len(mcfg.FastModules) == 0 {
+		// Promotion targets: latency-optimized first, then bandwidth.
+		for _, kind := range []mem.Kind{mem.RLDRAM, mem.HBM} {
+			for _, info := range infos {
+				if info.Kind == kind {
+					mcfg.FastModules = append(mcfg.FastModules, info.ID)
+				}
+			}
+		}
+		if len(mcfg.FastModules) == 0 {
+			return fmt.Errorf("sim: migration policy needs an RLDRAM or HBM module")
+		}
+	}
+	mig, err := alloc.NewMigrator(s.os, mcfg)
+	if err != nil {
+		return err
+	}
+	s.migrator = mig
+	s.route.onAccess = mig.RecordAccess
+
+	epoch := cfg.MigrationEpoch
+	if epoch <= 0 {
+		epoch = 50 * event.Microsecond
+	}
+	var tick func()
+	tick = func() {
+		moves := mig.Epoch()
+		// Pace the copy engine: pages staggered through the epoch, lines
+		// within a page at DMA-burst rate, so copy traffic interferes
+		// with demand traffic realistically instead of as one spike.
+		const pageStagger = 3 * event.Microsecond
+		const lineGap = 40 * event.Nanosecond
+		for i, mv := range moves {
+			mv := mv
+			s.q.After(event.Time(i)*pageStagger, func() {
+				s.copyPage(mv, lineGap)
+			})
+		}
+		s.q.After(epoch, tick)
+	}
+	s.q.After(epoch, tick)
+	return nil
+}
+
+// copyPage applies the costs of one page move: shoot the old frame's
+// lines out of every cache (dirty copies must travel with the page) and
+// issue the copy traffic — a read of every line from the old frame and a
+// write to the new one, one line per gap. Copy requests are best-effort
+// under controller backpressure; the page-table retarget already happened
+// at the epoch boundary (the simulator carries no data, so only the
+// timing of the copy matters).
+func (s *System) copyPage(mv alloc.Migration, gap event.Time) {
+	oldBase := vm.Compose(mv.From.Module, mv.From.Number, 0)
+	newBase := vm.Compose(mv.To.Module, mv.To.Number, 0)
+	for off := uint64(0); off < vm.PageBytes; off += cache.LineBytes {
+		off := off
+		s.q.After(event.Time(off/cache.LineBytes)*gap, func() {
+			for _, c := range s.cores {
+				c.hier.InvalidateLine(oldBase + off)
+			}
+			s.route.Submit(oldBase+off, false, -1, 0, nil)
+			s.route.Submit(newBase+off, true, -1, 0, nil)
+		})
+	}
+}
+
+// MigrationStats returns the migration engine's counters (zero value when
+// the system does not migrate).
+func (s *System) MigrationStats() alloc.MigStats {
+	if s.migrator == nil {
+		return alloc.MigStats{}
+	}
+	return s.migrator.Stats()
+}

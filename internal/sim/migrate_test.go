@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"testing"
+
+	"moca/internal/classify"
+	"moca/internal/mem"
+	"moca/internal/vm"
+	"moca/internal/workload"
+)
+
+func TestMigrationRunPromotesHotPages(t *testing.T) {
+	cfg := DefaultConfig("migrate", Heterogeneous(Config1), PolicyMigrate)
+	sys, err := New(cfg, []ProcSpec{{App: workload.MCF(), Input: workload.Ref}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(sys.SuggestedWarmup(), 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "migrate" {
+		t.Errorf("policy = %q", res.Policy)
+	}
+	mig := res.Migration
+	if mig.Epochs == 0 {
+		t.Fatal("no migration epochs ran")
+	}
+	if mig.Promotions == 0 {
+		t.Fatal("mcf's hot pages were never promoted")
+	}
+	if mig.CopiedKB != (mig.Promotions+mig.Demotions)*vm.PageBytes/1024 {
+		t.Errorf("copied %d KB for %d moves", mig.CopiedKB, mig.Promotions+mig.Demotions)
+	}
+	// Promoted pages must be resident on the fast modules.
+	pages := res.PagesOnKind()
+	if pages[mem.RLDRAM] == 0 && pages[mem.HBM] == 0 {
+		t.Errorf("no pages on fast modules after migration: %v", pages)
+	}
+	// Fast-channel traffic exists after promotion.
+	var fastReqs uint64
+	for _, ch := range res.Channels {
+		if ch.Kind == mem.RLDRAM || ch.Kind == mem.HBM {
+			fastReqs += ch.Stats.Requests()
+		}
+	}
+	if fastReqs == 0 {
+		t.Error("no requests reached fast channels despite promotions")
+	}
+}
+
+func TestMigrationBeatsStaticSlowPlacement(t *testing.T) {
+	// Migration must improve a latency-bound app versus leaving
+	// everything in LPDDR (its own starting placement).
+	run := func(policy PolicyKind) *Result {
+		cfg := DefaultConfig("p", Heterogeneous(Config1), policy)
+		if policy == PolicyAppLevel {
+			// Same starting point: app forced to the LP chain.
+			cfg.Policy = PolicyAppLevel
+		}
+		procs := []ProcSpec{{App: workload.MCF(), Input: workload.Ref, AppClass: classify.NonIntensive}}
+		sys, err := New(cfg, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(sys.SuggestedWarmup(), 300_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	static := run(PolicyAppLevel) // N-classed app: all pages stay on LPDDR
+	migrated := run(PolicyMigrate)
+	if migrated.AvgMemAccessTime() >= static.AvgMemAccessTime() {
+		t.Errorf("migration (%d ps) no faster than static slow placement (%d ps)",
+			migrated.AvgMemAccessTime(), static.AvgMemAccessTime())
+	}
+}
+
+func TestMigrationDeterministic(t *testing.T) {
+	run := func() (uint64, int64) {
+		cfg := DefaultConfig("migrate", Heterogeneous(Config1), PolicyMigrate)
+		sys, err := New(cfg, []ProcSpec{{App: workload.Tracking(), Input: workload.Ref}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(60_000, 80_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Migration.Promotions, int64(res.AvgMemAccessTime())
+	}
+	p1, l1 := run()
+	p2, l2 := run()
+	if p1 != p2 || l1 != l2 {
+		t.Errorf("migration runs diverged: (%d,%d) vs (%d,%d)", p1, l1, p2, l2)
+	}
+}
+
+func TestMigrationRequiresFastModule(t *testing.T) {
+	cfg := DefaultConfig("migrate", Homogeneous(mem.LPDDR2), PolicyMigrate)
+	if _, err := New(cfg, []ProcSpec{{App: workload.GCC(), Input: workload.Ref}}); err == nil {
+		t.Error("migration over an all-LPDDR system accepted")
+	}
+}
+
+func TestNonMigrationRunsReportZeroStats(t *testing.T) {
+	cfg := DefaultConfig("ddr3", Homogeneous(mem.DDR3), PolicyFixed)
+	sys, err := New(cfg, []ProcSpec{{App: workload.Sift(), Input: workload.Ref}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(50_000, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migration.Promotions != 0 || res.Migration.Epochs != 0 {
+		t.Errorf("non-migration run has migration stats: %+v", res.Migration)
+	}
+}

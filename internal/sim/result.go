@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"moca/internal/cache"
+	"moca/internal/cpu"
+	"moca/internal/event"
+	"moca/internal/mem"
+	"moca/internal/power"
+	"moca/internal/profile"
+
+	"moca/internal/alloc"
+)
+
+// CoreResult is one core's measured-window statistics.
+type CoreResult struct {
+	App  string
+	CPU  cpu.Stats
+	Hier cache.HierStats
+	L1   cache.Stats
+	L2   cache.Stats
+	// Prefetch reports the stride prefetcher (zero when disabled).
+	Prefetch cache.PrefetchStats
+	// Window is the time this core took to retire its quota.
+	Window event.Time
+	// PagesByModule is the process's resident-page census per module.
+	PagesByModule map[int]int
+	TLBHitRate    float64
+	// Profile is the per-object profile (profiling runs only).
+	Profile *profile.Profile
+}
+
+// IPC returns the core's measured-window IPC.
+func (c CoreResult) IPC() float64 { return c.CPU.IPC() }
+
+// LLCMPKI returns the core's LLC misses per kilo-instruction.
+func (c CoreResult) LLCMPKI() float64 {
+	if c.CPU.Instructions == 0 {
+		return 0
+	}
+	return float64(c.Hier.DemandMisses) * 1000 / float64(c.CPU.Instructions)
+}
+
+// StallPerMiss returns ROB-head stall cycles per LLC-missing load.
+func (c CoreResult) StallPerMiss() float64 {
+	if c.CPU.MemLoads == 0 {
+		return 0
+	}
+	return float64(c.CPU.MemStallCycles) / float64(c.CPU.MemLoads)
+}
+
+// ChannelResult is one memory channel's measured-window statistics.
+type ChannelResult struct {
+	Name          string
+	Kind          mem.Kind
+	CapacityBytes uint64
+	Stats         mem.ChannelStats
+	Energy        power.MemoryBreakdown
+}
+
+// Result is a complete simulation outcome.
+type Result struct {
+	Name     string
+	Policy   string
+	Cores    []CoreResult
+	Channels []ChannelResult
+	OS       alloc.Stats
+	// Migration reports the hot-page migration engine's activity
+	// (zero outside PolicyMigrate runs).
+	Migration alloc.MigStats
+	// ModuleKinds maps module ID to its technology.
+	ModuleKinds []mem.Kind
+	// Elapsed is the full measured window (reset to last quota crossing).
+	Elapsed event.Time
+
+	memEnergyJ  float64
+	coreEnergyJ float64
+}
+
+func (r *Result) computeEnergy(cfg Config, elapsed event.Time) {
+	for i := range r.Channels {
+		ch := &r.Channels[i]
+		ch.Energy = power.ChannelEnergy(mem.Preset(ch.Kind), ch.CapacityBytes, ch.Stats, elapsed)
+		r.memEnergyJ += ch.Energy.TotalJ()
+	}
+	for _, c := range r.Cores {
+		r.coreEnergyJ += cfg.CoreModel.CoreEnergyJ(c.IPC(), elapsed)
+	}
+}
+
+// TotalInstructions sums retired instructions across cores.
+func (r *Result) TotalInstructions() uint64 {
+	var n uint64
+	for _, c := range r.Cores {
+		n += c.CPU.Instructions
+	}
+	return n
+}
+
+// MemRequests sums completed channel requests.
+func (r *Result) MemRequests() uint64 {
+	var n uint64
+	for _, c := range r.Channels {
+		n += c.Stats.Requests()
+	}
+	return n
+}
+
+// AvgMemAccessTime returns the mean controller-visible memory access time
+// per request (queue + service, Section VI-A's definition) in picoseconds.
+func (r *Result) AvgMemAccessTime() event.Time {
+	var total event.Time
+	var n uint64
+	for _, c := range r.Channels {
+		total += c.Stats.TotalLatency
+		n += c.Stats.Requests()
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / event.Time(n)
+}
+
+// MemEnergyJ returns total memory energy over the window.
+func (r *Result) MemEnergyJ() float64 { return r.memEnergyJ }
+
+// MemPowerW returns average memory power over the window.
+func (r *Result) MemPowerW() float64 {
+	s := power.Seconds(r.Elapsed)
+	if s <= 0 {
+		return 0
+	}
+	return r.memEnergyJ / s
+}
+
+// MemEDP is the memory energy-delay product: memory energy times average
+// memory access time (the paper computes memory EDP as memory power times
+// memory access latency; normalized ratios are identical).
+func (r *Result) MemEDP() float64 {
+	return r.memEnergyJ * power.Seconds(r.AvgMemAccessTime())
+}
+
+// CoreEnergyJ returns total core energy over the window.
+func (r *Result) CoreEnergyJ() float64 { return r.coreEnergyJ }
+
+// SystemEnergyJ returns core plus memory energy.
+func (r *Result) SystemEnergyJ() float64 { return r.coreEnergyJ + r.memEnergyJ }
+
+// SystemTime returns the wall-clock duration of the measured window — the
+// system-performance metric of Fig. 12 (lower is better for a fixed
+// instruction quota).
+func (r *Result) SystemTime() event.Time { return r.Elapsed }
+
+// SystemEDP is the whole-system energy-delay product of Fig. 13.
+func (r *Result) SystemEDP() float64 {
+	return r.SystemEnergyJ() * power.Seconds(r.Elapsed)
+}
+
+// AggregateIPC returns total instructions per total cycles across cores.
+func (r *Result) AggregateIPC() float64 {
+	var instr, cycles uint64
+	for _, c := range r.Cores {
+		instr += c.CPU.Instructions
+		cycles += c.CPU.Cycles
+	}
+	if cycles == 0 {
+		return 0
+	}
+	return float64(instr) / float64(cycles) * float64(len(r.Cores))
+}
+
+// PagesOnKind counts resident pages per module kind across all processes
+// (the placement census used in the experiment reports).
+func (r *Result) PagesOnKind() map[mem.Kind]int {
+	out := map[mem.Kind]int{}
+	for _, c := range r.Cores {
+		for id, n := range c.PagesByModule {
+			if id >= 0 && id < len(r.ModuleKinds) {
+				out[r.ModuleKinds[id]] += n
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,352 @@
+package sim
+
+import (
+	"fmt"
+
+	"moca/internal/alloc"
+	"moca/internal/cache"
+	"moca/internal/cpu"
+	"moca/internal/event"
+	"moca/internal/heap"
+	"moca/internal/mem"
+	"moca/internal/profile"
+	"moca/internal/vm"
+	"moca/internal/workload"
+)
+
+// router maps physical line addresses to memory channels: heterogeneous
+// modules have a dedicated channel; homogeneous modules interleave across
+// their channels at row-buffer granularity (RoRaBaChCo: the Ch bits sit
+// just above the column bits, Table I).
+type router struct {
+	groups [][]*mem.Controller // per module
+	gran   []uint64            // interleave granularity per module
+	// onAccess, if set, observes every submitted request (the migration
+	// monitor's per-page access counter).
+	onAccess func(paddr uint64)
+}
+
+// Submit implements cache.Backend.
+func (r *router) Submit(lineAddr uint64, write bool, core int, obj uint64, done func(at event.Time)) bool {
+	if r.onAccess != nil {
+		r.onAccess(lineAddr)
+	}
+	module := vm.ModuleOf(lineAddr)
+	if module < 0 || module >= len(r.groups) {
+		panic(fmt.Sprintf("sim: line address %#x maps to unknown module %d", lineAddr, module))
+	}
+	off := vm.ModuleOffset(lineAddr)
+	chans := r.groups[module]
+	var ctrl *mem.Controller
+	var local uint64
+	if len(chans) == 1 {
+		ctrl, local = chans[0], off
+	} else {
+		g := r.gran[module]
+		n := uint64(len(chans))
+		ch := (off / g) % n
+		ctrl = chans[ch]
+		local = (off/(g*n))*g + off%g
+	}
+	req := &mem.Request{Addr: local, Write: write, Core: core, Obj: obj}
+	if done != nil {
+		req.Done = func(_ *mem.Request, at event.Time) { done(at) }
+	}
+	return ctrl.Enqueue(req)
+}
+
+type coreCtx struct {
+	proc      int
+	app       *workload.App
+	core      *cpu.Core
+	hier      *cache.Hierarchy
+	allocator *heap.Allocator
+	profiler  *profile.Profiler
+
+	frozen   bool
+	snapshot CoreResult
+	snapAt   event.Time
+}
+
+// System is one fully assembled simulated machine.
+type System struct {
+	cfg   Config
+	q     *event.Queue
+	cores []*coreCtx
+
+	modules  []*vm.Module
+	os       *alloc.OS
+	channels []*mem.Controller
+	chanCaps []uint64
+	route    *router
+	migrator *alloc.Migrator // nil unless PolicyMigrate
+}
+
+// New assembles a system running one process per entry of procs (the
+// process index is the core index).
+func New(cfg Config, procs []ProcSpec) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("sim: no processes")
+	}
+
+	s := &System{cfg: cfg, q: event.NewQueue()}
+
+	// Memory modules, channels, and the router.
+	s.route = &router{}
+	var infos []alloc.ModuleInfo
+	for i, spec := range cfg.Modules {
+		m, err := vm.NewModule(i, spec.Kind, spec.CapacityBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.modules = append(s.modules, m)
+		infos = append(infos, alloc.ModuleInfo{ID: i, Kind: spec.Kind})
+
+		dev := mem.Preset(spec.Kind)
+		perChan := spec.CapacityBytes / uint64(spec.Channels)
+		var group []*mem.Controller
+		for ch := 0; ch < spec.Channels; ch++ {
+			ctrl, err := mem.NewController(
+				fmt.Sprintf("%s-m%d-ch%d", spec.Kind, i, ch),
+				s.q,
+				mem.ChannelConfig{
+					Device: dev, CapacityBytes: perChan, Scheduler: cfg.Scheduler,
+					RowPolicy: cfg.RowPolicy, BankStripe: cfg.BankStripe,
+				},
+			)
+			if err != nil {
+				return nil, err
+			}
+			group = append(group, ctrl)
+			s.channels = append(s.channels, ctrl)
+			s.chanCaps = append(s.chanCaps, perChan)
+		}
+		s.route.groups = append(s.route.groups, group)
+		s.route.gran = append(s.route.gran, uint64(dev.Geometry.RowBufferBytes))
+	}
+
+	// Placement policy and OS.
+	var policy alloc.Policy
+	switch cfg.Policy {
+	case PolicyFixed:
+		order := make([]int, len(cfg.Modules))
+		for i := range order {
+			order[i] = i
+		}
+		policy = alloc.NewFixed("fixed", order)
+	case PolicyAppLevel:
+		policy = alloc.NewAppLevel(infos, cfg.Chains)
+	case PolicyMOCA:
+		policy = alloc.NewMOCA(infos, cfg.Chains)
+	case PolicyMigrate:
+		// Pages start in slow memory (low-power first); the epoch-based
+		// monitor promotes hot pages into RLDRAM/HBM at runtime.
+		order := alloc.ExpandChain(infos, []mem.Kind{mem.LPDDR2, mem.DDR3, mem.HBM, mem.RLDRAM})
+		policy = alloc.NewFixed("migrate", order)
+	default:
+		return nil, fmt.Errorf("sim: unknown policy %d", int(cfg.Policy))
+	}
+	osys, err := alloc.NewOS(s.modules, policy)
+	if err != nil {
+		return nil, err
+	}
+	s.os = osys
+
+	if cfg.Policy == PolicyMigrate {
+		if err := s.setupMigration(cfg, infos); err != nil {
+			return nil, err
+		}
+	}
+
+	// Cores: heap, app, hierarchy, core, profiler.
+	for i, p := range procs {
+		spec := p.App.ForInput(p.Input)
+		allocator := heap.New(heap.Config{NamingDepth: p.NamingDepth, Classes: p.Classes})
+		app, err := workload.Instantiate(spec, allocator, uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		osys.AddProcess(i, p.AppClass)
+
+		hcfg := cache.HierarchyConfig{L1: cfg.CacheL1, L2: cfg.CacheL2, CPUCycle: cfg.Core.Cycle, Core: i, Prefetch: cfg.Prefetch}
+		hier, err := cache.NewHierarchy(s.q, s.route, hcfg)
+		if err != nil {
+			return nil, err
+		}
+		stream := cpu.Stream(app.Stream())
+		if p.Stream != nil {
+			stream = p.Stream
+		}
+		core, err := cpu.New(i, cfg.Core, stream, alloc.Translator{OS: osys, Proc: i}, hier)
+		if err != nil {
+			return nil, err
+		}
+
+		ctx := &coreCtx{proc: i, app: app, core: core, hier: hier, allocator: allocator}
+		if cfg.Profile {
+			prof := profile.New()
+			ctx.profiler = prof
+			core.OnRetire = prof.OnRetire
+			core.OnMemLoadRetire = prof.OnMemLoadRetire
+			hier.OnLLCMiss = prof.OnLLCMiss
+			hier.OnStore = prof.OnStore
+			hier.OnLoad = prof.OnLoad
+		}
+		s.cores = append(s.cores, ctx)
+	}
+	return s, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// OS returns the operating-system layer (for placement inspection).
+func (s *System) OS() *alloc.OS { return s.os }
+
+// App returns core i's application instance.
+func (s *System) App(i int) *workload.App { return s.cores[i].app }
+
+// Allocator returns core i's heap.
+func (s *System) Allocator(i int) *heap.Allocator { return s.cores[i].allocator }
+
+// SuggestedWarmup returns an instruction count that comfortably covers
+// every core's initialization phase plus cache warm-up.
+func (s *System) SuggestedWarmup() uint64 {
+	var max uint64
+	for _, c := range s.cores {
+		if n := c.app.InitInstructions(); n > max {
+			max = n
+		}
+	}
+	return max + 100_000
+}
+
+// Run simulates: every core first retires warmup instructions (statistics
+// are then reset with cache/allocation state preserved), then the measured
+// window runs until every core retires measure further instructions.
+// Per-core statistics freeze as each core crosses its quota; cores keep
+// executing so memory contention persists until the last core finishes,
+// as in standard multi-program methodology.
+func (s *System) Run(warmup, measure uint64) (*Result, error) {
+	if measure == 0 {
+		return nil, fmt.Errorf("sim: zero measurement window")
+	}
+	cycle := s.cfg.Core.Cycle
+
+	if err := s.runPhase(warmup, cycle, nil); err != nil {
+		return nil, err
+	}
+	for _, c := range s.cores {
+		c.core.ResetStats()
+		c.hier.ResetStats()
+	}
+	for _, ch := range s.channels {
+		ch.ResetStats()
+	}
+	start := s.q.Now()
+
+	snap := func(c *coreCtx) {
+		c.frozen = true
+		c.snapAt = s.q.Now()
+		c.snapshot = s.coreResult(c, s.q.Now()-start)
+	}
+	if err := s.runPhase(measure, cycle, snap); err != nil {
+		return nil, err
+	}
+	end := s.q.Now()
+
+	res := &Result{
+		Name:      s.cfg.Name,
+		Policy:    s.os.Policy().Name(),
+		Elapsed:   end - start,
+		OS:        s.os.Stats(),
+		Migration: s.MigrationStats(),
+	}
+	for _, m := range s.cfg.Modules {
+		res.ModuleKinds = append(res.ModuleKinds, m.Kind)
+	}
+	for _, c := range s.cores {
+		cr := c.snapshot
+		if !c.frozen {
+			cr = s.coreResult(c, end-start)
+		}
+		res.Cores = append(res.Cores, cr)
+	}
+	for i, ch := range s.channels {
+		res.Channels = append(res.Channels, ChannelResult{
+			Name:          ch.Name,
+			Kind:          ch.Config().Device.Kind,
+			CapacityBytes: s.chanCaps[i],
+			Stats:         ch.Stats(),
+		})
+	}
+	res.computeEnergy(s.cfg, end-start)
+	return res, nil
+}
+
+// runPhase ticks all cores until each has retired `target` instructions
+// beyond its current count. onCross, if non-nil, fires once per core when
+// it crosses (used to freeze measurement snapshots).
+func (s *System) runPhase(target uint64, cycle event.Time, onCross func(*coreCtx)) error {
+	if target == 0 {
+		return nil
+	}
+	base := make([]uint64, len(s.cores))
+	crossed := make([]bool, len(s.cores))
+	for i, c := range s.cores {
+		base[i] = c.core.Stats().Instructions
+		c.frozen = false
+	}
+	remaining := len(s.cores)
+	now := s.q.Now()
+	// Watchdog: generous IPC floor of 1/400 plus fixed slack.
+	maxCycles := target*400 + 50_000_000
+	for cyc := uint64(0); remaining > 0; cyc++ {
+		if cyc > maxCycles {
+			return fmt.Errorf("sim: %s: watchdog expired after %d cycles (%d/%d cores finished %d instructions)",
+				s.cfg.Name, cyc, len(s.cores)-remaining, len(s.cores), target)
+		}
+		s.q.RunUntil(now)
+		for i, c := range s.cores {
+			c.core.Tick()
+			if err := c.core.Err(); err != nil {
+				return fmt.Errorf("sim: %s core %d (%s): %w", s.cfg.Name, i, c.app.Spec.Name, err)
+			}
+			if !crossed[i] && c.core.Stats().Instructions-base[i] >= target {
+				crossed[i] = true
+				remaining--
+				if onCross != nil {
+					onCross(c)
+				}
+			}
+		}
+		now += cycle
+	}
+	return nil
+}
+
+func (s *System) coreResult(c *coreCtx, window event.Time) CoreResult {
+	cr := CoreResult{
+		App:      c.app.Spec.Name,
+		CPU:      c.core.Stats(),
+		Hier:     c.hier.Stats(),
+		L1:       c.hier.L1().Stats(),
+		L2:       c.hier.L2().Stats(),
+		Prefetch: c.hier.PrefetchStats(),
+		Window:   window,
+	}
+	if pt, ok := s.os.PageTable(c.proc); ok {
+		cr.PagesByModule = pt.ResidentByModule()
+	}
+	if tlb, ok := s.os.TLB(c.proc); ok {
+		cr.TLBHitRate = tlb.HitRate()
+	}
+	if c.profiler != nil {
+		pr := c.profiler.Snapshot(c.app.Spec.Name, c.allocator.Names(), s.cfg.Thresholds)
+		cr.Profile = &pr
+	}
+	return cr
+}

@@ -1,0 +1,284 @@
+// Package stats provides the small numeric and formatting toolkit the
+// experiment harness uses to render paper-style tables: aligned text
+// tables, normalization against a baseline column, and summary means.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  [][]string
+	Notes []string
+}
+
+// NewTable builds a table with the given title and column headers.
+func NewTable(title string, cols ...string) *Table {
+	return &Table{Title: title, Cols: cols}
+}
+
+// AddRow appends a row; missing cells render empty, extras are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Cols))
+	for i := 0; i < len(t.Cols) && i < len(cells); i++ {
+		row[i] = cells[i]
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(note string) { t.Notes = append(t.Notes, note) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		width[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Cols)
+	total := len(t.Cols)*2 - 2
+	for _, w := range width {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// F formats a float at a sensible precision for table cells.
+func F(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// GeoMean returns the geometric mean of positive values (0 if any value is
+// non-positive or the input is empty) — the standard summary for
+// normalized performance ratios.
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}
+
+// Grid is a labeled rows x cols matrix of values — the shape of every
+// figure in the paper's evaluation (bar groups per workload, one bar per
+// memory system). It carries raw values; Normalize derives the
+// relative-to-baseline view the paper plots.
+type Grid struct {
+	Name    string
+	RowName string // e.g. "app" or "mix"
+	Rows    []string
+	Cols    []string
+	Values  [][]float64 // [row][col]
+}
+
+// NewGrid builds an empty grid with the given row and column labels.
+func NewGrid(name, rowName string, rows, cols []string) *Grid {
+	vals := make([][]float64, len(rows))
+	for i := range vals {
+		vals[i] = make([]float64, len(cols))
+	}
+	return &Grid{Name: name, RowName: rowName, Rows: rows, Cols: cols, Values: vals}
+}
+
+// Set stores a value by labels; unknown labels panic (a harness bug).
+func (g *Grid) Set(row, col string, v float64) {
+	g.Values[g.rowIndex(row)][g.colIndex(col)] = v
+}
+
+// Get fetches a value by labels.
+func (g *Grid) Get(row, col string) float64 {
+	return g.Values[g.rowIndex(row)][g.colIndex(col)]
+}
+
+func (g *Grid) rowIndex(row string) int {
+	for i, r := range g.Rows {
+		if r == row {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("stats: unknown row %q in grid %q", row, g.Name))
+}
+
+func (g *Grid) colIndex(col string) int {
+	for i, c := range g.Cols {
+		if c == col {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("stats: unknown column %q in grid %q", col, g.Name))
+}
+
+// Normalize returns a copy where every row is divided by that row's value
+// in the baseline column (the paper's "normalized to Homogen-DDR3" /
+// "normalized to Heter-App" presentation). Zero baselines leave the row
+// unnormalized.
+func (g *Grid) Normalize(baseline string) *Grid {
+	bi := g.colIndex(baseline)
+	out := NewGrid(g.Name+" (normalized to "+baseline+")", g.RowName, g.Rows, g.Cols)
+	for r := range g.Values {
+		base := g.Values[r][bi]
+		for c := range g.Values[r] {
+			if base != 0 {
+				out.Values[r][c] = g.Values[r][c] / base
+			} else {
+				out.Values[r][c] = g.Values[r][c]
+			}
+		}
+	}
+	return out
+}
+
+// ColMean returns the arithmetic mean of one column.
+func (g *Grid) ColMean(col string) float64 {
+	ci := g.colIndex(col)
+	var vals []float64
+	for r := range g.Values {
+		vals = append(vals, g.Values[r][ci])
+	}
+	return Mean(vals)
+}
+
+// ColGeoMean returns the geometric mean of one column.
+func (g *Grid) ColGeoMean(col string) float64 {
+	ci := g.colIndex(col)
+	var vals []float64
+	for r := range g.Values {
+		vals = append(vals, g.Values[r][ci])
+	}
+	return GeoMean(vals)
+}
+
+// Table renders the grid with a trailing mean row.
+func (g *Grid) Table() *Table {
+	t := NewTable(g.Name, append([]string{g.RowName}, g.Cols...)...)
+	for r, label := range g.Rows {
+		cells := []string{label}
+		for c := range g.Cols {
+			cells = append(cells, F(g.Values[r][c]))
+		}
+		t.AddRow(cells...)
+	}
+	mean := []string{"mean"}
+	for _, c := range g.Cols {
+		mean = append(mean, F(g.ColMean(c)))
+	}
+	t.AddRow(mean...)
+	return t
+}
+
+// CSV renders the grid as comma-separated values (full float precision),
+// for plotting tools.
+func (g *Grid) CSV() string {
+	var b strings.Builder
+	b.WriteString(g.RowName)
+	for _, c := range g.Cols {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for r, label := range g.Rows {
+		b.WriteString(csvEscape(label))
+		for c := range g.Cols {
+			fmt.Fprintf(&b, ",%g", g.Values[r][c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		b.WriteByte('|')
+		for _, c := range cells {
+			b.WriteByte(' ')
+			b.WriteString(strings.ReplaceAll(c, "|", `\|`))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Cols)
+	sep := make([]string, len(t.Cols))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "app", "value")
+	tb.AddRow("mcf", "1.5")
+	tb.AddRow("a-very-long-name", "2")
+	tb.AddRow("short") // missing cell
+	tb.AddNote("hello")
+	s := tb.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "a-very-long-name") {
+		t.Errorf("render:\n%s", s)
+	}
+	if !strings.Contains(s, "note: hello") {
+		t.Error("note missing")
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// Title, header, rule, 3 rows, note.
+	if len(lines) != 7 {
+		t.Errorf("got %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		1234.5: "1234", // %.0f rounds half to even
+		12.34:  "12.3",
+		1.2345: "1.234",
+		0.5:    "0.500",
+	}
+	for v, want := range cases {
+		if got := F(v); got != want {
+			t.Errorf("F(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if Mean(nil) != 0 || GeoMean(nil) != 0 {
+		t.Error("empty means not 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v", got)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Error("GeoMean with zero should be 0")
+	}
+}
+
+func TestGridSetGetNormalize(t *testing.T) {
+	g := NewGrid("fig", "app", []string{"a", "b"}, []string{"base", "x"})
+	g.Set("a", "base", 2)
+	g.Set("a", "x", 1)
+	g.Set("b", "base", 4)
+	g.Set("b", "x", 8)
+	if g.Get("b", "x") != 8 {
+		t.Error("get")
+	}
+	n := g.Normalize("base")
+	if n.Get("a", "base") != 1 || n.Get("a", "x") != 0.5 || n.Get("b", "x") != 2 {
+		t.Errorf("normalized: %+v", n.Values)
+	}
+	// Baseline column becomes all ones.
+	if n.ColMean("base") != 1 {
+		t.Error("baseline column not 1")
+	}
+	if got := n.ColMean("x"); got != 1.25 {
+		t.Errorf("ColMean = %v", got)
+	}
+	if got := n.ColGeoMean("x"); got != 1 {
+		t.Errorf("ColGeoMean = %v", got)
+	}
+}
+
+func TestGridZeroBaseline(t *testing.T) {
+	g := NewGrid("fig", "app", []string{"a"}, []string{"base", "x"})
+	g.Set("a", "x", 5)
+	n := g.Normalize("base")
+	if n.Get("a", "x") != 5 {
+		t.Error("zero baseline should leave values unchanged")
+	}
+}
+
+func TestGridUnknownLabelPanics(t *testing.T) {
+	g := NewGrid("fig", "app", []string{"a"}, []string{"c"})
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown label did not panic")
+		}
+	}()
+	g.Set("zz", "c", 1)
+}
+
+func TestGridTable(t *testing.T) {
+	g := NewGrid("fig", "app", []string{"a"}, []string{"c1", "c2"})
+	g.Set("a", "c1", 1)
+	g.Set("a", "c2", 2)
+	s := g.Table().String()
+	if !strings.Contains(s, "mean") || !strings.Contains(s, "fig") {
+		t.Errorf("table:\n%s", s)
+	}
+}
+
+// Property: normalizing twice by the same baseline is idempotent.
+func TestPropertyNormalizeIdempotent(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		g := NewGrid("g", "r", []string{"r1", "r2"}, []string{"base", "x"})
+		g.Set("r1", "base", float64(a)+1)
+		g.Set("r1", "x", float64(b)+1)
+		g.Set("r2", "base", float64(c)+1)
+		g.Set("r2", "x", float64(d)+1)
+		n1 := g.Normalize("base")
+		n2 := n1.Normalize("base")
+		for r := range n1.Values {
+			for col := range n1.Values[r] {
+				if math.Abs(n1.Values[r][col]-n2.Values[r][col]) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GeoMean lies between min and max for positive inputs.
+func TestPropertyGeoMeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var vals []float64
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			v := float64(r) + 1
+			vals = append(vals, v)
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		gm := GeoMean(vals)
+		return gm >= min-1e-9 && gm <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridCSV(t *testing.T) {
+	g := NewGrid("fig", "app", []string{"a,b", "c"}, []string{"x"})
+	g.Set("a,b", "x", 1.25)
+	g.Set("c", "x", 2)
+	csv := g.CSV()
+	want := "app,x\n\"a,b\",1.25\nc,2\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("Demo", "a", "b")
+	tb.AddRow("x|y", "1")
+	tb.AddNote("note here")
+	md := tb.Markdown()
+	for _, want := range []string{"**Demo**", "| a | b |", "| --- | --- |", `x\|y`, "*note here*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"moca/internal/cpu"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace decoder: it must never
+// panic, never loop forever, and always either produce instructions or
+// stop with done/Err.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid trace and a few corruptions of it.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Append(cpu.Instr{Kind: cpu.Compute, N: 12})
+	w.Append(cpu.Instr{Kind: cpu.Load, VAddr: 0x1000_0000_0000, Obj: 5})
+	w.Append(cpu.Instr{Kind: cpu.Store, VAddr: 0x1000_0000_0040, Obj: 5})
+	w.Close()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	corrupt := append([]byte{}, valid...)
+	corrupt[10] ^= 0xFF
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// The stream is at most a few bytes per instruction; bound the
+		// loop far above any decodable count to catch livelock.
+		for i := 0; i <= len(data)+8; i++ {
+			in, ok := r.Next()
+			if !ok {
+				return
+			}
+			if in.Kind == cpu.Compute && in.N < 1 {
+				t.Fatalf("decoded compute batch with N=%d", in.N)
+			}
+		}
+		t.Fatalf("decoder produced more instructions than input bytes")
+	})
+}

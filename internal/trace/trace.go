@@ -1,0 +1,277 @@
+// Package trace records and replays instruction streams. A trace captures
+// the exact sequence a workload generator produced — compute batches,
+// loads, stores, addresses, object identities, dependence flags — in a
+// compact varint-encoded binary format, so a run can be archived, shared,
+// and replayed bit-identically, or produced by an external tool instead of
+// the built-in generators.
+//
+// Addresses in a trace are virtual and carry the heap-partition layout of
+// the run that produced them (see internal/heap): replaying under a
+// MOCA-policy system requires the trace to have been recorded from an
+// application instrumented with the same classification, because the
+// partition an address lives in is what tells the OS the object's class.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"moca/internal/cpu"
+)
+
+// Magic and version identify the file format.
+const (
+	Magic   = "MOCATRC1"
+	version = 1
+)
+
+// opcodes
+const (
+	opCompute = 0
+	opLoad    = 1
+	opLoadDep = 2
+	opStore   = 3
+	opEnd     = 255
+)
+
+// Writer streams instructions to a trace file.
+type Writer struct {
+	w      *bufio.Writer
+	count  uint64
+	closed bool
+
+	lastAddr uint64
+	lastObj  uint64
+}
+
+// NewWriter writes a trace header and returns the writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	var hdr [1]byte
+	hdr[0] = version
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Append records one instruction.
+func (t *Writer) Append(in cpu.Instr) error {
+	if t.closed {
+		return fmt.Errorf("trace: append after Close")
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := t.w.Write(buf[:n])
+		return err
+	}
+	writeVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := t.w.Write(buf[:n])
+		return err
+	}
+
+	switch in.Kind {
+	case cpu.Compute:
+		n := in.N
+		if n < 1 {
+			n = 1
+		}
+		if err := t.w.WriteByte(opCompute); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(n)); err != nil {
+			return err
+		}
+	case cpu.Load, cpu.Store:
+		op := byte(opStore)
+		if in.Kind == cpu.Load {
+			if in.DependsOnPrev {
+				op = opLoadDep
+			} else {
+				op = opLoad
+			}
+		}
+		if err := t.w.WriteByte(op); err != nil {
+			return err
+		}
+		// Addresses delta-encode against the previous access; objects
+		// delta-encode too (usually unchanged or nearby).
+		if err := writeVarint(int64(in.VAddr) - int64(t.lastAddr)); err != nil {
+			return err
+		}
+		if err := writeVarint(int64(in.Obj) - int64(t.lastObj)); err != nil {
+			return err
+		}
+		t.lastAddr, t.lastObj = in.VAddr, in.Obj
+	default:
+		return fmt.Errorf("trace: unknown instruction kind %d", in.Kind)
+	}
+	t.count++
+	return nil
+}
+
+// Count returns the number of recorded instructions (compute batches count
+// once).
+func (t *Writer) Count() uint64 { return t.count }
+
+// Close terminates and flushes the trace.
+func (t *Writer) Close() error {
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	if err := t.w.WriteByte(opEnd); err != nil {
+		return err
+	}
+	return t.w.Flush()
+}
+
+// Record drains up to n instructions from a stream into the writer.
+// It returns the number recorded (less than n if the stream ended).
+func Record(w *Writer, s cpu.Stream, n uint64) (uint64, error) {
+	var recorded uint64
+	for recorded < n {
+		in, ok := s.Next()
+		if !ok {
+			break
+		}
+		if err := w.Append(in); err != nil {
+			return recorded, err
+		}
+		recorded++
+	}
+	return recorded, nil
+}
+
+// Reader replays a trace as a cpu.Stream.
+type Reader struct {
+	r    *bufio.Reader
+	done bool
+	err  error
+
+	lastAddr uint64
+	lastObj  uint64
+}
+
+// NewReader validates the header and returns a replay stream.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if ver != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Err returns the decode error that terminated the stream, if any.
+func (t *Reader) Err() error { return t.err }
+
+// Next implements cpu.Stream.
+func (t *Reader) Next() (cpu.Instr, bool) {
+	if t.done {
+		return cpu.Instr{}, false
+	}
+	fail := func(err error) (cpu.Instr, bool) {
+		t.done = true
+		if err != io.EOF {
+			t.err = err
+		}
+		return cpu.Instr{}, false
+	}
+	op, err := t.r.ReadByte()
+	if err != nil {
+		return fail(err)
+	}
+	switch op {
+	case opEnd:
+		t.done = true
+		return cpu.Instr{}, false
+	case opCompute:
+		n, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			return fail(err)
+		}
+		// Harden against hand-crafted traces: batches are at least one
+		// instruction and bounded so int conversion cannot overflow.
+		if n < 1 {
+			n = 1
+		}
+		if n > 1<<30 {
+			return fail(fmt.Errorf("trace: absurd compute batch of %d", n))
+		}
+		return cpu.Instr{Kind: cpu.Compute, N: int(n)}, true
+	case opLoad, opLoadDep, opStore:
+		dAddr, err := binary.ReadVarint(t.r)
+		if err != nil {
+			return fail(err)
+		}
+		dObj, err := binary.ReadVarint(t.r)
+		if err != nil {
+			return fail(err)
+		}
+		t.lastAddr = uint64(int64(t.lastAddr) + dAddr)
+		t.lastObj = uint64(int64(t.lastObj) + dObj)
+		in := cpu.Instr{VAddr: t.lastAddr, Obj: t.lastObj}
+		switch op {
+		case opLoad:
+			in.Kind = cpu.Load
+		case opLoadDep:
+			in.Kind = cpu.Load
+			in.DependsOnPrev = true
+		case opStore:
+			in.Kind = cpu.Store
+		}
+		return in, true
+	default:
+		return fail(fmt.Errorf("trace: unknown opcode %d", op))
+	}
+}
+
+var _ cpu.Stream = (*Reader)(nil)
+
+// Loop wraps a finite stream source so it restarts from a factory when
+// exhausted — letting a finite trace drive an arbitrarily long simulation.
+type Loop struct {
+	open func() (cpu.Stream, error)
+	cur  cpu.Stream
+}
+
+// NewLoop builds a looping stream; open is called for each pass.
+func NewLoop(open func() (cpu.Stream, error)) *Loop {
+	return &Loop{open: open}
+}
+
+// Next implements cpu.Stream.
+func (l *Loop) Next() (cpu.Instr, bool) {
+	for attempt := 0; attempt < 2; attempt++ {
+		if l.cur == nil {
+			s, err := l.open()
+			if err != nil || s == nil {
+				return cpu.Instr{}, false
+			}
+			l.cur = s
+		}
+		if in, ok := l.cur.Next(); ok {
+			return in, true
+		}
+		l.cur = nil
+	}
+	return cpu.Instr{}, false
+}

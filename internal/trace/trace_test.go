@@ -1,0 +1,255 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"moca/internal/cpu"
+	"moca/internal/heap"
+	"moca/internal/workload"
+)
+
+func roundTrip(t *testing.T, ins []cpu.Instr) []cpu.Instr {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range ins {
+		if err := w.Append(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []cpu.Instr
+	for {
+		in, ok := r.Next()
+		if !ok {
+			break
+		}
+		out = append(out, in)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	return out
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	ins := []cpu.Instr{
+		{Kind: cpu.Compute, N: 7},
+		{Kind: cpu.Load, VAddr: 0x1000, Obj: 3},
+		{Kind: cpu.Load, VAddr: 0x1008, Obj: 3, DependsOnPrev: true},
+		{Kind: cpu.Store, VAddr: 0x7FFF0000_0000, Obj: 0},
+		{Kind: cpu.Compute, N: 1},
+		{Kind: cpu.Load, VAddr: 0x2000_0000_0000, Obj: 4},
+	}
+	out := roundTrip(t, ins)
+	if len(out) != len(ins) {
+		t.Fatalf("replayed %d instructions, want %d", len(out), len(ins))
+	}
+	for i := range ins {
+		want := ins[i]
+		if want.Kind == cpu.Compute && want.N < 1 {
+			want.N = 1
+		}
+		if out[i] != want {
+			t.Errorf("instr %d: got %+v, want %+v", i, out[i], want)
+		}
+	}
+}
+
+func TestRecordFromWorkload(t *testing.T) {
+	a := heap.New(heap.Config{})
+	app, err := workload.Instantiate(workload.GCC(), a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	n, err := Record(w, app.Stream(), 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20_000 {
+		t.Fatalf("recorded %d, want 20000", n)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 20_000 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	// Compression sanity: delta+varint should beat 16 bytes/instr easily.
+	if perInstr := float64(buf.Len()) / 20_000; perInstr > 8 {
+		t.Errorf("trace uses %.1f bytes/instruction; expected compact encoding", perInstr)
+	}
+
+	// Replay must equal a fresh generation of the same stream.
+	a2 := heap.New(heap.Config{})
+	app2, _ := workload.Instantiate(workload.GCC(), a2, 0)
+	fresh := app2.Stream()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20_000; i++ {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("trace ended at %d", i)
+		}
+		want, _ := fresh.Next()
+		if want.Kind == cpu.Compute && want.N < 1 {
+			want.N = 1
+		}
+		if got != want {
+			t.Fatalf("instr %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("trace longer than recorded")
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("MOCA"))); err == nil {
+		t.Error("truncated header accepted")
+	}
+	bad := append([]byte(Magic), 99) // wrong version
+	if _, err := NewReader(bytes.NewReader(bad)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	// Unknown opcode after a valid header.
+	evil := append([]byte(Magic), 1, 200)
+	r, err := NewReader(bytes.NewReader(evil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("unknown opcode produced an instruction")
+	}
+	if r.Err() == nil {
+		t.Error("no decode error reported")
+	}
+}
+
+func TestTruncatedTraceStopsCleanly(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Append(cpu.Instr{Kind: cpu.Load, VAddr: 0x40, Obj: 1})
+	w.Close()
+	data := buf.Bytes()[:buf.Len()-2] // drop the end marker and a byte
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	// A truncated tail is an error; a clean EOF right at an opcode
+	// boundary would not be.
+	if r.Err() == nil {
+		t.Log("note: truncation landed on an opcode boundary")
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Close()
+	if err := w.Append(cpu.Instr{Kind: cpu.Compute, N: 1}); err == nil {
+		t.Error("append after close accepted")
+	}
+}
+
+func TestLoopRestartsStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 5; i++ {
+		w.Append(cpu.Instr{Kind: cpu.Load, VAddr: uint64(i) * 64, Obj: 1})
+	}
+	w.Close()
+	data := buf.Bytes()
+
+	loop := NewLoop(func() (cpu.Stream, error) {
+		return NewReader(bytes.NewReader(data))
+	})
+	var addrs []uint64
+	for i := 0; i < 12; i++ {
+		in, ok := loop.Next()
+		if !ok {
+			t.Fatalf("loop ended at %d", i)
+		}
+		addrs = append(addrs, in.VAddr)
+	}
+	for i := 0; i < 12; i++ {
+		if addrs[i] != uint64(i%5)*64 {
+			t.Fatalf("loop sequence wrong at %d: %v", i, addrs)
+		}
+	}
+}
+
+// Property: arbitrary instruction sequences survive the round trip.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var ins []cpu.Instr
+		var lastWasLoad bool
+		for _, r := range raw {
+			switch r % 3 {
+			case 0:
+				ins = append(ins, cpu.Instr{Kind: cpu.Compute, N: int(r%1000) + 1})
+				lastWasLoad = false
+			case 1:
+				ins = append(ins, cpu.Instr{
+					Kind: cpu.Load, VAddr: uint64(r) * 13, Obj: uint64(r % 17),
+					DependsOnPrev: lastWasLoad && r%2 == 0,
+				})
+				lastWasLoad = true
+			case 2:
+				ins = append(ins, cpu.Instr{Kind: cpu.Store, VAddr: uint64(r) * 7, Obj: uint64(r % 5)})
+				lastWasLoad = false
+			}
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, in := range ins {
+			if w.Append(in) != nil {
+				return false
+			}
+		}
+		if w.Close() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, want := range ins {
+			got, ok := r.Next()
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := r.Next()
+		return !ok && r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

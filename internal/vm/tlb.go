@@ -1,0 +1,94 @@
+package vm
+
+// TLB is a small fully-associative LRU translation lookaside buffer. The
+// paper describes the TLB/page-walk path (Section IV-D) but does not
+// evaluate its timing, so the simulator uses the TLB for statistics only;
+// hit/miss counts are reported alongside the other metrics.
+type TLB struct {
+	entries  int
+	slots    []tlbSlot
+	useClock uint64
+	hits     uint64
+	misses   uint64
+}
+
+type tlbSlot struct {
+	vpage   uint64
+	frame   Frame
+	valid   bool
+	lastUse uint64
+}
+
+// NewTLB builds a TLB with the given entry count (64 is typical).
+func NewTLB(entries int) *TLB {
+	if entries <= 0 {
+		entries = 64
+	}
+	return &TLB{entries: entries, slots: make([]tlbSlot, entries)}
+}
+
+// Lookup returns the cached translation for a virtual page.
+func (t *TLB) Lookup(vpage uint64) (Frame, bool) {
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.valid && s.vpage == vpage {
+			t.useClock++
+			s.lastUse = t.useClock
+			t.hits++
+			return s.frame, true
+		}
+	}
+	t.misses++
+	return Frame{}, false
+}
+
+// Insert caches a translation, evicting the LRU entry if full.
+func (t *TLB) Insert(vpage uint64, f Frame) {
+	victim := 0
+	var oldest uint64
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.valid && s.vpage == vpage {
+			s.frame = f
+			return
+		}
+		if !s.valid {
+			victim = i
+			oldest = 0
+			break
+		}
+		if i == 0 || s.lastUse < oldest {
+			victim, oldest = i, s.lastUse
+		}
+	}
+	t.useClock++
+	t.slots[victim] = tlbSlot{vpage: vpage, frame: f, valid: true, lastUse: t.useClock}
+}
+
+// Invalidate drops the translation for a virtual page (the migration
+// shootdown). Reports whether an entry was present.
+func (t *TLB) Invalidate(vpage uint64) bool {
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.valid && s.vpage == vpage {
+			*s = tlbSlot{}
+			return true
+		}
+	}
+	return false
+}
+
+// Hits returns the hit count.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses returns the miss count.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// HitRate returns hits / (hits + misses).
+func (t *TLB) HitRate() float64 {
+	total := t.hits + t.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.hits) / float64(total)
+}

@@ -1,0 +1,164 @@
+// Package vm models the virtual-memory substrate MOCA's page allocator
+// plugs into: 4 KB pages, per-process page tables, and per-module physical
+// frame pools. A physical address encodes (module, frame, offset) so the
+// memory system can route each line to the channel owning its module —
+// the mechanism by which page placement selects a memory module (paper
+// Section IV-D).
+package vm
+
+import (
+	"fmt"
+
+	"moca/internal/mem"
+)
+
+const (
+	// PageShift and PageBytes define the 4 KB page size.
+	PageShift = 12
+	PageBytes = 1 << PageShift
+
+	// moduleShift places the module ID above a 1 TB per-module offset
+	// space in the composed physical address.
+	moduleShift = 40
+	offsetMask  = (uint64(1) << moduleShift) - 1
+)
+
+// VPage returns the virtual page number containing vaddr.
+func VPage(vaddr uint64) uint64 { return vaddr >> PageShift }
+
+// Compose builds a physical address from a module ID, a frame number
+// within the module, and a byte offset within the page.
+func Compose(module int, frame uint64, offset uint64) uint64 {
+	return uint64(module)<<moduleShift | frame<<PageShift | (offset & (PageBytes - 1))
+}
+
+// ModuleOf extracts the module ID from a physical address.
+func ModuleOf(paddr uint64) int { return int(paddr >> moduleShift) }
+
+// ModuleOffset extracts the byte offset within the module.
+func ModuleOffset(paddr uint64) uint64 { return paddr & offsetMask }
+
+// Module is one physical memory module: a pool of page frames backed by a
+// specific memory technology.
+type Module struct {
+	ID   int
+	Kind mem.Kind
+
+	frames uint64
+	next   uint64   // bump pointer for never-used frames
+	free   []uint64 // recycled frames (LIFO)
+}
+
+// NewModule builds a frame pool of the given capacity (rounded down to
+// whole pages).
+func NewModule(id int, kind mem.Kind, capacityBytes uint64) (*Module, error) {
+	if capacityBytes < PageBytes {
+		return nil, fmt.Errorf("vm: module %d capacity %d smaller than a page", id, capacityBytes)
+	}
+	if capacityBytes>>PageShift > offsetMask>>PageShift {
+		return nil, fmt.Errorf("vm: module %d capacity %d exceeds addressable range", id, capacityBytes)
+	}
+	return &Module{ID: id, Kind: kind, frames: capacityBytes >> PageShift}, nil
+}
+
+// Capacity returns the module size in bytes.
+func (m *Module) Capacity() uint64 { return m.frames << PageShift }
+
+// Frames returns the total frame count.
+func (m *Module) Frames() uint64 { return m.frames }
+
+// Used returns the number of allocated frames.
+func (m *Module) Used() uint64 { return m.next - uint64(len(m.free)) }
+
+// Free returns the number of available frames.
+func (m *Module) Free() uint64 { return m.frames - m.Used() }
+
+// Alloc takes a frame from the pool; ok=false when the module is full
+// (the trigger for MOCA's next-best-module fallback).
+func (m *Module) Alloc() (frame uint64, ok bool) {
+	if n := len(m.free); n > 0 {
+		frame = m.free[n-1]
+		m.free = m.free[:n-1]
+		return frame, true
+	}
+	if m.next >= m.frames {
+		return 0, false
+	}
+	frame = m.next
+	m.next++
+	return frame, true
+}
+
+// Release returns a frame to the pool. Releasing an unallocated frame is a
+// simulator bug and panics.
+func (m *Module) Release(frame uint64) {
+	if frame >= m.next {
+		panic(fmt.Sprintf("vm: module %d: release of never-allocated frame %d", m.ID, frame))
+	}
+	m.free = append(m.free, frame)
+	if uint64(len(m.free)) > m.next {
+		panic(fmt.Sprintf("vm: module %d: double release detected", m.ID))
+	}
+}
+
+// Frame is a physical page: a (module, frame-number) pair.
+type Frame struct {
+	Module int
+	Number uint64
+}
+
+// PageTable maps one process's virtual pages to physical frames.
+type PageTable struct {
+	pages map[uint64]Frame
+	walks uint64
+}
+
+// NewPageTable returns an empty page table.
+func NewPageTable() *PageTable {
+	return &PageTable{pages: make(map[uint64]Frame)}
+}
+
+// Lookup finds the frame backing a virtual page. Every call models a page
+// walk (the simulator translates once per access; TLB filtering is applied
+// by the caller if modeled).
+func (pt *PageTable) Lookup(vpage uint64) (Frame, bool) {
+	pt.walks++
+	f, ok := pt.pages[vpage]
+	return f, ok
+}
+
+// Map installs a translation. Remapping a mapped page panics: the
+// simulator never swaps implicitly — migration uses Remap.
+func (pt *PageTable) Map(vpage uint64, f Frame) {
+	if _, dup := pt.pages[vpage]; dup {
+		panic(fmt.Sprintf("vm: remap of vpage %#x", vpage))
+	}
+	pt.pages[vpage] = f
+}
+
+// Remap moves an existing translation to a new frame (page migration) and
+// returns the old frame. Remapping an unmapped page panics.
+func (pt *PageTable) Remap(vpage uint64, f Frame) Frame {
+	old, ok := pt.pages[vpage]
+	if !ok {
+		panic(fmt.Sprintf("vm: remap of unmapped vpage %#x", vpage))
+	}
+	pt.pages[vpage] = f
+	return old
+}
+
+// Mapped returns the number of installed translations.
+func (pt *PageTable) Mapped() int { return len(pt.pages) }
+
+// Walks returns the number of Lookup calls.
+func (pt *PageTable) Walks() uint64 { return pt.walks }
+
+// ResidentByModule counts this process's mapped pages per module ID,
+// the per-process placement census used in experiment reporting.
+func (pt *PageTable) ResidentByModule() map[int]int {
+	out := make(map[int]int)
+	for _, f := range pt.pages {
+		out[f.Module]++
+	}
+	return out
+}

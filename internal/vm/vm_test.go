@@ -1,0 +1,228 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"moca/internal/mem"
+)
+
+func TestComposeDecompose(t *testing.T) {
+	paddr := Compose(3, 0x1234, 0x567)
+	if ModuleOf(paddr) != 3 {
+		t.Errorf("ModuleOf = %d, want 3", ModuleOf(paddr))
+	}
+	if got := ModuleOffset(paddr); got != 0x1234<<PageShift|0x567 {
+		t.Errorf("ModuleOffset = %#x", got)
+	}
+}
+
+func TestVPage(t *testing.T) {
+	if VPage(0) != 0 || VPage(4095) != 0 || VPage(4096) != 1 || VPage(12*4096+17) != 12 {
+		t.Error("VPage arithmetic wrong")
+	}
+}
+
+func TestModuleAllocRelease(t *testing.T) {
+	m, err := NewModule(0, mem.DDR3, 8*PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Frames() != 8 || m.Capacity() != 8*PageBytes {
+		t.Fatalf("frames=%d capacity=%d", m.Frames(), m.Capacity())
+	}
+	var frames []uint64
+	for i := 0; i < 8; i++ {
+		f, ok := m.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		frames = append(frames, f)
+	}
+	if _, ok := m.Alloc(); ok {
+		t.Fatal("alloc beyond capacity succeeded")
+	}
+	if m.Free() != 0 || m.Used() != 8 {
+		t.Errorf("free=%d used=%d", m.Free(), m.Used())
+	}
+	m.Release(frames[3])
+	if m.Free() != 1 {
+		t.Errorf("free after release = %d", m.Free())
+	}
+	f, ok := m.Alloc()
+	if !ok || f != frames[3] {
+		t.Errorf("realloc = (%d,%v), want recycled frame %d", f, ok, frames[3])
+	}
+}
+
+func TestModuleDistinctFrames(t *testing.T) {
+	m, _ := NewModule(1, mem.HBM, 128*PageBytes)
+	seen := map[uint64]bool{}
+	for {
+		f, ok := m.Alloc()
+		if !ok {
+			break
+		}
+		if seen[f] {
+			t.Fatalf("frame %d allocated twice", f)
+		}
+		seen[f] = true
+	}
+	if len(seen) != 128 {
+		t.Errorf("allocated %d distinct frames, want 128", len(seen))
+	}
+}
+
+func TestNewModuleErrors(t *testing.T) {
+	if _, err := NewModule(0, mem.DDR3, 100); err == nil {
+		t.Error("sub-page capacity accepted")
+	}
+	if _, err := NewModule(0, mem.DDR3, 1<<41); err == nil {
+		t.Error("over-range capacity accepted")
+	}
+}
+
+func TestReleasePanics(t *testing.T) {
+	m, _ := NewModule(0, mem.DDR3, 4*PageBytes)
+	defer func() {
+		if recover() == nil {
+			t.Error("release of never-allocated frame did not panic")
+		}
+	}()
+	m.Release(2)
+}
+
+func TestPageTable(t *testing.T) {
+	pt := NewPageTable()
+	if _, ok := pt.Lookup(5); ok {
+		t.Fatal("empty table hit")
+	}
+	pt.Map(5, Frame{Module: 1, Number: 42})
+	f, ok := pt.Lookup(5)
+	if !ok || f.Module != 1 || f.Number != 42 {
+		t.Fatalf("lookup = %+v,%v", f, ok)
+	}
+	if pt.Mapped() != 1 || pt.Walks() != 2 {
+		t.Errorf("mapped=%d walks=%d", pt.Mapped(), pt.Walks())
+	}
+}
+
+func TestPageTableRemapPanics(t *testing.T) {
+	pt := NewPageTable()
+	pt.Map(1, Frame{})
+	defer func() {
+		if recover() == nil {
+			t.Error("remap did not panic")
+		}
+	}()
+	pt.Map(1, Frame{Module: 1})
+}
+
+func TestResidentByModule(t *testing.T) {
+	pt := NewPageTable()
+	pt.Map(0, Frame{Module: 0})
+	pt.Map(1, Frame{Module: 2})
+	pt.Map(2, Frame{Module: 2})
+	got := pt.ResidentByModule()
+	if got[0] != 1 || got[2] != 2 {
+		t.Errorf("ResidentByModule = %v", got)
+	}
+}
+
+// Property: used + free == frames under any alloc/release interleaving,
+// and no frame is ever handed out twice concurrently.
+func TestPropertyModuleConservation(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		m, err := NewModule(0, mem.LPDDR2, 32*PageBytes)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		live := map[uint64]bool{}
+		var liveList []uint64
+		ops := int(opsRaw) + 50
+		for i := 0; i < ops; i++ {
+			if rng.Intn(2) == 0 || len(liveList) == 0 {
+				fr, ok := m.Alloc()
+				if ok {
+					if live[fr] {
+						return false // double allocation
+					}
+					live[fr] = true
+					liveList = append(liveList, fr)
+				}
+			} else {
+				idx := rng.Intn(len(liveList))
+				fr := liveList[idx]
+				liveList = append(liveList[:idx], liveList[idx+1:]...)
+				delete(live, fr)
+				m.Release(fr)
+			}
+			if m.Used()+m.Free() != m.Frames() {
+				return false
+			}
+			if m.Used() != uint64(len(live)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLBBasic(t *testing.T) {
+	tlb := NewTLB(4)
+	if _, ok := tlb.Lookup(1); ok {
+		t.Fatal("cold TLB hit")
+	}
+	tlb.Insert(1, Frame{Module: 1, Number: 9})
+	f, ok := tlb.Lookup(1)
+	if !ok || f.Number != 9 {
+		t.Fatalf("lookup = %+v,%v", f, ok)
+	}
+	if tlb.Hits() != 1 || tlb.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d", tlb.Hits(), tlb.Misses())
+	}
+	if tlb.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", tlb.HitRate())
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb := NewTLB(2)
+	tlb.Insert(1, Frame{Number: 1})
+	tlb.Insert(2, Frame{Number: 2})
+	tlb.Lookup(1) // 1 most recent
+	tlb.Insert(3, Frame{Number: 3})
+	if _, ok := tlb.Lookup(2); ok {
+		t.Error("LRU entry 2 survived")
+	}
+	if _, ok := tlb.Lookup(1); !ok {
+		t.Error("MRU entry 1 evicted")
+	}
+}
+
+func TestTLBInsertUpdatesExisting(t *testing.T) {
+	tlb := NewTLB(2)
+	tlb.Insert(1, Frame{Number: 1})
+	tlb.Insert(1, Frame{Number: 7})
+	f, ok := tlb.Lookup(1)
+	if !ok || f.Number != 7 {
+		t.Errorf("updated entry = %+v,%v", f, ok)
+	}
+}
+
+func TestTLBDefaultSize(t *testing.T) {
+	tlb := NewTLB(0)
+	for i := uint64(0); i < 64; i++ {
+		tlb.Insert(i, Frame{Number: i})
+	}
+	for i := uint64(0); i < 64; i++ {
+		if _, ok := tlb.Lookup(i); !ok {
+			t.Fatalf("entry %d missing from default-sized TLB", i)
+		}
+	}
+}

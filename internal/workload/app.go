@@ -1,0 +1,406 @@
+package workload
+
+import (
+	"fmt"
+
+	"moca/internal/cpu"
+	"moca/internal/heap"
+)
+
+// ObjectSpec declares one named heap object of an application.
+type ObjectSpec struct {
+	Label   string
+	Site    heap.Site   // synthetic allocation return address
+	Context []heap.Site // synthetic calling context, innermost first
+
+	SizeBytes   uint64
+	Pattern     Pattern
+	Weight      float64 // share of the app's memory accesses
+	WriteFrac   float64 // fraction of accesses that are stores
+	StrideBytes uint64  // for Stream/StreamDep/Resident (default 8)
+	// HotBytes bounds a Resident object's hot window (default: the whole
+	// object, capped at 128 KB). The sum of an app's hot windows should
+	// fit the L2 or the "resident" objects thrash instead of hitting.
+	HotBytes uint64
+
+	// Instances is how many times the site allocates (default 1). All
+	// instances share one name, as the paper's naming scheme dictates;
+	// Weight is split evenly across instances.
+	Instances int
+
+	// SkipInit leaves the object untouched by the initialization phase
+	// (most real objects are written once at startup, which is also what
+	// orders first-touch page placement — the disparity case study).
+	SkipInit bool
+}
+
+// AppSpec declares a synthetic application.
+type AppSpec struct {
+	Name string
+	// ComputePerMemory is the mean number of compute instructions between
+	// memory accesses; Jitter is the uniform spread around it. Together
+	// they set the application's absolute access intensity.
+	ComputePerMemory int
+	ComputeJitter    int
+
+	Objects []ObjectSpec
+
+	// Non-heap segment behavior (Fig. 16): small, cache-friendly.
+	StackWeight   float64
+	CodeWeight    float64
+	GlobalsWeight float64
+	StackBytes    uint64
+	CodeBytes     uint64
+	GlobalsBytes  uint64
+
+	// Seed determines the app's random streams; inputs shift it.
+	Seed uint64
+
+	// Phases, when non-empty, make the steady state time-varying: each
+	// phase runs for Items stream elements with the given per-label
+	// weight overrides, then the next phase starts (cycling). Apps with
+	// phases violate MOCA's stable-behavior assumption (paper Section
+	// III) — the phase extension experiment measures the consequence.
+	Phases []PhaseSpec
+}
+
+// PhaseSpec is one steady-state phase of a time-varying application.
+type PhaseSpec struct {
+	// Items is the phase length in stream elements (access + gap pairs).
+	Items uint64
+	// Weights overrides object weights by label (absent labels keep the
+	// spec's base weight; pseudo segments are unaffected).
+	Weights map[string]float64
+}
+
+// Validate reports a specification error, if any.
+func (s AppSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: unnamed app")
+	}
+	if s.ComputePerMemory < 0 || s.ComputeJitter < 0 {
+		return fmt.Errorf("workload: %s: negative compute gap", s.Name)
+	}
+	if len(s.Objects) == 0 {
+		return fmt.Errorf("workload: %s: no objects", s.Name)
+	}
+	for i, ph := range s.Phases {
+		if ph.Items == 0 {
+			return fmt.Errorf("workload: %s: phase %d has zero length", s.Name, i)
+		}
+		for label, w := range ph.Weights {
+			if w < 0 {
+				return fmt.Errorf("workload: %s: phase %d: negative weight for %q", s.Name, i, label)
+			}
+			found := false
+			for _, o := range s.Objects {
+				if o.Label == label {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("workload: %s: phase %d overrides unknown object %q", s.Name, i, label)
+			}
+		}
+	}
+	total := s.StackWeight + s.CodeWeight + s.GlobalsWeight
+	for _, o := range s.Objects {
+		if o.SizeBytes < 64 {
+			return fmt.Errorf("workload: %s/%s: size %d below one line", s.Name, o.Label, o.SizeBytes)
+		}
+		if o.Weight < 0 || o.WriteFrac < 0 || o.WriteFrac > 1 {
+			return fmt.Errorf("workload: %s/%s: bad weight or write fraction", s.Name, o.Label)
+		}
+		if o.Instances < 0 {
+			return fmt.Errorf("workload: %s/%s: negative instances", s.Name, o.Label)
+		}
+		total += o.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("workload: %s: zero total access weight", s.Name)
+	}
+	return nil
+}
+
+// Footprint returns the total heap bytes the app allocates.
+func (s AppSpec) Footprint() uint64 {
+	var total uint64
+	for _, o := range s.Objects {
+		n := o.Instances
+		if n < 1 {
+			n = 1
+		}
+		total += o.SizeBytes * uint64(n)
+	}
+	return total
+}
+
+// Scaled returns a copy with every object size multiplied by factor
+// (minimum one cache line). Weights and patterns are unchanged, so
+// classification behavior is preserved across input scales.
+func (s AppSpec) Scaled(factor float64) AppSpec {
+	out := s
+	out.Objects = make([]ObjectSpec, len(s.Objects))
+	copy(out.Objects, s.Objects)
+	for i := range out.Objects {
+		sz := uint64(float64(out.Objects[i].SizeBytes) * factor)
+		if sz < 64 {
+			sz = 64
+		}
+		out.Objects[i].SizeBytes = sz
+	}
+	return out
+}
+
+// Input selects the profiling (train) or evaluation (reference) input set,
+// mirroring the paper's use of SPEC train inputs for profiling and
+// reference inputs for evaluation (Section V-D).
+type Input int
+
+const (
+	// Train is the profiling input: half-sized objects, different seed.
+	Train Input = iota
+	// Ref is the reference input used for evaluation runs.
+	Ref
+)
+
+func (in Input) String() string {
+	if in == Train {
+		return "train"
+	}
+	return "ref"
+}
+
+// ForInput specializes the spec for an input set.
+func (s AppSpec) ForInput(in Input) AppSpec {
+	if in == Ref {
+		return s
+	}
+	out := s.Scaled(0.5)
+	out.Seed = s.Seed*0x9E37 + 0xA5A5
+	return out
+}
+
+// source is one weighted origin of memory accesses.
+type source struct {
+	obj        uint64
+	label      string // empty for pseudo segments
+	cur        *cursor
+	writeFrac  float64
+	baseWeight float64
+	cumWeight  float64 // cumulative, for selection
+}
+
+// App is an instantiated application: objects allocated, generators ready.
+type App struct {
+	Spec  AppSpec
+	alloc *heap.Allocator
+	rng   *RNG
+
+	sources  []source
+	totalW   float64
+	byLabel  map[string]*heap.Object // first instance per label
+	initOps  []initOp
+	initNext int
+
+	phase     int
+	phaseLeft uint64
+}
+
+type initOp struct {
+	obj  uint64
+	addr uint64
+}
+
+// Instantiate allocates the app's objects in declaration order on the
+// given heap and returns the ready-to-run application. seedSalt
+// differentiates multiple instances of one app in a mix.
+func Instantiate(spec AppSpec, allocator *heap.Allocator, seedSalt uint64) (*App, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	a := &App{
+		Spec:    spec,
+		alloc:   allocator,
+		rng:     NewRNG(spec.Seed ^ (seedSalt * 0x2545F4914F6CDD1D)),
+		byLabel: make(map[string]*heap.Object),
+	}
+
+	cum := 0.0
+	addSource := func(obj uint64, label string, cur *cursor, writeFrac, weight float64) {
+		cum += weight
+		a.sources = append(a.sources, source{
+			obj: obj, label: label, cur: cur, writeFrac: writeFrac,
+			baseWeight: weight, cumWeight: cum,
+		})
+	}
+
+	for _, spec := range spec.Objects {
+		n := spec.Instances
+		if n < 1 {
+			n = 1
+		}
+		per := spec.Weight / float64(n)
+		for i := 0; i < n; i++ {
+			o, err := allocator.Alloc(spec.SizeBytes, spec.Site, spec.Context, spec.Label)
+			if err != nil {
+				return nil, fmt.Errorf("workload: %s/%s: %w", a.Spec.Name, spec.Label, err)
+			}
+			if _, seen := a.byLabel[spec.Label]; !seen {
+				a.byLabel[spec.Label] = o
+			}
+			cur := newCursor(spec.Pattern, o.Base, o.Size, spec.StrideBytes, spec.HotBytes, a.rng)
+			addSource(uint64(o.Name), spec.Label, cur, spec.WriteFrac, per)
+			if !spec.SkipInit {
+				for addr := o.Base; addr < o.Base+o.Size; addr += 4096 {
+					a.initOps = append(a.initOps, initOp{obj: uint64(o.Name), addr: addr})
+				}
+			}
+		}
+	}
+
+	seg := func(obj uint64, base, size uint64, weight float64) {
+		if weight <= 0 {
+			return
+		}
+		if size < 64 {
+			size = 64
+		}
+		cur := newCursor(Resident, base, size, 8, 0, a.rng)
+		addSource(obj, "", cur, 0.2, weight)
+	}
+	seg(uint64(heap.ObjStack), heap.StackBase, orDefault(spec.StackBytes, 8<<10), spec.StackWeight)
+	seg(uint64(heap.ObjCode), heap.CodeBase, orDefault(spec.CodeBytes, 32<<10), spec.CodeWeight)
+	seg(uint64(heap.ObjGlobals), heap.DataBase, orDefault(spec.GlobalsBytes, 16<<10), spec.GlobalsWeight)
+
+	a.totalW = cum
+	if len(spec.Phases) > 0 {
+		a.applyPhase(0)
+	}
+	return a, nil
+}
+
+// applyPhase recomputes source weights for the given phase index.
+func (a *App) applyPhase(idx int) {
+	a.phase = idx
+	a.phaseLeft = a.Spec.Phases[idx].Items
+	overrides := a.Spec.Phases[idx].Weights
+	// Count instances per label so overrides split like base weights.
+	perLabel := map[string]int{}
+	for i := range a.sources {
+		if a.sources[i].label != "" {
+			perLabel[a.sources[i].label]++
+		}
+	}
+	cum := 0.0
+	for i := range a.sources {
+		src := &a.sources[i]
+		w := src.baseWeight
+		if src.label != "" {
+			if ov, ok := overrides[src.label]; ok {
+				w = ov / float64(perLabel[src.label])
+			}
+		}
+		cum += w
+		src.cumWeight = cum
+	}
+	a.totalW = cum
+}
+
+// phaseTick advances phase accounting by one steady-state stream element.
+func (a *App) phaseTick() {
+	if len(a.Spec.Phases) == 0 {
+		return
+	}
+	a.phaseLeft--
+	if a.phaseLeft == 0 {
+		a.applyPhase((a.phase + 1) % len(a.Spec.Phases))
+	}
+}
+
+// Phase returns the current phase index (0 for unphased apps).
+func (a *App) Phase() int { return a.phase }
+
+func orDefault(v, def uint64) uint64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// Object returns the first allocated instance for an object label (for
+// case-study assertions and examples).
+func (a *App) Object(label string) (*heap.Object, bool) {
+	o, ok := a.byLabel[label]
+	return o, ok
+}
+
+// Footprint returns the app's allocated heap bytes.
+func (a *App) Footprint() uint64 { return a.Spec.Footprint() }
+
+// Stream returns the application's instruction stream: an initialization
+// phase that writes each object page-by-page in declaration order (the
+// first-touch sequence that drives page placement), followed by an
+// infinite steady-state phase of weighted object accesses separated by
+// compute gaps. The caller decides how many instructions to run.
+func (a *App) Stream() cpu.Stream { return &appStream{app: a} }
+
+type appStream struct {
+	app     *App
+	pending []cpu.Instr
+}
+
+// Next implements cpu.Stream.
+func (s *appStream) Next() (cpu.Instr, bool) {
+	if len(s.pending) > 0 {
+		in := s.pending[0]
+		s.pending = s.pending[1:]
+		return in, true
+	}
+	a := s.app
+
+	// Initialization phase: a short compute gap then a page-touch store.
+	if a.initNext < len(a.initOps) {
+		op := a.initOps[a.initNext]
+		a.initNext++
+		s.pending = append(s.pending, cpu.Instr{Kind: cpu.Store, VAddr: op.addr, Obj: op.obj})
+		return cpu.Instr{Kind: cpu.Compute, N: 4}, true
+	}
+
+	// Steady state: weighted source selection.
+	a.phaseTick()
+	src := a.pick()
+	addr, depends := src.cur.next()
+	gap := a.Spec.ComputePerMemory
+	if j := a.Spec.ComputeJitter; j > 0 {
+		gap += a.rng.Intn(2*j+1) - j
+	}
+	var access cpu.Instr
+	if a.rng.Float64() < src.writeFrac {
+		access = cpu.Instr{Kind: cpu.Store, VAddr: addr, Obj: src.obj}
+	} else {
+		access = cpu.Instr{Kind: cpu.Load, VAddr: addr, Obj: src.obj, DependsOnPrev: depends}
+	}
+	if gap <= 0 {
+		return access, true
+	}
+	s.pending = append(s.pending, access)
+	return cpu.Instr{Kind: cpu.Compute, N: gap}, true
+}
+
+func (a *App) pick() *source {
+	x := a.rng.Float64() * a.totalW
+	for i := range a.sources {
+		if x < a.sources[i].cumWeight {
+			return &a.sources[i]
+		}
+	}
+	return &a.sources[len(a.sources)-1]
+}
+
+// InitInstructions returns the approximate instruction count of the
+// initialization phase (for choosing warm-up windows).
+func (a *App) InitInstructions() uint64 {
+	return uint64(len(a.initOps)) * 5
+}

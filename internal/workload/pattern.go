@@ -1,0 +1,141 @@
+package workload
+
+import "fmt"
+
+// Pattern is a memory object's access behavior. The pattern determines
+// both cache behavior (spatial locality, working-set size) and memory-level
+// parallelism (dependent vs. independent loads), the two axes MOCA
+// classifies on.
+type Pattern int
+
+const (
+	// Stream walks the object sequentially with a configurable stride;
+	// loads are independent (high MLP). Misses scale with stride/line.
+	Stream Pattern = iota
+	// StreamDep walks sequentially but each load consumes the previous
+	// one's value (a reduction or recurrence): streaming footprint with
+	// serialized misses — latency-bound despite regular addresses.
+	StreamDep
+	// Chase performs dependent uniform-random loads (pointer chasing):
+	// every access is a likely miss and MLP is 1 — the classic
+	// latency-sensitive object.
+	Chase
+	// Random performs independent uniform-random accesses: likely misses
+	// with high MLP — the classic bandwidth-sensitive object.
+	Random
+	// Resident walks a small hot window that fits in cache: almost no
+	// misses after warm-up — the non-memory-intensive object.
+	Resident
+	// Burst performs independent random bursts: jump to a random spot,
+	// stream a few lines, jump again. Misses are frequent and overlapped
+	// (high MLP) with enough row locality to reward wide-row modules —
+	// bandwidth-sensitive with realistic regional locality.
+	Burst
+	// Hotspot performs independent random accesses with an 90/10 skew:
+	// 90% of accesses land in the first tenth of the object. Page-level
+	// heat is concentrated — the access shape dynamic page-migration
+	// policies are designed for.
+	Hotspot
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Stream:
+		return "stream"
+	case StreamDep:
+		return "stream-dep"
+	case Chase:
+		return "chase"
+	case Random:
+		return "random"
+	case Resident:
+		return "resident"
+	case Burst:
+		return "burst"
+	case Hotspot:
+		return "hotspot"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// residentWindow bounds the hot working set of Resident objects so it fits
+// comfortably inside the 512 KB L2 (Table I).
+const residentWindow = 128 << 10
+
+// cursor generates addresses for one live object instance.
+type cursor struct {
+	pattern   Pattern
+	base      uint64
+	size      uint64
+	stride    uint64
+	hot       uint64 // Resident window size
+	pos       uint64
+	burstBase uint64 // Burst: current burst's random base
+	rng       *RNG
+}
+
+func newCursor(p Pattern, base, size, stride, hot uint64, rng *RNG) *cursor {
+	if stride == 0 {
+		stride = 8
+	}
+	if hot == 0 || hot > size {
+		hot = size
+	}
+	if hot > residentWindow {
+		hot = residentWindow
+	}
+	return &cursor{pattern: p, base: base, size: size, stride: stride, hot: hot, rng: rng}
+}
+
+// next returns the next access address and whether a load at it depends on
+// the previous load's value.
+func (c *cursor) next() (addr uint64, dependsOnPrev bool) {
+	switch c.pattern {
+	case Stream, StreamDep:
+		addr = c.base + c.pos
+		c.pos += c.stride
+		if c.pos >= c.size {
+			c.pos = 0
+		}
+		return addr, c.pattern == StreamDep
+	case Chase:
+		off := c.rng.Uint64n(c.size) &^ 7
+		return c.base + off, true
+	case Random:
+		off := c.rng.Uint64n(c.size) &^ 7
+		return c.base + off, false
+	case Resident:
+		addr = c.base + c.pos
+		c.pos += c.stride
+		if c.pos >= c.hot {
+			c.pos = 0
+		}
+		return addr, false
+	case Burst:
+		// 8 lines per burst, then jump. burstPos counts bytes into the
+		// current burst, reusing the pos field.
+		const burstBytes = 8 * 64
+		if c.pos >= burstBytes || (c.pos == 0 && c.burstBase == 0) {
+			c.pos = 0
+			c.burstBase = c.rng.Uint64n(c.size-burstBytes) &^ 63
+		}
+		addr = c.base + c.burstBase + c.pos
+		c.pos += c.stride
+		return addr, false
+	case Hotspot:
+		region := c.size / 10
+		if region < 4096 {
+			region = c.size
+		}
+		var off uint64
+		if c.rng.Float64() < 0.9 {
+			off = c.rng.Uint64n(region) &^ 7
+		} else {
+			off = c.rng.Uint64n(c.size) &^ 7
+		}
+		return c.base + off, false
+	default:
+		panic(fmt.Sprintf("workload: unknown pattern %d", int(c.pattern)))
+	}
+}
