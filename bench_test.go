@@ -328,6 +328,30 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatorThroughputObs is the metrics-enabled twin of
+// BenchmarkSimulatorThroughput: diffing the two bounds the cost of the
+// observability hooks (the disabled path above must stay within noise of
+// the pre-instrumentation baseline).
+func BenchmarkSimulatorThroughputObs(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := moca.DefaultSystem("throughput-obs", moca.Homogeneous(moca.DDR3), moca.PolicyFixed)
+		cfg.Obs = moca.ObsOptions{Metrics: true}
+		sys, err := moca.NewSystem(cfg, []moca.ProcSpec{{App: moca.AppByNameMust("mcf"), Input: moca.Ref}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Run(sys.SuggestedWarmup(), 100_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Obs == nil || res.Obs.Counters["event.executed"] == 0 {
+			b.Fatal("metrics enabled but snapshot empty")
+		}
+		b.ReportMetric(float64(res.TotalInstructions()), "instructions/op")
+	}
+}
+
 func BenchmarkAblationMigration(b *testing.B) {
 	r := runner()
 	for i := 0; i < b.N; i++ {

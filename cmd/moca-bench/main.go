@@ -15,10 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"moca/internal/exp"
+	"moca/internal/obs"
 	"moca/internal/stats"
 )
 
@@ -27,6 +29,8 @@ func main() {
 	window := flag.Uint64("profile-window", 300_000, "profiling run window (instructions)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
 	format := flag.String("format", "text", "output format: text, md (markdown), csv (grids only)")
+	metrics := flag.Bool("metrics", false, "collect per-run metrics and print per-system aggregate tables at the end")
+	traceOut := flag.String("trace-out", "", "write the structured run trace (JSON lines) to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: moca-bench [flags] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s, all\n", strings.Join(names(), " "))
@@ -38,6 +42,11 @@ func main() {
 	r.Measure = *measure
 	r.FW.ProfileWindow = *window
 	r.Parallelism = *parallel
+	var runTrace *obs.Trace
+	if *traceOut != "" {
+		runTrace = obs.NewTrace(0)
+	}
+	r.Obs = obs.Options{Metrics: *metrics, Trace: runTrace}
 
 	switch *format {
 	case "text", "md", "csv":
@@ -61,6 +70,52 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	if *metrics {
+		printMetrics(r)
+	}
+	if runTrace != nil {
+		if err := writeTrace(*traceOut, runTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "moca-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %d trace events to %s (%d dropped past cap)]\n",
+			runTrace.Len(), *traceOut, runTrace.Dropped())
+	}
+}
+
+// printMetrics aggregates the cached runs' snapshots per system (counters
+// add, high-watermark gauges take the max) and prints one table each.
+func printMetrics(r *exp.Runner) {
+	bySystem := map[string][]*obs.Snapshot{}
+	for key, res := range r.Results() {
+		name := key
+		if i := strings.Index(key, "|"); i >= 0 {
+			name = key[:i]
+		}
+		bySystem[name] = append(bySystem[name], res.Obs)
+	}
+	var systems []string
+	for name := range bySystem {
+		systems = append(systems, name)
+	}
+	sort.Strings(systems)
+	for _, name := range systems {
+		merged := obs.Merge(bySystem[name]...)
+		fmt.Println(merged.Table(fmt.Sprintf("metrics: %s (aggregate over %d cached runs)",
+			name, len(bySystem[name]))).String())
+	}
+}
+
+func writeTrace(path string, tr *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func names() []string {

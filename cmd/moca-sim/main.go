@@ -34,6 +34,8 @@ func main() {
 	window := flag.Uint64("profile-window", 300_000, "auto-profiling window (instructions)")
 	profiles := flag.String("profiles", "", "directory of <app>.profile.json files (skips auto-profiling)")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of tables")
+	metrics := flag.Bool("metrics", false, "collect runtime metrics and emit the snapshot (table + JSON)")
+	traceOut := flag.String("trace-out", "", "write the structured run trace (JSON lines) to this file")
 	flag.Parse()
 
 	if (*appName == "") == (*mixName == "") {
@@ -58,6 +60,11 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	var runTrace *moca.RunTrace
+	if *traceOut != "" {
+		runTrace = moca.NewRunTrace(0)
+	}
+	cfg.Obs = moca.ObsOptions{Metrics: *metrics, Trace: runTrace}
 
 	fw := moca.NewFramework()
 	fw.ProfileWindow = *window
@@ -87,6 +94,25 @@ func main() {
 	} else {
 		report(res)
 	}
+	if runTrace != nil {
+		if err := writeTrace(*traceOut, runTrace); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "moca-sim: wrote %d trace events to %s (%d dropped past cap)\n",
+			runTrace.Len(), *traceOut, runTrace.Dropped())
+	}
+}
+
+func writeTrace(path string, tr *moca.RunTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // jsonReport is the machine-readable result schema.
@@ -106,6 +132,8 @@ type jsonReport struct {
 	FallbackPages     uint64         `json:"fallback_pages"`
 	MigrationEpochs   uint64         `json:"migration_epochs,omitempty"`
 	MigrationPromotes uint64         `json:"migration_promotions,omitempty"`
+	// Metrics is the observability snapshot (present with -metrics).
+	Metrics *moca.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 type jsonCore struct {
@@ -137,6 +165,7 @@ func reportJSON(res *moca.Result) {
 		FallbackPages:     res.OS.FallbackPages,
 		MigrationEpochs:   res.Migration.Epochs,
 		MigrationPromotes: res.Migration.Promotions,
+		Metrics:           res.Obs,
 	}
 	for _, c := range res.Cores {
 		out.Cores = append(out.Cores, jsonCore{
@@ -249,6 +278,15 @@ func report(res *moca.Result) {
 	if m := res.Migration; m.Epochs > 0 {
 		fmt.Printf("migration: %d epochs, %d promotions, %d demotions, %d KB copied, %d shootdowns\n",
 			m.Epochs, m.Promotions, m.Demotions, m.CopiedKB, m.Shootdowns)
+	}
+	if res.Obs != nil {
+		fmt.Println()
+		fmt.Print(res.Obs.Table("metrics (measured window)").String())
+		data, err := json.MarshalIndent(res.Obs, "", "  ")
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("\nmetrics snapshot (JSON):\n%s\n", data)
 	}
 }
 

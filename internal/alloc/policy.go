@@ -17,6 +17,7 @@ import (
 	"moca/internal/classify"
 	"moca/internal/heap"
 	"moca/internal/mem"
+	"moca/internal/obs"
 	"moca/internal/vm"
 )
 
@@ -177,6 +178,14 @@ type OS struct {
 	procs    map[int]*process
 	stats    Stats
 	migrator *Migrator // nil unless migration is active
+
+	// Observability; all nil (free) unless AttachObs was called.
+	obsFaults    *obs.Counter
+	obsFallbacks *obs.Counter
+	obsOOM       *obs.Counter
+	obsPlaced    *obs.Counter
+	obsTrace     *obs.Trace
+	obsNow       func() int64 // simulation clock for trace timestamps
 }
 
 type process struct {
@@ -212,6 +221,30 @@ func (o *OS) AddProcess(proc int, appClass classify.Class) {
 		tlb:      vm.NewTLB(64),
 		appClass: appClass,
 	}
+}
+
+// AttachObs registers the OS on the metrics registry ("alloc.*" counters)
+// and the run-trace sink (page-placed and fallback-taken events, stamped
+// with now() — the simulation clock). Nil arguments disable the
+// corresponding instrumentation.
+func (o *OS) AttachObs(r *obs.Registry, tr *obs.Trace, now func() int64) {
+	if r == nil {
+		o.obsFaults, o.obsFallbacks, o.obsOOM, o.obsPlaced = nil, nil, nil, nil
+	} else {
+		o.obsFaults = r.Counter("alloc.faults")
+		o.obsFallbacks = r.Counter("alloc.fallback_pages")
+		o.obsOOM = r.Counter("alloc.oom_failures")
+		o.obsPlaced = r.Counter("alloc.pages_placed")
+	}
+	o.obsTrace = tr
+	o.obsNow = now
+}
+
+func (o *OS) traceNow() int64 {
+	if o.obsNow == nil {
+		return 0
+	}
+	return o.obsNow()
 }
 
 // Policy returns the active placement policy.
@@ -266,6 +299,9 @@ func (o *OS) Translate(proc int, vaddr uint64, write bool) (paddr uint64, ok boo
 
 	// Page fault: consult the policy and walk its preference chain.
 	o.stats.Faults++
+	if o.obsFaults != nil {
+		o.obsFaults.Inc()
+	}
 	req := Request{
 		Proc:     proc,
 		VPage:    vpage,
@@ -301,11 +337,29 @@ func (o *OS) Translate(proc int, vaddr uint64, write bool) (paddr uint64, ok boo
 			if got {
 				if i > 0 {
 					o.stats.FallbackPages++
+					if o.obsFallbacks != nil {
+						o.obsFallbacks.Inc()
+					}
+					if o.obsTrace != nil {
+						o.obsTrace.Emit(obs.Event{
+							At: o.traceNow(), Kind: obs.FallbackTaken, Unit: "os",
+							Core: proc, Addr: vpage, Aux: uint64(i),
+						})
+					}
 				}
 				f := vm.Frame{Module: best, Number: frame}
 				p.table.Map(vpage, f)
 				p.tlb.Insert(vpage, f)
 				o.stats.PagesByModule[best]++
+				if o.obsPlaced != nil {
+					o.obsPlaced.Inc()
+				}
+				if o.obsTrace != nil {
+					o.obsTrace.Emit(obs.Event{
+						At: o.traceNow(), Kind: obs.PagePlaced, Unit: "os",
+						Core: proc, Addr: vpage, Aux: uint64(best),
+					})
+				}
 				if o.migrator != nil {
 					o.migrator.noteMapping(proc, vpage, f)
 				}
@@ -315,6 +369,9 @@ func (o *OS) Translate(proc int, vaddr uint64, write bool) (paddr uint64, ok boo
 		i = groupEnd
 	}
 	o.stats.OOMFailures++
+	if o.obsOOM != nil {
+		o.obsOOM.Inc()
+	}
 	return 0, false
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"moca/internal/event"
+	"moca/internal/obs"
 )
 
 // Level identifies where an access was satisfied.
@@ -104,6 +105,16 @@ type Hierarchy struct {
 	pf         *prefetcher // nil unless enabled
 	retryArmed bool
 
+	// Observability; all nil (free) unless AttachObs was called. Counters
+	// aggregate across every hierarchy attached to one registry.
+	obsMisses    *obs.Counter
+	obsMerged    *obs.Counter
+	obsMSHRFull  *obs.Counter
+	obsWriteback *obs.Counter
+	obsBackPress *obs.Counter
+	obsMSHROcc   *obs.Gauge
+	obsTrace     *obs.Trace
+
 	// OnLLCMiss, if set, is invoked for every primary LLC miss with the
 	// object of the triggering access — the profiler's miss counter.
 	OnLLCMiss func(obj uint64)
@@ -142,6 +153,25 @@ func NewHierarchy(q *event.Queue, backend Backend, cfg HierarchyConfig) (*Hierar
 		h.pf = newPrefetcher(cfg.Prefetch)
 	}
 	return h, nil
+}
+
+// AttachObs registers the hierarchy on the metrics registry ("cache.*"
+// counters and the "cache.max_mshr_occupancy" gauge) and the run-trace
+// sink (MSHR-full events). Nil arguments disable the corresponding
+// instrumentation.
+func (h *Hierarchy) AttachObs(r *obs.Registry, tr *obs.Trace) {
+	if r == nil {
+		h.obsMisses, h.obsMerged, h.obsMSHRFull = nil, nil, nil
+		h.obsWriteback, h.obsBackPress, h.obsMSHROcc = nil, nil, nil
+	} else {
+		h.obsMisses = r.Counter("cache.demand_misses")
+		h.obsMerged = r.Counter("cache.merged_misses")
+		h.obsMSHRFull = r.Counter("cache.mshr_full_stalls")
+		h.obsWriteback = r.Counter("cache.writebacks")
+		h.obsBackPress = r.Counter("cache.backpressure")
+		h.obsMSHROcc = r.Gauge("cache.max_mshr_occupancy")
+	}
+	h.obsTrace = tr
 }
 
 // PrefetchStats returns the stride prefetcher's counters (zero value when
@@ -220,6 +250,9 @@ func (h *Hierarchy) Access(addr uint64, obj uint64, write bool, done func(at eve
 	// LLC miss.
 	if e, ok := h.mshrs[lineAddr]; ok {
 		h.stats.MergedMisses++
+		if h.obsMerged != nil {
+			h.obsMerged.Inc()
+		}
 		e.dirty = e.dirty || write
 		if e.prefetch && h.pf != nil {
 			// Demand caught an in-flight prefetch: late but not useless.
@@ -233,6 +266,15 @@ func (h *Hierarchy) Access(addr uint64, obj uint64, write bool, done func(at eve
 	}
 	if len(h.mshrs) >= h.mshrLimit(write) {
 		h.stats.MSHRFullStalls++
+		if h.obsMSHRFull != nil {
+			h.obsMSHRFull.Inc()
+		}
+		if h.obsTrace != nil {
+			h.obsTrace.Emit(obs.Event{
+				At: h.q.Now(), Kind: obs.MSHRFull,
+				Core: h.cfg.Core, Addr: lineAddr,
+			})
+		}
 		h.waiting = append(h.waiting, pendingMiss{lineAddr, obj, write, done})
 		return
 	}
@@ -264,6 +306,10 @@ func (h *Hierarchy) allocateMSHR(m pendingMiss) {
 	}
 	h.mshrs[m.lineAddr] = e
 	h.stats.DemandMisses++
+	if h.obsMisses != nil {
+		h.obsMisses.Inc()
+		h.obsMSHROcc.RecordMax(int64(len(h.mshrs)))
+	}
 	if h.OnLLCMiss != nil {
 		h.OnLLCMiss(m.obj)
 	}
@@ -281,6 +327,9 @@ func (h *Hierarchy) submit(e *mshrEntry) {
 	})
 	if !ok {
 		h.stats.BackPressure++
+		if h.obsBackPress != nil {
+			h.obsBackPress.Inc()
+		}
 		h.subQ = append(h.subQ, e)
 		h.armRetry()
 		return
@@ -390,6 +439,9 @@ func (h *Hierarchy) reAccess(m pendingMiss) {
 	}
 	if e, ok := h.mshrs[m.lineAddr]; ok {
 		h.stats.MergedMisses++
+		if h.obsMerged != nil {
+			h.obsMerged.Inc()
+		}
 		e.dirty = e.dirty || m.write
 		if m.done != nil {
 			e.waiters = append(e.waiters, m.done)
@@ -412,6 +464,9 @@ func (h *Hierarchy) fillL1(lineAddr uint64, dirty bool) {
 
 func (h *Hierarchy) queueWriteback(lineAddr uint64) {
 	h.stats.Writebacks++
+	if h.obsWriteback != nil {
+		h.obsWriteback.Inc()
+	}
 	h.wbQ = append(h.wbQ, lineAddr)
 	h.pumpWritebacks()
 }
@@ -421,6 +476,9 @@ func (h *Hierarchy) pumpWritebacks() {
 		addr := h.wbQ[0]
 		if !h.backend.Submit(addr, true, h.cfg.Core, 0, nil) {
 			h.stats.BackPressure++
+			if h.obsBackPress != nil {
+				h.obsBackPress.Inc()
+			}
 			h.armRetry()
 			return
 		}

@@ -8,6 +8,8 @@
 // exactly enough, while a 1 GHz CPU cycle is exactly 1000 ps.
 package event
 
+import "moca/internal/obs"
+
 // Time is a simulation timestamp in picoseconds.
 type Time = int64
 
@@ -38,10 +40,28 @@ type Queue struct {
 	seq  uint64
 	now  Time
 	runs uint64
+
+	// Observability instruments; nil (free) unless AttachObs was called.
+	obsScheduled *obs.Counter
+	obsExecuted  *obs.Counter
+	obsDepth     *obs.Gauge
 }
 
 // NewQueue returns an empty queue positioned at time 0.
 func NewQueue() *Queue { return &Queue{} }
+
+// AttachObs registers the queue's instruments on the registry: the
+// "event.scheduled" / "event.executed" counters and the
+// "event.max_queue_depth" high-watermark gauge. A nil registry detaches.
+func (q *Queue) AttachObs(r *obs.Registry) {
+	if r == nil {
+		q.obsScheduled, q.obsExecuted, q.obsDepth = nil, nil, nil
+		return
+	}
+	q.obsScheduled = r.Counter("event.scheduled")
+	q.obsExecuted = r.Counter("event.executed")
+	q.obsDepth = r.Gauge("event.max_queue_depth")
+}
 
 // Now returns the timestamp of the most recently executed event, or the
 // time passed to the latest AdvanceTo, whichever is later.
@@ -62,6 +82,10 @@ func (q *Queue) Schedule(at Time, fn Func) {
 	q.heap = append(q.heap, item{at: at, seq: q.seq, fn: fn})
 	q.seq++
 	q.up(len(q.heap) - 1)
+	if q.obsScheduled != nil {
+		q.obsScheduled.Inc()
+		q.obsDepth.RecordMax(int64(len(q.heap)))
+	}
 }
 
 // After enqueues fn to run delay picoseconds after the current time.
@@ -86,6 +110,9 @@ func (q *Queue) RunOne() bool {
 	q.pop()
 	q.now = it.at
 	q.runs++
+	if q.obsExecuted != nil {
+		q.obsExecuted.Inc()
+	}
 	it.fn()
 	return true
 }

@@ -140,9 +140,7 @@ func TestFig16SegmentsStayCold(t *testing.T) {
 }
 
 func TestFig8And9SingleCoreShapes(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full single-core sweep")
-	}
+	skipHeavy(t, "full single-core sweep")
 	r := fastRunner()
 	f8, err := r.Fig8()
 	if err != nil {
@@ -247,9 +245,7 @@ func TestRunCaching(t *testing.T) {
 }
 
 func TestMixRun(t *testing.T) {
-	if testing.Short() {
-		t.Skip("4-core run")
-	}
+	skipHeavy(t, "4-core run")
 	r := fastRunner()
 	mix, _ := workload.MixByName("2B2N")
 	res, err := r.RunMix(StandardSystems()[5], mix) // MOCA
@@ -262,9 +258,7 @@ func TestMixRun(t *testing.T) {
 }
 
 func TestAblationMigration(t *testing.T) {
-	if testing.Short() {
-		t.Skip("three 4-core runs")
-	}
+	skipHeavy(t, "three 4-core runs")
 	r := fastRunner()
 	table, err := r.AblationMigration("2L1B1N")
 	if err != nil {
@@ -279,9 +273,7 @@ func TestAblationMigration(t *testing.T) {
 }
 
 func TestExtensionPCM(t *testing.T) {
-	if testing.Short() {
-		t.Skip("three 4-core runs")
-	}
+	skipHeavy(t, "three 4-core runs")
 	r := fastRunner()
 	table, err := r.ExtensionPCM("2B2N")
 	if err != nil {
@@ -341,9 +333,7 @@ func TestExtensionPCM(t *testing.T) {
 }
 
 func TestAblationPrefetch(t *testing.T) {
-	if testing.Short() {
-		t.Skip("six profiling runs")
-	}
+	skipHeavy(t, "six profiling runs")
 	r := fastRunner()
 	table, err := r.AblationPrefetch("lbm")
 	if err != nil {
@@ -374,9 +364,7 @@ func TestAblationPrefetch(t *testing.T) {
 }
 
 func TestAblationRowPolicyAndMapping(t *testing.T) {
-	if testing.Short() {
-		t.Skip("several single-core runs")
-	}
+	skipHeavy(t, "several single-core runs")
 	r := fastRunner()
 	rp, err := r.AblationRowPolicy("lbm")
 	if err != nil {
@@ -417,9 +405,7 @@ func TestAblationRowPolicyAndMapping(t *testing.T) {
 }
 
 func TestExtensionKNL(t *testing.T) {
-	if testing.Short() {
-		t.Skip("three 4-core runs")
-	}
+	skipHeavy(t, "three 4-core runs")
 	r := fastRunner()
 	table, err := r.ExtensionKNL("2L1B1N")
 	if err != nil {
@@ -451,9 +437,7 @@ func TestExtensionKNL(t *testing.T) {
 }
 
 func TestExtensionPhases(t *testing.T) {
-	if testing.Short() {
-		t.Skip("three long runs")
-	}
+	skipHeavy(t, "three long runs")
 	r := fastRunner()
 	table, err := r.ExtensionPhases()
 	if err != nil {
@@ -471,9 +455,7 @@ func TestExtensionPhases(t *testing.T) {
 }
 
 func TestParallelismMatchesSerial(t *testing.T) {
-	if testing.Short() {
-		t.Skip("repeated runs")
-	}
+	skipHeavy(t, "repeated runs")
 	// The runner's bounded parallelism must not change any result:
 	// simulations are independent and individually deterministic.
 	run := func(par int) float64 {

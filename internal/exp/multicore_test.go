@@ -14,9 +14,7 @@ func multiRunner() *Runner {
 }
 
 func TestFig10Through13Shapes(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full multi-program sweep")
-	}
+	skipHeavy(t, "full multi-program sweep")
 	r := multiRunner()
 	f10, err := r.Fig10()
 	if err != nil {
@@ -82,9 +80,7 @@ func TestFig10Through13Shapes(t *testing.T) {
 }
 
 func TestFig14And15ConfigSweep(t *testing.T) {
-	if testing.Short() {
-		t.Skip("config sweep")
-	}
+	skipHeavy(t, "config sweep")
 	r := multiRunner()
 	f14, err := r.Fig14()
 	if err != nil {
@@ -124,9 +120,7 @@ func TestFig14And15ConfigSweep(t *testing.T) {
 }
 
 func TestHeadlineDirections(t *testing.T) {
-	if testing.Short() {
-		t.Skip("headline needs both sweeps")
-	}
+	skipHeavy(t, "headline needs both sweeps")
 	r := multiRunner()
 	h, table, err := r.Headline()
 	if err != nil {

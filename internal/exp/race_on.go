@@ -1,0 +1,7 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports whether this binary was built with the race
+// detector; the heavy figure sweeps scale down under it (see skipHeavy).
+const raceEnabled = true

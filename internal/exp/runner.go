@@ -12,6 +12,7 @@ import (
 	"moca/internal/classify"
 	"moca/internal/core"
 	"moca/internal/mem"
+	"moca/internal/obs"
 	"moca/internal/sim"
 	"moca/internal/workload"
 )
@@ -63,6 +64,10 @@ type Runner struct {
 	Measure uint64
 	// Parallelism bounds concurrent simulations (default: NumCPU).
 	Parallelism int
+	// Obs selects per-run observability. Each simulation builds its own
+	// metrics registry, so concurrent runs never share instruments; a
+	// Trace sink, if set, is shared and concurrency-safe.
+	Obs obs.Options
 
 	mu      sync.Mutex
 	instr   map[string]core.Instrumentation
@@ -136,6 +141,7 @@ func (r *Runner) run(def SystemDef, key string, apps []string) (*sim.Result, err
 	}
 	cfg := sim.DefaultConfig(def.Name, def.Modules, def.Policy)
 	cfg.Chains = def.Chains
+	cfg.Obs = r.Obs
 	sys, err := sim.New(cfg, procs)
 	if err != nil {
 		return nil, err
@@ -148,6 +154,18 @@ func (r *Runner) run(def SystemDef, key string, apps []string) (*sim.Result, err
 	r.results[cacheKey] = res
 	r.mu.Unlock()
 	return res, nil
+}
+
+// Results returns a copy of the result cache, keyed "system|single/app"
+// or "system|mix/name" (the metrics reporters aggregate these per system).
+func (r *Runner) Results() map[string]*sim.Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*sim.Result, len(r.results))
+	for k, v := range r.results {
+		out[k] = v
+	}
+	return out
 }
 
 // parallel runs the tasks with bounded concurrency and returns the first

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"moca/internal/event"
+	"moca/internal/obs"
 )
 
 // RowPolicy selects what happens to a row after a CAS completes.
@@ -176,6 +177,19 @@ type Controller struct {
 	busFreeAt       event.Time
 	ticking         bool
 	nextRefreshAt   event.Time
+
+	// Observability; all nil (free) unless AttachObs was called. The
+	// counters aggregate across every channel attached to one registry.
+	obsReads     *obs.Counter
+	obsWrites    *obs.Counter
+	obsRowHits   *obs.Counter
+	obsRowMiss   *obs.Counter
+	obsConflicts *obs.Counter
+	obsRefreshes *obs.Counter
+	obsBackPress *obs.Counter
+	obsDepth     *obs.Gauge
+	obsLatency   *obs.Histogram
+	obsTrace     *obs.Trace
 }
 
 // LineBytes is the transfer granularity: one LLC line.
@@ -219,6 +233,36 @@ func NewController(name string, q *event.Queue, cfg ChannelConfig) (*Controller,
 	return c, nil
 }
 
+// LatencyBucketsPs are the controller-latency histogram bounds (50 ns to
+// 6.4 us, doubling) — wide enough to separate row hits from queue-bound
+// conflicts on every Table II device.
+var LatencyBucketsPs = []uint64{
+	50_000, 100_000, 200_000, 400_000, 800_000, 1_600_000, 3_200_000, 6_400_000,
+}
+
+// AttachObs registers the channel on the metrics registry ("mem.*"
+// counters, the "mem.max_queue_depth" gauge, and the "mem.latency_ps"
+// histogram; shared across channels) and the run-trace sink (row-conflict
+// events). Nil arguments disable the corresponding instrumentation.
+func (c *Controller) AttachObs(r *obs.Registry, tr *obs.Trace) {
+	if r == nil {
+		c.obsReads, c.obsWrites, c.obsRowHits, c.obsRowMiss = nil, nil, nil, nil
+		c.obsConflicts, c.obsRefreshes, c.obsBackPress = nil, nil, nil
+		c.obsDepth, c.obsLatency = nil, nil
+	} else {
+		c.obsReads = r.Counter("mem.reads")
+		c.obsWrites = r.Counter("mem.writes")
+		c.obsRowHits = r.Counter("mem.row_hits")
+		c.obsRowMiss = r.Counter("mem.row_misses")
+		c.obsConflicts = r.Counter("mem.row_conflicts")
+		c.obsRefreshes = r.Counter("mem.refreshes")
+		c.obsBackPress = r.Counter("mem.backpressure")
+		c.obsDepth = r.Gauge("mem.max_queue_depth")
+		c.obsLatency = r.Histogram("mem.latency_ps", LatencyBucketsPs)
+	}
+	c.obsTrace = tr
+}
+
 // Config returns the channel's configuration.
 func (c *Controller) Config() ChannelConfig { return c.cfg }
 
@@ -235,6 +279,9 @@ func (c *Controller) QueueLen() int { return len(c.queue) }
 // controller queue is full (backpressure); the caller must retry later.
 func (c *Controller) Enqueue(r *Request) bool {
 	if len(c.queue)+c.pendingArrivals >= c.cfg.MaxQueue {
+		if c.obsBackPress != nil {
+			c.obsBackPress.Inc()
+		}
 		return false
 	}
 	c.pendingArrivals++
@@ -248,6 +295,9 @@ func (c *Controller) Enqueue(r *Request) bool {
 		c.queue = append(c.queue, r)
 		if len(c.queue) > c.stats.MaxQueueDepth {
 			c.stats.MaxQueueDepth = len(c.queue)
+		}
+		if c.obsDepth != nil {
+			c.obsDepth.RecordMax(int64(len(c.queue)))
 		}
 		c.armTick()
 	})
@@ -300,6 +350,9 @@ func (c *Controller) tick() {
 			}
 		}
 		c.stats.Refreshes++
+		if c.obsRefreshes != nil {
+			c.obsRefreshes.Inc()
+		}
 		c.nextRefreshAt += c.httime.TREFI
 	}
 
@@ -416,6 +469,9 @@ func (c *Controller) issueCAS(now event.Time, r *Request) {
 	if r.FirstCmd < 0 {
 		r.FirstCmd = now
 		c.stats.RowHits++
+		if c.obsRowHits != nil {
+			c.obsRowHits.Inc()
+		}
 	}
 	dataStart := now + c.casDelay(r)
 	r.DataFinish = dataStart + c.lineTime
@@ -453,12 +509,21 @@ func (c *Controller) issueCAS(now event.Time, r *Request) {
 	// Keep the row open (open-page policy); tRAS still gates precharge.
 	if r.Write {
 		c.stats.Writes++
+		if c.obsWrites != nil {
+			c.obsWrites.Inc()
+		}
 	} else {
 		c.stats.Reads++
+		if c.obsReads != nil {
+			c.obsReads.Inc()
+		}
 	}
 	c.stats.TotalQueueing += r.QueueDelay()
 	c.stats.TotalService += r.ServiceTime()
 	c.stats.TotalLatency += r.TotalLatency()
+	if c.obsLatency != nil {
+		c.obsLatency.Observe(uint64(r.TotalLatency()))
+	}
 
 	c.removeRequest(r)
 	if r.Done != nil {
@@ -473,6 +538,9 @@ func (c *Controller) issueACT(now event.Time, r *Request) {
 	if r.FirstCmd < 0 {
 		r.FirstCmd = now
 		c.stats.RowMisses++
+		if c.obsRowMiss != nil {
+			c.obsRowMiss.Inc()
+		}
 	}
 	b.openRow = int64(r.row)
 	b.casReadyAt = now + c.httime.TRCD
@@ -486,6 +554,15 @@ func (c *Controller) issuePRE(now event.Time, r *Request) {
 	if r.FirstCmd < 0 {
 		r.FirstCmd = now
 		c.stats.RowConflict++
+		if c.obsConflicts != nil {
+			c.obsConflicts.Inc()
+		}
+		if c.obsTrace != nil {
+			c.obsTrace.Emit(obs.Event{
+				At: now, Kind: obs.RowConflict, Unit: c.Name,
+				Core: r.Core, Addr: r.Addr,
+			})
+		}
 	}
 	b.preInFlightRow = b.openRow
 	b.openRow = -1

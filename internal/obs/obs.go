@@ -1,0 +1,397 @@
+// Package obs is the simulator's observability layer: a lightweight,
+// zero-dependency metrics registry (named counters, gauges, and fixed-bucket
+// histograms) plus an optional structured run-trace sink that components
+// emit typed events into (page placed, fallback taken, row-buffer conflict,
+// MSHR full, migration triggered).
+//
+// Instrumentation is off by default and nil-safe throughout: every method on
+// a nil *Counter, *Gauge, *Histogram, *Registry, or *Trace is a no-op, so a
+// component holds plain instrument pointers and the hot simulation path pays
+// only a nil-check branch when observability is disabled.
+//
+// Instruments use atomic operations and the registry and trace sink are
+// mutex-protected, so one registry may be shared across the experiment
+// runner's concurrent simulations.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one. No-op on a nil counter.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. No-op on a nil counter.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is an instantaneous int64 metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// RecordMax raises the gauge to v if v exceeds the current value — the
+// high-watermark idiom used for queue depths and MSHR occupancy.
+func (g *Gauge) RecordMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) reset() { g.v.Store(0) }
+
+// Histogram is a fixed-bucket distribution of uint64 samples. A value v
+// lands in the first bucket whose upper bound is >= v; values above every
+// bound land in the implicit overflow bucket.
+type Histogram struct {
+	bounds []uint64 // sorted ascending, immutable after construction
+	counts []atomic.Uint64
+	sum    atomic.Uint64
+	n      atomic.Uint64
+}
+
+// Observe records one sample. No-op on a nil histogram.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of samples observed (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Mean returns the arithmetic mean of observed samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.n.Load() == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(h.n.Load())
+}
+
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.Store(0)
+	h.n.Store(0)
+}
+
+// Registry holds named instruments. The zero value of *Registry (nil) is a
+// valid disabled registry: every lookup returns a nil instrument.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (registering on first use) the named counter, or nil when
+// the registry itself is nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge, or nil when the
+// registry itself is nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the named histogram with the
+// given sorted upper bounds, or nil when the registry itself is nil. The
+// bounds of the first registration win; later callers share the instrument.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		b := append([]uint64(nil), bounds...)
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		h = &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every registered instrument in place (components keep their
+// pointers). Used to exclude warm-up, mirroring the simulator's stat resets.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.reset()
+	}
+	for _, g := range r.gauges {
+		g.reset()
+	}
+	for _, h := range r.histograms {
+		h.reset()
+	}
+}
+
+// HistogramSnapshot is one histogram's frozen state. Counts has one entry
+// per bound plus a trailing overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Sum    uint64   `json:"sum"`
+	Count  uint64   `json:"count"`
+}
+
+// Snapshot is a frozen, JSON-serializable view of a registry. Map keys
+// marshal in sorted order, so identical registries produce byte-identical
+// JSON — the property the golden tests rely on.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry's current state (nil registry → nil).
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{Counters: make(map[string]uint64, len(r.counters))}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			hs := HistogramSnapshot{
+				Bounds: append([]uint64(nil), h.bounds...),
+				Counts: make([]uint64, len(h.counts)),
+				Sum:    h.sum.Load(),
+				Count:  h.n.Load(),
+			}
+			for i := range h.counts {
+				hs.Counts[i] = h.counts[i].Load()
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// Equal reports whether two snapshots carry identical values. Nil and empty
+// maps compare equal.
+func (s *Snapshot) Equal(o *Snapshot) bool {
+	if s == nil || o == nil {
+		return (s == nil || s.empty()) && (o == nil || o.empty())
+	}
+	if len(s.Counters) != len(o.Counters) || len(s.Gauges) != len(o.Gauges) ||
+		len(s.Histograms) != len(o.Histograms) {
+		return false
+	}
+	for k, v := range s.Counters {
+		if ov, ok := o.Counters[k]; !ok || ov != v {
+			return false
+		}
+	}
+	for k, v := range s.Gauges {
+		if ov, ok := o.Gauges[k]; !ok || ov != v {
+			return false
+		}
+	}
+	for k, v := range s.Histograms {
+		ov, ok := o.Histograms[k]
+		if !ok || !v.equal(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Snapshot) empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
+}
+
+func (h HistogramSnapshot) equal(o HistogramSnapshot) bool {
+	if h.Sum != o.Sum || h.Count != o.Count ||
+		len(h.Bounds) != len(o.Bounds) || len(h.Counts) != len(o.Counts) {
+		return false
+	}
+	for i, b := range h.Bounds {
+		if o.Bounds[i] != b {
+			return false
+		}
+	}
+	for i, c := range h.Counts {
+		if o.Counts[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge returns the element-wise aggregate of the given snapshots:
+// counters and histogram buckets add, gauges take the maximum (they record
+// high-watermarks). Nil snapshots are skipped; merging none returns nil.
+// Histograms with mismatched bounds keep the first snapshot's shape and
+// fold later ones into sum/count only.
+func Merge(snaps ...*Snapshot) *Snapshot {
+	var out *Snapshot
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		if out == nil {
+			out = &Snapshot{Counters: map[string]uint64{}}
+		}
+		for k, v := range s.Counters {
+			out.Counters[k] += v
+		}
+		for k, v := range s.Gauges {
+			if out.Gauges == nil {
+				out.Gauges = map[string]int64{}
+			}
+			if v > out.Gauges[k] {
+				out.Gauges[k] = v
+			}
+		}
+		for k, v := range s.Histograms {
+			if out.Histograms == nil {
+				out.Histograms = map[string]HistogramSnapshot{}
+			}
+			cur, ok := out.Histograms[k]
+			if !ok {
+				cur = HistogramSnapshot{
+					Bounds: append([]uint64(nil), v.Bounds...),
+					Counts: append([]uint64(nil), v.Counts...),
+					Sum:    v.Sum, Count: v.Count,
+				}
+				out.Histograms[k] = cur
+				continue
+			}
+			cur.Sum += v.Sum
+			cur.Count += v.Count
+			if len(cur.Counts) == len(v.Counts) {
+				for i := range cur.Counts {
+					cur.Counts[i] += v.Counts[i]
+				}
+			}
+			out.Histograms[k] = cur
+		}
+	}
+	return out
+}
+
+// CounterNames returns the snapshot's counter names, sorted.
+func (s *Snapshot) CounterNames() []string {
+	if s == nil {
+		return nil
+	}
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Options selects what a simulation observes. The zero value disables all
+// instrumentation (the default: the hot path pays only nil checks).
+type Options struct {
+	// Metrics enables the metrics registry; the run's Result then carries
+	// an obs.Snapshot.
+	Metrics bool
+	// Trace, when non-nil, receives typed run-trace events.
+	Trace *Trace
+}
+
+// Enabled reports whether any instrumentation is requested.
+func (o Options) Enabled() bool { return o.Metrics || o.Trace != nil }

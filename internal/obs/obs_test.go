@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every instrument and the registry must be fully usable as nil: this
+	// is what keeps disabled instrumentation to a branch on the hot path.
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.RecordMax(9)
+	if g.Value() != 0 {
+		t.Error("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Error("nil histogram observed")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("y") != nil || r.Histogram("z", nil) != nil {
+		t.Error("nil registry returned live instruments")
+	}
+	r.Reset()
+	if r.Snapshot() != nil {
+		t.Error("nil registry snapshot")
+	}
+	var tr *Trace
+	tr.Emit(Event{Kind: PagePlaced})
+	if tr.Len() != 0 || tr.Events() != nil || tr.Dropped() != 0 {
+		t.Error("nil trace accepted events")
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(2)
+	if got := r.Counter("a").Value(); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	if r.Counter("a") != c {
+		t.Error("counter not shared by name")
+	}
+
+	g := r.Gauge("depth")
+	g.RecordMax(4)
+	g.RecordMax(2)
+	if g.Value() != 4 {
+		t.Errorf("gauge max = %d, want 4", g.Value())
+	}
+	g.Set(1)
+	if g.Value() != 1 {
+		t.Error("gauge set")
+	}
+
+	h := r.Histogram("lat", []uint64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	if h.Count() != 3 {
+		t.Errorf("histogram count = %d", h.Count())
+	}
+	if h.Mean() != 555.0/3 {
+		t.Errorf("histogram mean = %v", h.Mean())
+	}
+
+	snap := r.Snapshot()
+	if snap.Counters["a"] != 3 || snap.Gauges["depth"] != 1 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	hs := snap.Histograms["lat"]
+	want := []uint64{1, 1, 1} // one per bucket incl. overflow
+	for i, n := range want {
+		if hs.Counts[i] != n {
+			t.Errorf("bucket %d = %d, want %d", i, hs.Counts[i], n)
+		}
+	}
+
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("reset did not zero instruments in place")
+	}
+	if !r.Snapshot().Equal(&Snapshot{Counters: map[string]uint64{"a": 0}, Gauges: map[string]int64{"depth": 0},
+		Histograms: map[string]HistogramSnapshot{"lat": {Bounds: []uint64{10, 100}, Counts: []uint64{0, 0, 0}}}}) {
+		t.Error("post-reset snapshot not zeroed")
+	}
+}
+
+func TestSnapshotEqualAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mem.reads").Add(7)
+	r.Gauge("event.max_queue_depth").Set(12)
+	r.Histogram("mem.latency_ps", []uint64{100}).Observe(40)
+
+	a, b := r.Snapshot(), r.Snapshot()
+	if !a.Equal(b) {
+		t.Fatal("identical snapshots unequal")
+	}
+	r.Counter("mem.reads").Inc()
+	if a.Equal(r.Snapshot()) {
+		t.Fatal("diverged snapshots equal")
+	}
+
+	// JSON must round-trip exactly and deterministically.
+	j1, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := json.Marshal(b)
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("non-deterministic JSON:\n%s\n%s", j1, j2)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(j1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(&back) {
+		t.Errorf("JSON round trip changed snapshot: %s", j1)
+	}
+
+	var nilSnap *Snapshot
+	if !nilSnap.Equal(&Snapshot{}) || !(&Snapshot{}).Equal(nilSnap) {
+		t.Error("nil and empty snapshots must compare equal")
+	}
+}
+
+func TestTraceSink(t *testing.T) {
+	tr := NewTrace(2)
+	tr.Emit(Event{At: 1, Kind: PagePlaced, Core: 0, Addr: 0x10, Aux: 2})
+	tr.Emit(Event{At: 2, Kind: RowConflict, Unit: "DDR3-m0-ch0"})
+	tr.Emit(Event{At: 3, Kind: MSHRFull})
+	if tr.Len() != 2 || tr.Dropped() != 1 {
+		t.Fatalf("len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+	evs := tr.Events()
+	if evs[0].Kind != PagePlaced || evs[1].Kind != RowConflict {
+		t.Errorf("events = %+v", evs)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != RowConflict || ev.Unit != "DDR3-m0-ch0" {
+		t.Errorf("decoded event = %+v", ev)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		PagePlaced: "page-placed", FallbackTaken: "fallback-taken",
+		RowConflict: "row-conflict", MSHRFull: "mshr-full",
+		MigrationTriggered: "migration-triggered",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if !strings.Contains(EventKind(99).String(), "99") {
+		t.Error("unknown kind string")
+	}
+	var k EventKind
+	if err := k.UnmarshalJSON([]byte(`"mshr-full"`)); err != nil || k != MSHRFull {
+		t.Errorf("unmarshal by name: %v %v", k, err)
+	}
+	if err := k.UnmarshalJSON([]byte(`"nope"`)); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if err := k.UnmarshalJSON([]byte(`3`)); err != nil || k != RowConflict {
+		t.Errorf("unmarshal by number: %v %v", k, err)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	// The registry and sink must survive the experiment runner's parallel
+	// simulations: hammer them from several goroutines under -race.
+	r := NewRegistry()
+	tr := NewTrace(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			g := r.Gauge("depth")
+			h := r.Histogram("lat", []uint64{10, 100, 1000})
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.RecordMax(int64(j))
+				h.Observe(uint64(j))
+				tr.Emit(Event{At: int64(j), Kind: RowConflict})
+			}
+			_ = r.Snapshot()
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if r.Gauge("depth").Value() != 999 {
+		t.Errorf("gauge max = %d", r.Gauge("depth").Value())
+	}
+	if tr.Len() != 64 || tr.Dropped() != 8000-64 {
+		t.Errorf("trace len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestSnapshotTable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("alloc.faults").Add(3)
+	r.Gauge("event.max_queue_depth").Set(7)
+	r.Histogram("mem.latency_ps", []uint64{100}).Observe(50)
+	out := r.Snapshot().Table("metrics: test").String()
+	for _, want := range []string{"alloc.faults", "3", "event.max_queue_depth", "7", "mem.latency_ps", "n=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	var nilSnap *Snapshot
+	if !strings.Contains(nilSnap.Table("x").String(), "disabled") {
+		t.Error("nil snapshot table should note disabled instrumentation")
+	}
+}
+
+func TestOptions(t *testing.T) {
+	if (Options{}).Enabled() {
+		t.Error("zero options enabled")
+	}
+	if !(Options{Metrics: true}).Enabled() || !(Options{Trace: NewTrace(0)}).Enabled() {
+		t.Error("options with metrics or trace must be enabled")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	if Merge() != nil || Merge(nil, nil) != nil {
+		t.Error("merging nothing must return nil")
+	}
+	a := &Snapshot{
+		Counters:   map[string]uint64{"x": 2, "y": 1},
+		Gauges:     map[string]int64{"depth": 5},
+		Histograms: map[string]HistogramSnapshot{"h": {Bounds: []uint64{10}, Counts: []uint64{1, 0}, Sum: 4, Count: 1}},
+	}
+	b := &Snapshot{
+		Counters:   map[string]uint64{"x": 3, "z": 7},
+		Gauges:     map[string]int64{"depth": 2},
+		Histograms: map[string]HistogramSnapshot{"h": {Bounds: []uint64{10}, Counts: []uint64{0, 2}, Sum: 30, Count: 2}},
+	}
+	m := Merge(a, nil, b)
+	if m.Counters["x"] != 5 || m.Counters["y"] != 1 || m.Counters["z"] != 7 {
+		t.Errorf("counters: %v", m.Counters)
+	}
+	if m.Gauges["depth"] != 5 {
+		t.Errorf("gauge should take max, got %d", m.Gauges["depth"])
+	}
+	h := m.Histograms["h"]
+	if h.Sum != 34 || h.Count != 3 || h.Counts[0] != 1 || h.Counts[1] != 2 {
+		t.Errorf("histogram: %+v", h)
+	}
+	// Inputs must be untouched (Merge copies on first use).
+	if a.Counters["x"] != 2 || a.Histograms["h"].Sum != 4 {
+		t.Error("merge mutated its input")
+	}
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"moca/internal/stats"
+)
+
+// Table renders the snapshot as an aligned per-system metrics table
+// (counters, then gauges, then histogram summaries, each sorted by name).
+func (s *Snapshot) Table(title string) *stats.Table {
+	t := stats.NewTable(title, "metric", "value")
+	if s == nil {
+		t.AddNote("observability disabled (run with metrics enabled)")
+		return t
+	}
+	for _, name := range s.CounterNames() {
+		t.AddRow(name, fmt.Sprintf("%d", s.Counters[name]))
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		t.AddRow(name, fmt.Sprintf("%d", s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		mean := 0.0
+		if h.Count > 0 {
+			mean = float64(h.Sum) / float64(h.Count)
+		}
+		t.AddRow(name, fmt.Sprintf("n=%d mean=%s", h.Count, stats.F(mean)))
+	}
+	return t
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

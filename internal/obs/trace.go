@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// EventKind discriminates run-trace events.
+type EventKind uint8
+
+const (
+	// PagePlaced: the OS mapped a faulting page to a frame.
+	PagePlaced EventKind = iota + 1
+	// FallbackTaken: a page missed its first-choice module.
+	FallbackTaken
+	// RowConflict: a memory request had to precharge an open row first.
+	RowConflict
+	// MSHRFull: an LLC miss stalled waiting for a free MSHR.
+	MSHRFull
+	// MigrationTriggered: the hot-page engine moved a page.
+	MigrationTriggered
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case PagePlaced:
+		return "page-placed"
+	case FallbackTaken:
+		return "fallback-taken"
+	case RowConflict:
+		return "row-conflict"
+	case MSHRFull:
+		return "mshr-full"
+	case MigrationTriggered:
+		return "migration-triggered"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// MarshalJSON renders the kind as its string name.
+func (k EventKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON accepts either the string name or a bare number.
+func (k *EventKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		for cand := PagePlaced; cand <= MigrationTriggered; cand++ {
+			if cand.String() == s {
+				*k = cand
+				return nil
+			}
+		}
+		return fmt.Errorf("obs: unknown event kind %q", s)
+	}
+	var n uint8
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("obs: bad event kind %s", data)
+	}
+	*k = EventKind(n)
+	return nil
+}
+
+// Event is one structured run-trace record.
+type Event struct {
+	// At is the simulation timestamp in picoseconds.
+	At int64 `json:"at_ps"`
+	// Kind discriminates the record.
+	Kind EventKind `json:"kind"`
+	// Unit names the emitting component (channel name, "core3", "os").
+	Unit string `json:"unit,omitempty"`
+	// Core is the involved core/process, -1 when not applicable.
+	Core int `json:"core,omitempty"`
+	// Addr is the involved address (physical line, virtual page number, ...).
+	Addr uint64 `json:"addr,omitempty"`
+	// Aux carries a kind-specific detail: target module for PagePlaced and
+	// MigrationTriggered, fallback chain position for FallbackTaken.
+	Aux uint64 `json:"aux,omitempty"`
+}
+
+// Trace is a bounded, concurrency-safe sink of run-trace events. Once the
+// cap is reached further events are counted as dropped rather than stored,
+// so a pathological run cannot exhaust memory.
+type Trace struct {
+	mu      sync.Mutex
+	max     int
+	events  []Event
+	dropped uint64
+}
+
+// DefaultTraceCap bounds a trace sink when no explicit cap is given.
+const DefaultTraceCap = 1 << 16
+
+// NewTrace returns a sink retaining at most max events (<= 0: DefaultTraceCap).
+func NewTrace(max int) *Trace {
+	if max <= 0 {
+		max = DefaultTraceCap
+	}
+	return &Trace{max: max}
+}
+
+// Emit appends one event. No-op on a nil trace.
+func (t *Trace) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.events) >= t.max {
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns the number of events discarded past the cap.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns a copy of the retained events in emission order.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// WriteJSON streams the retained events to w as JSON lines (one event per
+// line), a format both greppable and trivially machine-readable.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range t.Events() {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(data); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -16,6 +16,7 @@ import (
 	"moca/internal/event"
 	"moca/internal/heap"
 	"moca/internal/mem"
+	"moca/internal/obs"
 	"moca/internal/power"
 	"moca/internal/workload"
 )
@@ -95,6 +96,9 @@ type Config struct {
 	Thresholds classify.Thresholds
 	// CoreModel computes core power (default: the 21 W calibration).
 	CoreModel power.CoreModel
+	// Obs selects runtime observability (metrics registry and/or run-trace
+	// sink). Zero value: disabled — the hot path pays only nil checks.
+	Obs obs.Options
 }
 
 // ProcSpec binds an application to a core.

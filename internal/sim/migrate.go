@@ -7,6 +7,7 @@ import (
 	"moca/internal/cache"
 	"moca/internal/event"
 	"moca/internal/mem"
+	"moca/internal/obs"
 	"moca/internal/vm"
 )
 
@@ -40,9 +41,25 @@ func (s *System) setupMigration(cfg Config, infos []alloc.ModuleInfo) error {
 	if epoch <= 0 {
 		epoch = 50 * event.Microsecond
 	}
+	migrations := s.reg.Counter("alloc.migrations")
 	var tick func()
 	tick = func() {
 		moves := mig.Epoch()
+		if len(moves) > 0 {
+			migrations.Add(uint64(len(moves)))
+			if s.runTrace != nil {
+				for _, mv := range moves {
+					s.runTrace.Emit(obs.Event{
+						At:   int64(s.q.Now()),
+						Kind: obs.MigrationTriggered,
+						Unit: "migrate",
+						Core: mv.Proc,
+						Addr: mv.VPage,
+						Aux:  uint64(mv.To.Module),
+					})
+				}
+			}
+		}
 		// Pace the copy engine: pages staggered through the epoch, lines
 		// within a page at DMA-burst rate, so copy traffic interferes
 		// with demand traffic realistically instead of as one spike.

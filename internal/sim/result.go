@@ -5,6 +5,7 @@ import (
 	"moca/internal/cpu"
 	"moca/internal/event"
 	"moca/internal/mem"
+	"moca/internal/obs"
 	"moca/internal/power"
 	"moca/internal/profile"
 
@@ -71,6 +72,9 @@ type Result struct {
 	ModuleKinds []mem.Kind
 	// Elapsed is the full measured window (reset to last quota crossing).
 	Elapsed event.Time
+	// Obs is the observability snapshot over the measured window (nil
+	// unless the run's Config enabled metrics).
+	Obs *obs.Snapshot
 
 	memEnergyJ  float64
 	coreEnergyJ float64

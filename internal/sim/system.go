@@ -9,6 +9,7 @@ import (
 	"moca/internal/event"
 	"moca/internal/heap"
 	"moca/internal/mem"
+	"moca/internal/obs"
 	"moca/internal/profile"
 	"moca/internal/vm"
 	"moca/internal/workload"
@@ -80,6 +81,10 @@ type System struct {
 	chanCaps []uint64
 	route    *router
 	migrator *alloc.Migrator // nil unless PolicyMigrate
+
+	// Observability (nil unless cfg.Obs requests it).
+	reg      *obs.Registry
+	runTrace *obs.Trace
 }
 
 // New assembles a system running one process per entry of procs (the
@@ -93,6 +98,17 @@ func New(cfg Config, procs []ProcSpec) (*System, error) {
 	}
 
 	s := &System{cfg: cfg, q: event.NewQueue()}
+
+	// Observability: a per-system registry (concurrent runs never share
+	// one) and the caller's trace sink. Both stay nil when disabled, so
+	// every component hook below degrades to a nil check.
+	if cfg.Obs.Metrics {
+		s.reg = obs.NewRegistry()
+	}
+	s.runTrace = cfg.Obs.Trace
+	if cfg.Obs.Enabled() {
+		s.q.AttachObs(s.reg)
+	}
 
 	// Memory modules, channels, and the router.
 	s.route = &router{}
@@ -119,6 +135,9 @@ func New(cfg Config, procs []ProcSpec) (*System, error) {
 			)
 			if err != nil {
 				return nil, err
+			}
+			if cfg.Obs.Enabled() {
+				ctrl.AttachObs(s.reg, s.runTrace)
 			}
 			group = append(group, ctrl)
 			s.channels = append(s.channels, ctrl)
@@ -154,6 +173,9 @@ func New(cfg Config, procs []ProcSpec) (*System, error) {
 		return nil, err
 	}
 	s.os = osys
+	if cfg.Obs.Enabled() {
+		osys.AttachObs(s.reg, s.runTrace, s.q.Now)
+	}
 
 	if cfg.Policy == PolicyMigrate {
 		if err := s.setupMigration(cfg, infos); err != nil {
@@ -175,6 +197,9 @@ func New(cfg Config, procs []ProcSpec) (*System, error) {
 		hier, err := cache.NewHierarchy(s.q, s.route, hcfg)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.Obs.Enabled() {
+			hier.AttachObs(s.reg, s.runTrace)
 		}
 		stream := cpu.Stream(app.Stream())
 		if p.Stream != nil {
@@ -246,6 +271,9 @@ func (s *System) Run(warmup, measure uint64) (*Result, error) {
 	for _, ch := range s.channels {
 		ch.ResetStats()
 	}
+	// The observability snapshot covers the same measured window as the
+	// component stats (nil-safe when metrics are disabled).
+	s.reg.Reset()
 	start := s.q.Now()
 
 	snap := func(c *coreCtx) {
@@ -264,6 +292,7 @@ func (s *System) Run(warmup, measure uint64) (*Result, error) {
 		Elapsed:   end - start,
 		OS:        s.os.Stats(),
 		Migration: s.MigrationStats(),
+		Obs:       s.reg.Snapshot(),
 	}
 	for _, m := range s.cfg.Modules {
 		res.ModuleKinds = append(res.ModuleKinds, m.Kind)

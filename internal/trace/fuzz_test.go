@@ -26,6 +26,14 @@ func FuzzReader(f *testing.F) {
 	corrupt := append([]byte{}, valid...)
 	corrupt[10] ^= 0xFF
 	f.Add(corrupt)
+	// Degenerate hand-crafted streams: a zero-length trace (header only,
+	// no end marker), truncated varints (a continuation bit with nothing
+	// after it), a zero-count compute batch, and a bad version byte.
+	f.Add([]byte(Magic + "\x01"))
+	f.Add([]byte(Magic + "\x01\x00\x80"))
+	f.Add([]byte(Magic + "\x01\x01\x80\x80\x80"))
+	f.Add([]byte(Magic + "\x01\x00\x00\xff"))
+	f.Add([]byte(Magic + "\x00"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))

@@ -7,6 +7,7 @@ import (
 	"moca/internal/exp"
 	"moca/internal/heap"
 	"moca/internal/mem"
+	"moca/internal/obs"
 	"moca/internal/profile"
 	"moca/internal/sim"
 	"moca/internal/stats"
@@ -156,6 +157,30 @@ type (
 	// Table is a rendered text table.
 	Table = stats.Table
 )
+
+// Observability.
+type (
+	// ObsOptions selects runtime observability for a simulation run (the
+	// zero value disables it).
+	ObsOptions = obs.Options
+	// MetricsSnapshot is a frozen metrics-registry view; a run's Result
+	// carries one when metrics were enabled.
+	MetricsSnapshot = obs.Snapshot
+	// RunTrace is a bounded, concurrency-safe sink of typed run-trace
+	// events (page placed, fallback taken, row conflict, MSHR full,
+	// migration triggered).
+	RunTrace = obs.Trace
+	// TraceEvent is one structured run-trace record.
+	TraceEvent = obs.Event
+)
+
+// NewRunTrace returns a run-trace sink retaining at most max events
+// (<= 0 selects the default cap).
+func NewRunTrace(max int) *RunTrace { return obs.NewTrace(max) }
+
+// MergeMetrics aggregates snapshots: counters add, high-watermark gauges
+// take the maximum.
+func MergeMetrics(snaps ...*MetricsSnapshot) *MetricsSnapshot { return obs.Merge(snaps...) }
 
 // Instruction streams and traces.
 type (
