@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -31,12 +33,44 @@ func main() {
 	format := flag.String("format", "text", "output format: text, md (markdown), csv (grids only)")
 	metrics := flag.Bool("metrics", false, "collect per-run metrics and print per-system aggregate tables at the end")
 	traceOut := flag.String("trace-out", "", "write the structured run trace (JSON lines) to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: moca-bench [flags] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s, all\n", strings.Join(names(), " "))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moca-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "moca-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "moca-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // get up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "moca-bench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	r := exp.NewRunner()
 	r.Measure = *measure

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"moca/internal/event"
+	"moca/internal/mem"
 	"moca/internal/obs"
 )
 
@@ -33,11 +34,18 @@ func (l Level) String() string {
 }
 
 // Backend is the memory system below the LLC. Submit requests a 64 B line
-// at a physical address; done (may be nil for writebacks) fires when the
-// line returns. Submit reports false under backpressure, in which case the
-// hierarchy retries later.
+// at a physical address; sink (may be nil for writebacks) receives the
+// completion, keyed by token. Submit reports false under backpressure, in
+// which case the hierarchy retries later.
 type Backend interface {
-	Submit(lineAddr uint64, write bool, core int, obj uint64, done func(at event.Time)) bool
+	Submit(lineAddr uint64, write bool, core int, obj uint64, sink mem.DoneSink, token uint64) bool
+}
+
+// AccessSink receives access completions from a Hierarchy. Like mem.DoneSink
+// it replaces a per-access closure: the requester registers itself once and
+// demultiplexes completions by token (for a core, the ROB index).
+type AccessSink interface {
+	AccessDone(token uint64, at event.Time, level Level)
 }
 
 // HierarchyConfig configures one core's private cache hierarchy.
@@ -70,20 +78,27 @@ type HierStats struct {
 	BackPressure   uint64 // submissions rejected by the backend
 }
 
+// waiter is one access blocked on an in-flight miss.
+type waiter struct {
+	sink  AccessSink
+	token uint64
+}
+
 type mshrEntry struct {
 	lineAddr  uint64
 	dirty     bool // a store is merged; fill L1 dirty
 	submitted bool
 	prefetch  bool   // speculative fetch: fills L2 only, invisible to stats
 	obj       uint64 // object of the triggering access
-	waiters   []func(at event.Time, level Level)
+	waiters   []waiter
 }
 
 type pendingMiss struct {
 	lineAddr uint64
 	obj      uint64
 	write    bool
-	done     func(at event.Time, level Level)
+	sink     AccessSink
+	token    uint64
 }
 
 // Hierarchy is one core's timed two-level cache hierarchy. L2 is inclusive
@@ -96,10 +111,11 @@ type Hierarchy struct {
 	l1      *Cache
 	l2      *Cache
 
-	mshrs   map[uint64]*mshrEntry
-	waiting []pendingMiss // stalled on a full MSHR file
-	wbQ     []uint64      // writebacks awaiting backend acceptance
-	subQ    []*mshrEntry  // fetches awaiting backend acceptance (FIFO, deterministic)
+	mshrs    map[uint64]*mshrEntry
+	freeMSHR []*mshrEntry  // entry pool; recycled on fill
+	waiting  []pendingMiss // stalled on a full MSHR file
+	wbQ      []uint64      // writebacks awaiting backend acceptance
+	subQ     []*mshrEntry  // fetches awaiting backend acceptance (FIFO, deterministic)
 
 	stats      HierStats
 	pf         *prefetcher // nil unless enabled
@@ -206,11 +222,57 @@ func (h *Hierarchy) ResetStats() {
 // OutstandingMisses returns the number of in-flight LLC misses.
 func (h *Hierarchy) OutstandingMisses() int { return len(h.mshrs) }
 
+// Event opcodes for the hierarchy's pooled events.
+const (
+	hopDeliverL1 int32 = iota // p = AccessSink, i64 = token
+	hopDeliverL2              // p = AccessSink, i64 = token
+	hopSubmit                 // p = *mshrEntry
+	hopRetry                  // retry backpressured work
+)
+
+// OnEvent dispatches the hierarchy's pooled events (event.Handler).
+func (h *Hierarchy) OnEvent(now event.Time, op int32, i64 int64, p any) {
+	switch op {
+	case hopDeliverL1:
+		p.(AccessSink).AccessDone(uint64(i64), now, L1Hit)
+	case hopDeliverL2:
+		p.(AccessSink).AccessDone(uint64(i64), now, L2Hit)
+	case hopSubmit:
+		h.submit(p.(*mshrEntry))
+	case hopRetry:
+		h.retryArmed = false
+		h.pumpWritebacks()
+		h.pumpSubmissions()
+	}
+}
+
+// MemDone receives line completions from the backend (mem.DoneSink); the
+// token is the line address, which names the MSHR entry.
+func (h *Hierarchy) MemDone(token uint64, at event.Time) {
+	if e, ok := h.mshrs[token]; ok {
+		h.onFill(e, at)
+	}
+}
+
+func (h *Hierarchy) getMSHR() *mshrEntry {
+	if n := len(h.freeMSHR); n > 0 {
+		e := h.freeMSHR[n-1]
+		h.freeMSHR = h.freeMSHR[:n-1]
+		return e
+	}
+	return &mshrEntry{}
+}
+
+func (h *Hierarchy) putMSHR(e *mshrEntry) {
+	*e = mshrEntry{waiters: e.waiters[:0]}
+	h.freeMSHR = append(h.freeMSHR, e)
+}
+
 // Access performs a load (write=false) or store (write=true) to a physical
-// address on behalf of memory object obj. done, if non-nil, fires when the
-// access completes, with the level that satisfied it. Stores are posted:
-// callers typically pass done=nil and never stall on them.
-func (h *Hierarchy) Access(addr uint64, obj uint64, write bool, done func(at event.Time, level Level)) {
+// address on behalf of memory object obj. sink, if non-nil, receives the
+// completion (with the given token) and the level that satisfied it. Stores
+// are posted: callers typically pass sink=nil and never stall on them.
+func (h *Hierarchy) Access(addr uint64, obj uint64, write bool, sink AccessSink, token uint64) {
 	lineAddr := LineAddr(addr)
 	cycle := h.cfg.CPUCycle
 
@@ -229,9 +291,9 @@ func (h *Hierarchy) Access(addr uint64, obj uint64, write bool, done func(at eve
 	}
 
 	if h.l1.Lookup(addr, write) {
-		if done != nil {
+		if sink != nil {
 			at := h.q.Now() + event.Time(h.cfg.L1.LatencyCycles)*cycle
-			h.q.Schedule(at, func() { done(at, L1Hit) })
+			h.q.Post(at, h, hopDeliverL1, int64(token), sink)
 		}
 		return
 	}
@@ -240,9 +302,9 @@ func (h *Hierarchy) Access(addr uint64, obj uint64, write bool, done func(at eve
 	// store dirtiness lives in L1 until eviction.
 	if h.l2.Lookup(addr, false) {
 		h.fillL1(lineAddr, write)
-		if done != nil {
+		if sink != nil {
 			at := h.q.Now() + event.Time(h.cfg.L1.LatencyCycles+h.cfg.L2.LatencyCycles)*cycle
-			h.q.Schedule(at, func() { done(at, L2Hit) })
+			h.q.Post(at, h, hopDeliverL2, int64(token), sink)
 		}
 		return
 	}
@@ -259,8 +321,8 @@ func (h *Hierarchy) Access(addr uint64, obj uint64, write bool, done func(at eve
 			h.pf.stats.Late++
 			e.prefetch = false
 		}
-		if done != nil {
-			e.waiters = append(e.waiters, done)
+		if sink != nil {
+			e.waiters = append(e.waiters, waiter{sink, token})
 		}
 		return
 	}
@@ -275,10 +337,10 @@ func (h *Hierarchy) Access(addr uint64, obj uint64, write bool, done func(at eve
 				Core: h.cfg.Core, Addr: lineAddr,
 			})
 		}
-		h.waiting = append(h.waiting, pendingMiss{lineAddr, obj, write, done})
+		h.waiting = append(h.waiting, pendingMiss{lineAddr, obj, write, sink, token})
 		return
 	}
-	h.allocateMSHR(pendingMiss{lineAddr, obj, write, done})
+	h.allocateMSHR(pendingMiss{lineAddr, obj, write, sink, token})
 }
 
 // mshrLimit implements read priority: store write-allocate fetches may not
@@ -300,9 +362,10 @@ func (h *Hierarchy) mshrLimit(write bool) int {
 }
 
 func (h *Hierarchy) allocateMSHR(m pendingMiss) {
-	e := &mshrEntry{lineAddr: m.lineAddr, dirty: m.write, obj: m.obj}
-	if m.done != nil {
-		e.waiters = append(e.waiters, m.done)
+	e := h.getMSHR()
+	e.lineAddr, e.dirty, e.obj = m.lineAddr, m.write, m.obj
+	if m.sink != nil {
+		e.waiters = append(e.waiters, waiter{m.sink, m.token})
 	}
 	h.mshrs[m.lineAddr] = e
 	h.stats.DemandMisses++
@@ -315,16 +378,14 @@ func (h *Hierarchy) allocateMSHR(m pendingMiss) {
 	}
 	// The request reaches the memory system after both lookup latencies.
 	delay := event.Time(h.cfg.L1.LatencyCycles+h.cfg.L2.LatencyCycles) * h.cfg.CPUCycle
-	h.q.After(delay, func() { h.submit(e) })
+	h.q.PostAfter(delay, h, hopSubmit, 0, e)
 }
 
 func (h *Hierarchy) submit(e *mshrEntry) {
 	if e.submitted {
 		return
 	}
-	ok := h.backend.Submit(e.lineAddr, false, h.cfg.Core, e.obj, func(at event.Time) {
-		h.onFill(e, at)
-	})
+	ok := h.backend.Submit(e.lineAddr, false, h.cfg.Core, e.obj, h, e.lineAddr)
 	if !ok {
 		h.stats.BackPressure++
 		if h.obsBackPress != nil {
@@ -362,11 +423,12 @@ func (h *Hierarchy) issuePrefetch(lineAddr uint64, obj uint64) {
 	if len(h.mshrs) >= h.cfg.L2.MSHRs-2 {
 		return
 	}
-	e := &mshrEntry{lineAddr: lineAddr, obj: obj, prefetch: true}
+	e := h.getMSHR()
+	e.lineAddr, e.obj, e.prefetch = lineAddr, obj, true
 	h.mshrs[lineAddr] = e
 	h.pf.stats.Issued++
 	delay := event.Time(h.cfg.L1.LatencyCycles+h.cfg.L2.LatencyCycles) * h.cfg.CPUCycle
-	h.q.After(delay, func() { h.submit(e) })
+	h.q.PostAfter(delay, h, hopSubmit, 0, e)
 }
 
 // onFill handles a returning memory line: fill L2 then L1 (maintaining
@@ -387,6 +449,7 @@ func (h *Hierarchy) onFill(e *mshrEntry, at event.Time) {
 		// Speculative fill: L2 only, invisible to demand statistics.
 		h.pf.markPrefetched(e.lineAddr)
 		delete(h.mshrs, e.lineAddr)
+		h.putMSHR(e)
 		h.admitWaiting()
 		h.pumpWritebacks()
 		return
@@ -395,8 +458,9 @@ func (h *Hierarchy) onFill(e *mshrEntry, at event.Time) {
 
 	delete(h.mshrs, e.lineAddr)
 	for _, w := range e.waiters {
-		w(at, MemHit)
+		w.sink.AccessDone(w.token, at, MemHit)
 	}
+	h.putMSHR(e)
 
 	h.admitWaiting()
 	h.pumpWritebacks()
@@ -431,9 +495,8 @@ func (h *Hierarchy) admitWaiting() {
 func (h *Hierarchy) reAccess(m pendingMiss) {
 	if h.l2.Probe(m.lineAddr) {
 		h.fillL1(m.lineAddr, m.write)
-		if m.done != nil {
-			at := h.q.Now()
-			m.done(at, L2Hit)
+		if m.sink != nil {
+			m.sink.AccessDone(m.token, h.q.Now(), L2Hit)
 		}
 		return
 	}
@@ -443,8 +506,8 @@ func (h *Hierarchy) reAccess(m pendingMiss) {
 			h.obsMerged.Inc()
 		}
 		e.dirty = e.dirty || m.write
-		if m.done != nil {
-			e.waiters = append(e.waiters, m.done)
+		if m.sink != nil {
+			e.waiters = append(e.waiters, waiter{m.sink, m.token})
 		}
 		return
 	}
@@ -474,7 +537,7 @@ func (h *Hierarchy) queueWriteback(lineAddr uint64) {
 func (h *Hierarchy) pumpWritebacks() {
 	for len(h.wbQ) > 0 {
 		addr := h.wbQ[0]
-		if !h.backend.Submit(addr, true, h.cfg.Core, 0, nil) {
+		if !h.backend.Submit(addr, true, h.cfg.Core, 0, nil, 0) {
 			h.stats.BackPressure++
 			if h.obsBackPress != nil {
 				h.obsBackPress.Inc()
@@ -501,9 +564,5 @@ func (h *Hierarchy) armRetry() {
 		return
 	}
 	h.retryArmed = true
-	h.q.After(8*h.cfg.CPUCycle, func() {
-		h.retryArmed = false
-		h.pumpWritebacks()
-		h.pumpSubmissions()
-	})
+	h.q.PostAfter(8*h.cfg.CPUCycle, h, hopRetry, 0, nil)
 }

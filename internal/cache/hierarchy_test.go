@@ -4,7 +4,13 @@ import (
 	"testing"
 
 	"moca/internal/event"
+	"moca/internal/mem"
 )
+
+// funcSink adapts a closure to AccessSink for tests.
+type funcSink func(at event.Time, level Level)
+
+func (f funcSink) AccessDone(_ uint64, at event.Time, level Level) { f(at, level) }
 
 // fakeBackend satisfies Backend with a fixed latency and optional
 // backpressure window.
@@ -17,7 +23,7 @@ type fakeBackend struct {
 	rejected int
 }
 
-func (f *fakeBackend) Submit(lineAddr uint64, write bool, core int, obj uint64, done func(at event.Time)) bool {
+func (f *fakeBackend) Submit(lineAddr uint64, write bool, core int, obj uint64, sink mem.DoneSink, token uint64) bool {
 	if f.rejected < f.rejectN {
 		f.rejected++
 		return false
@@ -27,8 +33,8 @@ func (f *fakeBackend) Submit(lineAddr uint64, write bool, core int, obj uint64, 
 	} else {
 		f.reads++
 	}
-	if done != nil {
-		f.q.After(f.latency, func() { done(f.q.Now()) })
+	if sink != nil {
+		f.q.After(f.latency, func() { sink.MemDone(token, f.q.Now()) })
 	}
 	return true
 }
@@ -56,7 +62,7 @@ func TestAccessLevels(t *testing.T) {
 	var at event.Time
 	record := func(a event.Time, l Level) { at, level = a, l }
 
-	h.Access(0x1000, 7, false, record)
+	h.Access(0x1000, 7, false, funcSink(record), 0)
 	q.Drain()
 	if level != MemHit {
 		t.Fatalf("cold access level = %v, want Mem", level)
@@ -68,7 +74,7 @@ func TestAccessLevels(t *testing.T) {
 		t.Errorf("backend reads = %d, want 1", be.reads)
 	}
 
-	h.Access(0x1000, 7, false, record)
+	h.Access(0x1000, 7, false, funcSink(record), 0)
 	q.Drain()
 	if level != L1Hit {
 		t.Fatalf("second access level = %v, want L1", level)
@@ -76,10 +82,10 @@ func TestAccessLevels(t *testing.T) {
 
 	// Evict from L1 only: fill two more lines mapping to the same L1 set.
 	// L1: 1024 B / 64 / 2 ways = 8 sets.
-	h.Access(0x1000+8*64, 7, false, nil)
-	h.Access(0x1000+16*64, 7, false, nil)
+	h.Access(0x1000+8*64, 7, false, nil, 0)
+	h.Access(0x1000+16*64, 7, false, nil, 0)
 	q.Drain()
-	h.Access(0x1000, 7, false, record)
+	h.Access(0x1000, 7, false, funcSink(record), 0)
 	q.Drain()
 	if level != L2Hit {
 		t.Fatalf("after L1 eviction, level = %v, want L2", level)
@@ -90,7 +96,7 @@ func TestMSHRMerging(t *testing.T) {
 	q, be, h := newTestHierarchy(t, 0)
 	completions := 0
 	for i := 0; i < 3; i++ {
-		h.Access(0x2000+uint64(i*8), 1, false, func(event.Time, Level) { completions++ })
+		h.Access(0x2000+uint64(i*8), 1, false, funcSink(func(event.Time, Level) { completions++ }), 0)
 	}
 	if got := h.OutstandingMisses(); got != 1 {
 		t.Fatalf("outstanding misses = %d, want 1 (same line merged)", got)
@@ -112,7 +118,7 @@ func TestMSHRLimitStalls(t *testing.T) {
 	q, be, h := newTestHierarchy(t, 0)
 	done := 0
 	for i := 0; i < 8; i++ { // 8 distinct lines, 4 MSHRs
-		h.Access(uint64(0x10000+i*4096), 1, false, func(event.Time, Level) { done++ })
+		h.Access(uint64(0x10000+i*4096), 1, false, funcSink(func(event.Time, Level) { done++ }), 0)
 	}
 	if h.OutstandingMisses() != 4 {
 		t.Fatalf("outstanding = %d, want 4 (MSHR limit)", h.OutstandingMisses())
@@ -133,11 +139,11 @@ func TestLLCMissCallback(t *testing.T) {
 	q, _, h := newTestHierarchy(t, 0)
 	var objs []uint64
 	h.OnLLCMiss = func(obj uint64) { objs = append(objs, obj) }
-	h.Access(0x100, 42, false, nil)
-	h.Access(0x120, 42, false, nil) // merges: no second callback
-	h.Access(0x4000, 43, true, nil)
+	h.Access(0x100, 42, false, nil, 0)
+	h.Access(0x120, 42, false, nil, 0) // merges: no second callback
+	h.Access(0x4000, 43, true, nil, 0)
 	q.Drain()
-	h.Access(0x100, 42, false, nil) // L1 hit: no callback
+	h.Access(0x100, 42, false, nil, 0) // L1 hit: no callback
 	q.Drain()
 	if len(objs) != 2 || objs[0] != 42 || objs[1] != 43 {
 		t.Errorf("LLC miss objects = %v, want [42 43]", objs)
@@ -147,7 +153,7 @@ func TestLLCMissCallback(t *testing.T) {
 func TestStoreWriteAllocateAndWriteback(t *testing.T) {
 	q, be, h := newTestHierarchy(t, 0)
 	// Store to a cold line: write-allocate fetches it (1 read).
-	h.Access(0x8000, 5, true, nil)
+	h.Access(0x8000, 5, true, nil, 0)
 	q.Drain()
 	if be.reads != 1 || be.writes != 0 {
 		t.Fatalf("after store miss: reads=%d writes=%d, want 1,0", be.reads, be.writes)
@@ -155,7 +161,7 @@ func TestStoreWriteAllocateAndWriteback(t *testing.T) {
 	// Push the dirty line out of both levels: fill the entire L2 set.
 	// L2: 8192/64/4 ways = 32 sets; same set stride = 32*64.
 	for i := 1; i <= 4; i++ {
-		h.Access(uint64(0x8000+i*32*64), 5, false, nil)
+		h.Access(uint64(0x8000+i*32*64), 5, false, nil, 0)
 		q.Drain()
 	}
 	if be.writes == 0 {
@@ -168,7 +174,7 @@ func TestStoreWriteAllocateAndWriteback(t *testing.T) {
 
 func TestInclusionBackInvalidation(t *testing.T) {
 	q, _, h := newTestHierarchy(t, 0)
-	h.Access(0x8000, 5, true, nil) // dirty in L1
+	h.Access(0x8000, 5, true, nil, 0) // dirty in L1
 	q.Drain()
 	if !h.L1().Probe(0x8000) {
 		t.Fatal("line not in L1")
@@ -176,7 +182,7 @@ func TestInclusionBackInvalidation(t *testing.T) {
 	// Evict from L2 (same L2 set): the L1 copy must vanish too and its
 	// dirty data must be written back.
 	for i := 1; i <= 4; i++ {
-		h.Access(uint64(0x8000+i*32*64), 5, false, nil)
+		h.Access(uint64(0x8000+i*32*64), 5, false, nil, 0)
 		q.Drain()
 	}
 	if h.L1().Probe(0x8000) {
@@ -190,7 +196,7 @@ func TestInclusionBackInvalidation(t *testing.T) {
 func TestBackpressureRetry(t *testing.T) {
 	q, be, h := newTestHierarchy(t, 3)
 	done := false
-	h.Access(0x100, 1, false, func(event.Time, Level) { done = true })
+	h.Access(0x100, 1, false, funcSink(func(event.Time, Level) { done = true }), 0)
 	q.Drain()
 	if !done {
 		t.Fatal("access never completed under backpressure")
@@ -205,7 +211,7 @@ func TestBackpressureRetry(t *testing.T) {
 
 func TestResetStats(t *testing.T) {
 	q, _, h := newTestHierarchy(t, 0)
-	h.Access(0x100, 1, false, nil)
+	h.Access(0x100, 1, false, nil, 0)
 	q.Drain()
 	h.ResetStats()
 	if st := h.Stats(); st.DemandMisses != 0 {

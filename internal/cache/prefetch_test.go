@@ -29,7 +29,7 @@ func TestPrefetcherDetectsStride(t *testing.T) {
 	// should trigger prefetches and later accesses should find their
 	// lines resident.
 	for i := 0; i < 16; i++ {
-		h.Access(uint64(i)*LineBytes, 7, false, nil)
+		h.Access(uint64(i)*LineBytes, 7, false, nil, 0)
 		q.Drain()
 	}
 	st := h.PrefetchStats()
@@ -56,7 +56,7 @@ func TestPrefetcherIgnoresRandom(t *testing.T) {
 	q, _, h := prefetchHierarchy(t, true)
 	addrs := []uint64{0x40, 0x4000, 0x100, 0x9000, 0x200, 0x7000, 0x340, 0xA000}
 	for _, a := range addrs {
-		h.Access(a, 7, false, nil)
+		h.Access(a, 7, false, nil, 0)
 		q.Drain()
 	}
 	if st := h.PrefetchStats(); st.Issued > 2 {
@@ -69,7 +69,7 @@ func TestPrefetcherDoesNotCountDemandMisses(t *testing.T) {
 	var llcMisses int
 	h.OnLLCMiss = func(uint64) { llcMisses++ }
 	for i := 0; i < 12; i++ {
-		h.Access(uint64(i)*LineBytes, 7, false, nil)
+		h.Access(uint64(i)*LineBytes, 7, false, nil, 0)
 		q.Drain()
 	}
 	if uint64(llcMisses) != h.Stats().DemandMisses {
@@ -80,7 +80,7 @@ func TestPrefetcherDoesNotCountDemandMisses(t *testing.T) {
 func TestPrefetcherDisabledIsInert(t *testing.T) {
 	q, _, h := prefetchHierarchy(t, false)
 	for i := 0; i < 16; i++ {
-		h.Access(uint64(i)*LineBytes, 7, false, nil)
+		h.Access(uint64(i)*LineBytes, 7, false, nil, 0)
 		q.Drain()
 	}
 	if st := h.PrefetchStats(); st.Issued != 0 {
@@ -96,15 +96,15 @@ func TestPrefetcherLateCounting(t *testing.T) {
 	// Build confidence, then access the next line before its prefetch
 	// returns (no Drain between): the demand should merge and count Late.
 	for i := 0; i < 6; i++ {
-		h.Access(uint64(i)*LineBytes, 7, false, nil)
+		h.Access(uint64(i)*LineBytes, 7, false, nil, 0)
 		q.Drain()
 	}
 	before := h.PrefetchStats()
 	if before.Issued == 0 {
 		t.Skip("no prefetches in flight pattern")
 	}
-	h.Access(6*LineBytes, 7, false, nil)
-	h.Access(7*LineBytes, 7, false, nil) // likely in flight from the previous observe
+	h.Access(6*LineBytes, 7, false, nil, 0)
+	h.Access(7*LineBytes, 7, false, nil, 0) // likely in flight from the previous observe
 	q.Drain()
 	// Late may be 0 or more depending on timing; the invariant is that
 	// Useful+Late never exceeds Issued.

@@ -61,9 +61,11 @@ type Translator interface {
 	Translate(vaddr uint64, write bool) (paddr uint64, ok bool)
 }
 
-// MemPort is the cache hierarchy interface the core issues accesses to.
+// MemPort is the cache hierarchy interface the core issues accesses to. The
+// core registers itself as the sink and tokens completions with the load's
+// ROB index (see Core.AccessDone).
 type MemPort interface {
-	Access(paddr uint64, obj uint64, write bool, done func(at event.Time, level cache.Level))
+	Access(paddr uint64, obj uint64, write bool, sink cache.AccessSink, token uint64)
 }
 
 // Config sizes the core per Table I.
@@ -255,7 +257,7 @@ func (c *Core) dispatch() {
 			c.push(robEntry{kind: Store, done: true})
 			c.stats.Stores++
 			if paddr, ok := c.translate(in.VAddr, true); ok {
-				c.mem.Access(paddr, in.Obj, true, nil)
+				c.mem.Access(paddr, in.Obj, true, nil, 0)
 			}
 		case Load:
 			if c.loadsInLQ >= c.cfg.LQSize {
@@ -294,11 +296,18 @@ func (c *Core) maybeIssueLoad(idx int) {
 		e.done = true
 		return
 	}
-	c.mem.Access(paddr, e.obj, false, func(at event.Time, level cache.Level) {
-		e.done = true
-		e.level = level
-		c.wakeDependents(idx)
-	})
+	c.mem.Access(paddr, e.obj, false, c, uint64(idx))
+}
+
+// AccessDone receives load completions from the memory port
+// (cache.AccessSink); the token is the load's ROB index. A load cannot
+// retire before completing, so the slot still holds the issuing load.
+func (c *Core) AccessDone(token uint64, _ event.Time, level cache.Level) {
+	idx := int(token)
+	e := &c.rob[idx]
+	e.done = true
+	e.level = level
+	c.wakeDependents(idx)
 }
 
 // wakeDependents issues any younger dependent load that was waiting on the

@@ -46,9 +46,9 @@ type fixedMem struct {
 	maxInflight int
 }
 
-func (m *fixedMem) Access(paddr uint64, obj uint64, write bool, done func(event.Time, cache.Level)) {
+func (m *fixedMem) Access(paddr uint64, obj uint64, write bool, sink cache.AccessSink, token uint64) {
 	m.accesses++
-	if done == nil {
+	if sink == nil {
 		return
 	}
 	m.inflight++
@@ -57,7 +57,7 @@ func (m *fixedMem) Access(paddr uint64, obj uint64, write bool, done func(event.
 	}
 	m.q.After(m.latency, func() {
 		m.inflight--
-		done(m.q.Now(), m.level)
+		sink.AccessDone(token, m.q.Now(), m.level)
 	})
 }
 

@@ -6,6 +6,12 @@
 // Time is measured in integer picoseconds so that memory-device clocks that
 // are not integer nanoseconds (e.g. RLDRAM3 tCK = 0.93 ns) can be expressed
 // exactly enough, while a 1 GHz CPU cycle is exactly 1000 ps.
+//
+// The queue is allocation-free on the hot path: events are pooled records in
+// a growable arena recycled through a free list, ordered by an intrusive
+// 4-ary heap of pool indices. Components implement Handler and pass a small
+// (op, i64, p) payload instead of allocating a closure per event; the
+// closure-based Schedule/After API remains for cold paths and tests.
 package event
 
 import "moca/internal/obs"
@@ -22,21 +28,56 @@ const (
 	Second      Time = 1000 * Millisecond
 )
 
-// Func is the body of a scheduled event.
+// Func is the body of a closure-scheduled event.
 type Func func()
 
-type item struct {
-	at  Time
-	seq uint64 // FIFO tie-break for events at the same timestamp
-	fn  Func
+// Handler receives pooled events. now is the event's timestamp; op, i64,
+// and p are the payload given at scheduling time. Pointer-shaped payloads
+// (pointers, interfaces, funcs) convert to any without allocating.
+type Handler interface {
+	OnEvent(now Time, op int32, i64 int64, p any)
 }
+
+// funcRunner adapts the legacy closure API onto Handler.
+type funcRunner struct{}
+
+func (funcRunner) OnEvent(_ Time, _ int32, _ int64, p any) { p.(Func)() }
+
+var runFunc Handler = funcRunner{}
+
+// rec is one pooled event record. pos is its index in the heap (-1 when
+// free), making reschedules O(log n) without search.
+type rec struct {
+	at   Time
+	s    Time   // wake ordering: virtual schedule time (see ScheduleWake)
+	ord  uint64 // FIFO tie-break: schedule order (wakes: arming order)
+	i64  int64
+	h    Handler
+	p    any
+	op   int32
+	pos  int32
+	gen  uint32
+	wake bool
+}
+
+// Handle names a pending wake event for rescheduling. The generation field
+// detects (and panics on) use after the wake has fired.
+type Handle struct {
+	idx int32
+	gen uint32
+}
+
+// NilHandle is the zero Handle; it never names a pending wake.
+var NilHandle = Handle{idx: -1}
 
 // Queue is a time-ordered event queue. Events scheduled for the same
 // timestamp run in the order they were scheduled. Queue is not safe for
 // concurrent use; the simulator is single-threaded by design so that runs
 // are exactly reproducible.
 type Queue struct {
-	heap []item
+	pool []rec
+	free []int32
+	heap []int32
 	seq  uint64
 	now  Time
 	runs uint64
@@ -64,32 +105,122 @@ func (q *Queue) AttachObs(r *obs.Registry) {
 }
 
 // Now returns the timestamp of the most recently executed event, or the
-// time passed to the latest AdvanceTo, whichever is later.
+// time passed to the latest RunUntil, whichever is later.
 func (q *Queue) Now() Time { return q.now }
 
-// Len returns the number of pending events.
+// Len returns the number of pending events (wakes included).
 func (q *Queue) Len() int { return len(q.heap) }
 
-// Executed returns the total number of events executed so far.
+// Executed returns the total number of events executed so far, including
+// virtual ticks accounted through Credit; wake events are excluded.
 func (q *Queue) Executed() uint64 { return q.runs }
 
-// Schedule enqueues fn to run at the given absolute time. Scheduling in the
-// past is a simulator bug; it panics rather than silently reordering time.
-func (q *Queue) Schedule(at Time, fn Func) {
+func (q *Queue) alloc() int32 {
+	if n := len(q.free); n > 0 {
+		i := q.free[n-1]
+		q.free = q.free[:n-1]
+		return i
+	}
+	q.pool = append(q.pool, rec{})
+	return int32(len(q.pool) - 1)
+}
+
+func (q *Queue) releaseRec(i int32) {
+	r := &q.pool[i]
+	r.h, r.p = nil, nil
+	r.pos = -1
+	r.gen++
+	q.free = append(q.free, i)
+}
+
+// Post enqueues a pooled event for Handler h at the given absolute time.
+// Scheduling in the past is a simulator bug; it panics rather than silently
+// reordering time. Post performs no allocation when p is pointer-shaped.
+func (q *Queue) Post(at Time, h Handler, op int32, i64 int64, p any) {
 	if at < q.now {
 		panic("event: scheduled in the past")
 	}
-	q.heap = append(q.heap, item{at: at, seq: q.seq, fn: fn})
+	i := q.alloc()
+	r := &q.pool[i]
+	r.at, r.s, r.ord, r.wake = at, 0, q.seq, false
+	r.h, r.op, r.i64, r.p = h, op, i64, p
 	q.seq++
-	q.up(len(q.heap) - 1)
+	q.push(i)
 	if q.obsScheduled != nil {
 		q.obsScheduled.Inc()
 		q.obsDepth.RecordMax(int64(len(q.heap)))
 	}
 }
 
+// PostAfter enqueues a pooled event delay picoseconds after the current time.
+func (q *Queue) PostAfter(delay Time, h Handler, op int32, i64 int64, p any) {
+	q.Post(q.now+delay, h, op, i64, p)
+}
+
+// Schedule enqueues fn to run at the given absolute time (closure API; the
+// closure itself is the only allocation).
+func (q *Queue) Schedule(at Time, fn Func) { q.Post(at, runFunc, 0, 0, fn) }
+
 // After enqueues fn to run delay picoseconds after the current time.
 func (q *Queue) After(delay Time, fn Func) { q.Schedule(q.now+delay, fn) }
+
+// ScheduleWake enqueues a wake event: a reschedulable timer a component uses
+// to sleep until its next state change. Wakes differ from normal events in
+// three ways that together preserve bit-identical runs versus a model that
+// polls every device clock:
+//
+//   - they are excluded from the scheduled/executed counters (the component
+//     accounts for the clock ticks it skips via Credit);
+//   - at equal timestamps they sort after every normal event, then among
+//     themselves by (s, arming order), where s is the time the equivalent
+//     polled event would have been scheduled (at minus one device clock,
+//     floored at the chain's arming time);
+//   - they can be pulled earlier in place through the returned Handle.
+func (q *Queue) ScheduleWake(at, s Time, h Handler, op int32) Handle {
+	if at < q.now {
+		panic("event: wake scheduled in the past")
+	}
+	i := q.alloc()
+	r := &q.pool[i]
+	r.at, r.s, r.ord, r.wake = at, s, q.seq, true
+	r.h, r.op, r.i64, r.p = h, op, 0, nil
+	q.seq++
+	q.push(i)
+	if q.obsDepth != nil {
+		q.obsDepth.RecordMax(int64(len(q.heap)))
+	}
+	return Handle{idx: i, gen: r.gen}
+}
+
+// RescheduleWake moves a pending wake to a new time, keeping its arming
+// order. It panics if the handle's wake already fired (stale handle).
+func (q *Queue) RescheduleWake(hd Handle, at, s Time) {
+	if at < q.now {
+		panic("event: wake rescheduled into the past")
+	}
+	if hd.idx < 0 || int(hd.idx) >= len(q.pool) {
+		panic("event: invalid wake handle")
+	}
+	r := &q.pool[hd.idx]
+	if r.gen != hd.gen || !r.wake || r.pos < 0 {
+		panic("event: stale wake handle")
+	}
+	r.at, r.s = at, s
+	if !q.up(int(r.pos)) {
+		q.down(int(r.pos))
+	}
+}
+
+// Credit accounts for virtual events: device-clock ticks a component proved
+// it could skip. They count exactly as if they had been scheduled and
+// executed, keeping the observability counters identical to a polling model.
+func (q *Queue) Credit(scheduled, executed uint64) {
+	q.runs += executed
+	if q.obsScheduled != nil {
+		q.obsScheduled.Add(scheduled)
+		q.obsExecuted.Add(executed)
+	}
+}
 
 // NextTime returns the timestamp of the earliest pending event and true, or
 // (0, false) if the queue is empty.
@@ -97,7 +228,7 @@ func (q *Queue) NextTime() (Time, bool) {
 	if len(q.heap) == 0 {
 		return 0, false
 	}
-	return q.heap[0].at, true
+	return q.pool[q.heap[0]].at, true
 }
 
 // RunOne executes the earliest pending event, advancing Now to its
@@ -106,14 +237,19 @@ func (q *Queue) RunOne() bool {
 	if len(q.heap) == 0 {
 		return false
 	}
-	it := q.heap[0]
-	q.pop()
-	q.now = it.at
-	q.runs++
-	if q.obsExecuted != nil {
-		q.obsExecuted.Inc()
+	i := q.heap[0]
+	r := &q.pool[i]
+	at, h, op, i64, p, wake := r.at, r.h, r.op, r.i64, r.p, r.wake
+	q.popMin()
+	q.releaseRec(i)
+	q.now = at
+	if !wake {
+		q.runs++
+		if q.obsExecuted != nil {
+			q.obsExecuted.Inc()
+		}
 	}
-	it.fn()
+	h.OnEvent(at, op, i64, p)
 	return true
 }
 
@@ -122,7 +258,7 @@ func (q *Queue) RunOne() bool {
 // It returns the number of events executed.
 func (q *Queue) RunUntil(t Time) int {
 	n := 0
-	for len(q.heap) > 0 && q.heap[0].at <= t {
+	for len(q.heap) > 0 && q.pool[q.heap[0]].at <= t {
 		if !q.RunOne() {
 			break
 		}
@@ -145,50 +281,80 @@ func (q *Queue) Drain() int {
 	return n
 }
 
-func (q *Queue) less(i, j int) bool {
-	a, b := q.heap[i], q.heap[j]
-	if a.at != b.at {
-		return a.at < b.at
+// less orders the heap: time first, then normal events before wakes, then
+// FIFO by schedule order (wakes: virtual schedule time, then arming order).
+func (q *Queue) less(a, b int32) bool {
+	ra, rb := &q.pool[a], &q.pool[b]
+	if ra.at != rb.at {
+		return ra.at < rb.at
 	}
-	return a.seq < b.seq
+	if ra.wake != rb.wake {
+		return rb.wake
+	}
+	if ra.wake && ra.s != rb.s {
+		return ra.s < rb.s
+	}
+	return ra.ord < rb.ord
 }
 
-func (q *Queue) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
-			break
-		}
-		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
-		i = parent
-	}
+func (q *Queue) push(i int32) {
+	q.heap = append(q.heap, i)
+	pos := len(q.heap) - 1
+	q.pool[i].pos = int32(pos)
+	q.up(pos)
 }
 
-func (q *Queue) pop() {
+func (q *Queue) popMin() {
 	last := len(q.heap) - 1
-	q.heap[0] = q.heap[last]
-	q.heap[last] = item{} // release closure for GC
+	moved := q.heap[last]
+	q.heap[0] = moved
+	q.pool[moved].pos = 0
 	q.heap = q.heap[:last]
-	if len(q.heap) > 0 {
+	if last > 0 {
 		q.down(0)
 	}
+}
+
+// up sifts the element at heap position i toward the root; it reports
+// whether the element moved.
+func (q *Queue) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q.less(q.heap[i], q.heap[parent]) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
 }
 
 func (q *Queue) down(i int) {
 	n := len(q.heap)
 	for {
-		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < n && q.less(l, smallest) {
-			smallest = l
+		first := 4*i + 1
+		end := first + 4
+		if end > n {
+			end = n
 		}
-		if r < n && q.less(r, smallest) {
-			smallest = r
+		for c := first; c < end; c++ {
+			if q.less(q.heap[c], q.heap[smallest]) {
+				smallest = c
+			}
 		}
 		if smallest == i {
 			return
 		}
-		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		q.swap(i, smallest)
 		i = smallest
 	}
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.pool[q.heap[i]].pos = int32(i)
+	q.pool[q.heap[j]].pos = int32(j)
 }

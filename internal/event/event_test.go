@@ -194,6 +194,183 @@ func TestPropertyMonotonicNow(t *testing.T) {
 	}
 }
 
+// TestSameTimeStormAcrossPopPaths schedules a large same-timestamp burst —
+// the worst case for heap tie-breaking — and checks strict FIFO order on
+// each pop path (RunOne, RunUntil, Drain), including events scheduled from
+// inside handlers at the same timestamp.
+func TestSameTimeStormAcrossPopPaths(t *testing.T) {
+	const storm = 500
+	pop := map[string]func(q *Queue){
+		"RunOne": func(q *Queue) {
+			for q.RunOne() {
+			}
+		},
+		"RunUntil": func(q *Queue) { q.RunUntil(100) },
+		"Drain":    func(q *Queue) { q.Drain() },
+	}
+	for name, run := range pop {
+		t.Run(name, func(t *testing.T) {
+			q := NewQueue()
+			var got []int
+			for i := 0; i < storm; i++ {
+				i := i
+				q.Schedule(100, func() {
+					got = append(got, i)
+					if i%10 == 0 {
+						// Cascade at the same timestamp: runs after every
+						// already-scheduled event, in schedule order.
+						j := storm + i
+						q.Schedule(100, func() { got = append(got, j) })
+					}
+				})
+			}
+			run(q)
+			if len(got) != storm+storm/10 {
+				t.Fatalf("executed %d events, want %d", len(got), storm+storm/10)
+			}
+			for i := 1; i < len(got); i++ {
+				// Schedule order is execution order, so the recorded ids of
+				// the initial burst ascend, then the cascaded ids ascend.
+				if got[i] < got[i-1] && !(got[i-1] >= storm && got[i] < storm) {
+					t.Fatalf("FIFO violated at %d: %d after %d", i, got[i], got[i-1])
+				}
+			}
+			for i := 0; i < storm; i++ {
+				if got[i] != i {
+					t.Fatalf("initial burst out of order at %d: got %d", i, got[i])
+				}
+			}
+		})
+	}
+}
+
+// TestScheduleAtNow: an event may be scheduled for exactly the current time
+// (e.g. a controller pulling its wake to "immediately"); it runs within the
+// same RunUntil window.
+func TestScheduleAtNow(t *testing.T) {
+	q := NewQueue()
+	ran := false
+	q.Schedule(50, func() {
+		q.Schedule(q.Now(), func() { ran = true })
+	})
+	q.RunUntil(50)
+	if !ran {
+		t.Fatal("event scheduled at Now() did not run in the same window")
+	}
+}
+
+// TestPoolReuseAfterDrain: records recycled by Drain are reused by later
+// schedules instead of growing the pool arena.
+func TestPoolReuseAfterDrain(t *testing.T) {
+	q := NewQueue()
+	const n = 128
+	for i := 0; i < n; i++ {
+		q.Schedule(Time(i), func() {})
+	}
+	q.Drain()
+	if len(q.pool) != n {
+		t.Fatalf("pool holds %d records after %d events", len(q.pool), n)
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < n; i++ {
+			q.PostAfter(Time(i), runFunc, 0, 0, Func(func() {}))
+		}
+		q.Drain()
+	}
+	if len(q.pool) != n {
+		t.Fatalf("pool grew to %d records; free-list recycling broken", len(q.pool))
+	}
+}
+
+// countHandler counts pooled-event deliveries and checks payload plumbing.
+type countHandler struct {
+	n    int
+	last int64
+}
+
+func (h *countHandler) OnEvent(_ Time, op int32, i64 int64, p any) {
+	h.n++
+	h.last = i64
+}
+
+// TestPostZeroAlloc gates the pooled hot path at zero allocations per
+// event once the arena is warm.
+func TestPostZeroAlloc(t *testing.T) {
+	q := NewQueue()
+	h := &countHandler{}
+	// Warm the pool so the arena append is excluded.
+	q.Post(0, h, 0, 0, nil)
+	q.RunOne()
+	if avg := testing.AllocsPerRun(1000, func() {
+		q.Post(q.Now()+10, h, 1, 42, nil)
+		q.RunOne()
+	}); avg != 0 {
+		t.Fatalf("Post/RunOne allocates %.1f per event, want 0", avg)
+	}
+	if h.last != 42 {
+		t.Fatalf("payload i64 = %d, want 42", h.last)
+	}
+}
+
+// TestWakeOrdering: at the same timestamp, wakes run after every normal
+// event, ordered among themselves by virtual schedule time then arming
+// order; rescheduling keeps the arming order; a fired handle is stale.
+func TestWakeOrdering(t *testing.T) {
+	q := NewQueue()
+	var got []int64
+	rec := func(id int64) Handler {
+		return recordHandler{&got, id}
+	}
+	// Arm wakes first so a FIFO-by-seq queue would run them first.
+	q.ScheduleWake(100, 90, rec(3), 0) // later virtual schedule time
+	q.ScheduleWake(100, 80, rec(2), 0) // earlier virtual schedule time
+	q.Post(100, rec(1), 0, 0, nil)     // normal event: must run first
+	q.Drain()
+	want := []int64{1, 2, 3}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("execution order %v, want %v", got, want)
+	}
+	if q.Executed() != 1 {
+		t.Errorf("Executed() = %d, want 1 (wakes uncounted)", q.Executed())
+	}
+
+	hd := q.ScheduleWake(200, 190, rec(4), 0)
+	q.RescheduleWake(hd, 150, 149)
+	q.Drain()
+	if got[len(got)-1] != 4 {
+		t.Fatalf("rescheduled wake did not run: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rescheduling a fired wake did not panic")
+		}
+	}()
+	q.RescheduleWake(hd, 300, 299)
+}
+
+type recordHandler struct {
+	out *[]int64
+	id  int64
+}
+
+func (h recordHandler) OnEvent(Time, int32, int64, any) { *h.out = append(*h.out, h.id) }
+
+// BenchmarkQueue measures the pooled Post/RunOne hot path; the companion
+// TestPostZeroAlloc gates it at 0 allocs/op.
+func BenchmarkQueue(b *testing.B) {
+	q := NewQueue()
+	h := &countHandler{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Post(q.Now()+Time(i%64), h, 0, int64(i), nil)
+		if q.Len() > 1024 {
+			q.RunOne()
+		}
+	}
+	q.Drain()
+}
+
 func BenchmarkScheduleRun(b *testing.B) {
 	q := NewQueue()
 	fn := func() {}

@@ -168,8 +168,10 @@ func (r *Runner) Results() map[string]*sim.Result {
 	return out
 }
 
-// parallel runs the tasks with bounded concurrency and returns the first
-// error (after all tasks complete).
+// parallel runs the tasks with bounded concurrency. After all tasks
+// complete it returns the error of the first failing task in submission
+// order (not completion order), so a run that fails reports the same error
+// no matter how the goroutines interleave.
 func (r *Runner) parallel(tasks []func() error) error {
 	limit := r.Parallelism
 	if limit <= 0 {
@@ -182,21 +184,20 @@ func (r *Runner) parallel(tasks []func() error) error {
 		limit = 1
 	}
 	sem := make(chan struct{}, limit)
-	errs := make(chan error, len(tasks))
+	errs := make([]error, len(tasks))
 	var wg sync.WaitGroup
-	for _, task := range tasks {
-		task := task
+	for i, task := range tasks {
+		i, task := i, task
 		wg.Add(1)
-		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
+			sem <- struct{}{} // acquire inside the goroutine: spawning never blocks
 			defer func() { <-sem }()
-			errs <- task()
+			errs[i] = task()
 		}()
 	}
 	wg.Wait()
-	close(errs)
-	for err := range errs {
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}

@@ -115,6 +115,11 @@ type bank struct {
 	preAllowedAt   event.Time // tRAS after the last activate
 	actAllowedAt   event.Time // tRC after the last activate / tRP after precharge
 	preInFlightRow int64      // row being closed, -1 if none
+
+	// Pending requests targeting this bank, in arrival order (intrusive
+	// list through Request.nextB/prevB).
+	head, tail *Request
+	npend      int
 }
 
 // ChannelStats aggregates the activity of one channel.
@@ -156,18 +161,32 @@ func (s ChannelStats) RowHitRate() float64 {
 	return float64(s.RowHits) / float64(n)
 }
 
-// Controller models one memory channel: a command scheduler ticking at the
+// Controller models one memory channel: a command scheduler clocked at the
 // device clock, per-bank row-buffer state, a shared data bus, and periodic
 // refresh. It issues at most Timing.CommandsPerTick commands per clock.
+//
+// The scheduler is event-driven: instead of polling every device clock
+// while requests are pending, the controller computes the earliest clock
+// edge at which any command could issue (request arrival, bank timing
+// expiry, bus release, starvation onset, refresh deadline) and sleeps until
+// then on a single reschedulable wake event. The skipped clock ticks are
+// credited to the event queue's counters (Queue.Credit) so observability
+// snapshots are bit-identical to the polling model's.
 type Controller struct {
 	Name string
 
 	cfg    ChannelConfig
 	q      *event.Queue
 	banks  []bank
-	queue  []*Request // pending requests in arrival order
 	stats  ChannelStats
 	httime Timing // cached timing
+
+	// Pending requests in arrival order (intrusive list through
+	// Request.nextQ/prevQ); each request is also on its bank's list.
+	qHead, qTail *Request
+	qLen         int
+	ageSeq       uint64
+	freeReq      *Request // recycled pooled requests (EnqueueLine path)
 
 	colBits  uint
 	bankMask uint64
@@ -175,8 +194,22 @@ type Controller struct {
 
 	pendingArrivals int // Enqueued but not yet visible after frontend delay
 	busFreeAt       event.Time
-	ticking         bool
 	nextRefreshAt   event.Time
+
+	// Wake chain state. A chain is the span from arming (first request
+	// visible with the scheduler idle) to the clock edge where the queue
+	// empties; it corresponds 1:1 to a self-rescheduling tick chain in the
+	// polling model, anchored on the same clock grid.
+	chainActive bool
+	anchor      event.Time // chain arming time: clock edges are anchor + k*tCK
+	wake        event.Handle
+	wakeAt      event.Time
+
+	// Virtual-tick accounting: ticks the polling model would have executed.
+	// vtClosed accumulates finished chains; SyncObs adds the live chain and
+	// flushes deltas into the queue's scheduled/executed counters.
+	vtClosed                    uint64
+	creditedSched, creditedExec uint64
 
 	// Observability; all nil (free) unless AttachObs was called. The
 	// counters aggregate across every channel attached to one registry.
@@ -273,35 +306,301 @@ func (c *Controller) Stats() ChannelStats { return c.stats }
 func (c *Controller) ResetStats() { c.stats = ChannelStats{} }
 
 // QueueLen returns the number of requests waiting for service.
-func (c *Controller) QueueLen() int { return len(c.queue) }
+func (c *Controller) QueueLen() int { return c.qLen }
+
+// Controller event opcodes (see OnEvent).
+const (
+	opArrival int32 = iota // p: *Request — frontend delay elapsed
+	opPreDone              // i64: bank index — precharge finished
+	opDone                 // p: *Request — deliver completion
+	opWake                 // scheduler wake: next actionable clock edge
+)
 
 // Enqueue presents a request to the channel. It reports false when the
 // controller queue is full (backpressure); the caller must retry later.
 func (c *Controller) Enqueue(r *Request) bool {
-	if len(c.queue)+c.pendingArrivals >= c.cfg.MaxQueue {
+	if c.qLen+c.pendingArrivals >= c.cfg.MaxQueue {
 		if c.obsBackPress != nil {
 			c.obsBackPress.Inc()
 		}
 		return false
 	}
+	c.enqueue(r)
+	return true
+}
+
+// EnqueueLine is the allocation-free submission path: the controller owns
+// the Request (recycled through a free list) and completion is delivered to
+// sink.MemDone(token, at) instead of a per-request closure. A nil sink
+// (writebacks, copy traffic) completes silently.
+func (c *Controller) EnqueueLine(addr uint64, write bool, core int, obj uint64, sink DoneSink, token uint64) bool {
+	if c.qLen+c.pendingArrivals >= c.cfg.MaxQueue {
+		if c.obsBackPress != nil {
+			c.obsBackPress.Inc()
+		}
+		return false
+	}
+	r := c.freeReq
+	if r != nil {
+		c.freeReq = r.nextQ
+		*r = Request{pooled: true}
+	} else {
+		r = &Request{pooled: true}
+	}
+	r.Addr, r.Write, r.Core, r.Obj = addr, write, core, obj
+	r.sink, r.token = sink, token
+	c.enqueue(r)
+	return true
+}
+
+func (c *Controller) enqueue(r *Request) {
 	c.pendingArrivals++
 	r.Arrive = c.q.Now() + c.cfg.FrontendLatency
 	r.FirstCmd = -1
 	c.mapAddress(r)
 	// The request becomes visible to the scheduler after the frontend
 	// interconnect delay.
-	c.q.Schedule(r.Arrive, func() {
-		c.pendingArrivals--
-		c.queue = append(c.queue, r)
-		if len(c.queue) > c.stats.MaxQueueDepth {
-			c.stats.MaxQueueDepth = len(c.queue)
+	c.q.Post(r.Arrive, c, opArrival, 0, r)
+}
+
+func (c *Controller) release(r *Request) {
+	if !r.pooled {
+		return
+	}
+	r.nextQ = c.freeReq
+	c.freeReq = r
+}
+
+// OnEvent implements event.Handler.
+func (c *Controller) OnEvent(now event.Time, op int32, i64 int64, p any) {
+	switch op {
+	case opArrival:
+		c.onArrival(now, p.(*Request))
+	case opPreDone:
+		c.onPreDone(now, int(i64))
+	case opDone:
+		r := p.(*Request)
+		if r.sink != nil {
+			r.sink.MemDone(r.token, now)
+		} else if r.Done != nil {
+			r.Done(r, now)
 		}
-		if c.obsDepth != nil {
-			c.obsDepth.RecordMax(int64(len(c.queue)))
+		c.release(r)
+	case opWake:
+		c.onWake(now)
+	}
+}
+
+func (c *Controller) onArrival(now event.Time, r *Request) {
+	c.pendingArrivals--
+	r.qSeq = c.ageSeq
+	c.ageSeq++
+	if c.qTail != nil {
+		c.qTail.nextQ, r.prevQ = r, c.qTail
+	} else {
+		c.qHead = r
+	}
+	c.qTail = r
+	c.qLen++
+	b := &c.banks[r.bank]
+	if b.tail != nil {
+		b.tail.nextB, r.prevB = r, b.tail
+	} else {
+		b.head = r
+	}
+	b.tail = r
+	b.npend++
+	if c.qLen > c.stats.MaxQueueDepth {
+		c.stats.MaxQueueDepth = c.qLen
+	}
+	if c.obsDepth != nil {
+		c.obsDepth.RecordMax(int64(c.qLen))
+	}
+	if !c.chainActive {
+		c.armChain(now)
+	} else {
+		c.pullWake(now)
+	}
+}
+
+func (c *Controller) onPreDone(now event.Time, bankIdx int) {
+	c.banks[bankIdx].preInFlightRow = -1
+	if !c.chainActive {
+		if c.qLen == 0 {
+			// The polling model would start a chain here that runs one
+			// no-op tick and dies; account it without a wake.
+			c.refreshCatchUp(now)
+			c.vtClosed++
+		} else {
+			c.armChain(now)
 		}
-		c.armTick()
-	})
-	return true
+		return
+	}
+	c.pullWake(now)
+}
+
+// armChain starts a wake chain: the polling model's armTick scheduling an
+// immediate tick. The wake fires at the current time, after every normal
+// event already pending at it, exactly like a zero-delay tick would.
+func (c *Controller) armChain(now event.Time) {
+	c.chainActive = true
+	c.anchor = now
+	c.wake = c.q.ScheduleWake(now, now, c, opWake)
+	c.wakeAt = now
+}
+
+// pullWake re-evaluates the next actionable clock edge after a state change
+// (arrival, precharge completion) and pulls the pending wake earlier if
+// needed. State changes between wakes only ever add options, so the wake
+// never moves later here.
+func (c *Controller) pullWake(now event.Time) {
+	at, s := c.nextWake(now, now, false)
+	if at < c.wakeAt {
+		c.q.RescheduleWake(c.wake, at, s)
+		c.wakeAt = at
+	}
+}
+
+// onWake runs one scheduler activation at a clock edge: refresh
+// bookkeeping, then up to CommandsPerTick command issues, then either chain
+// death (queue empty) or a sleep until the next actionable edge.
+func (c *Controller) onWake(now event.Time) {
+	c.refreshCatchUp(now)
+	issued := 0
+	for issued < c.httime.CommandsPerTick {
+		if !c.issueOne(now) {
+			break
+		}
+		issued++
+	}
+	if c.qLen == 0 {
+		// Chain dies on the edge where the queue empties, same as the
+		// polling model; credit every tick it would have executed.
+		c.vtClosed += uint64((now-c.anchor)/c.httime.TCK) + 1
+		c.chainActive = false
+		return
+	}
+	at, s := c.nextWake(now, now+1, issued == c.httime.CommandsPerTick)
+	c.wake = c.q.ScheduleWake(at, s, c, opWake)
+	c.wakeAt = at
+}
+
+// refreshCatchUp applies refresh intervals that have elapsed: all banks
+// close and stay busy for tRFC. Modeled as a bank-timing update, not a
+// queued command.
+func (c *Controller) refreshCatchUp(now event.Time) {
+	for now >= c.nextRefreshAt {
+		start := c.nextRefreshAt
+		for i := range c.banks {
+			b := &c.banks[i]
+			b.openRow = -1
+			b.preInFlightRow = -1
+			if t := start + c.httime.TRFC; t > b.actAllowedAt {
+				b.actAllowedAt = t
+			}
+		}
+		c.stats.Refreshes++
+		if c.obsRefreshes != nil {
+			c.obsRefreshes.Inc()
+		}
+		c.nextRefreshAt += c.httime.TREFI
+	}
+}
+
+// nextWake computes the earliest clock edge >= lower at which the scheduler
+// could issue a command, mirroring every condition the pick functions test:
+// CAS readiness and bus release per row-matching request, ACT and PRE bank
+// timing expiry, the FR-FCFS starvation boundary (the edge where the
+// scheduler switches to in-order service), and the refresh deadline (bank
+// state changes there, invalidating any plan made before it). Conservative
+// early wakes are harmless no-ops — the polling model visited every edge —
+// but a late wake would diverge, so candidates are exact lower bounds.
+// cptExhausted marks an activation that used its full command budget: more
+// work may be possible on the very next edge.
+func (c *Controller) nextWake(now, lower event.Time, cptExhausted bool) (at, s event.Time) {
+	const far = int64(1) << 62
+	best := far
+	if cptExhausted {
+		best = now + 1
+	}
+	head := c.qHead
+	starved := c.cfg.Scheduler == FRFCFS && now-head.Arrive > c.cfg.StarvationLimit
+	if c.cfg.Scheduler == FCFS || starved {
+		// In-order service: only the oldest request can issue commands.
+		b := &c.banks[head.bank]
+		var cand event.Time
+		switch {
+		case b.openRow == int64(head.row):
+			cand = b.casReadyAt
+			if t := c.busFreeAt - c.casDelay(head); t > cand {
+				cand = t
+			}
+		case b.openRow == -1:
+			// Covers an in-flight precharge too: actAllowedAt was raised
+			// to at least the precharge completion when PRE issued.
+			cand = b.actAllowedAt
+		default:
+			// Conflict; with only the head considered, no request can
+			// want the open row, so precharge is always permitted.
+			cand = b.preAllowedAt
+		}
+		if cand < best {
+			best = cand
+		}
+	} else {
+		for i := range c.banks {
+			b := &c.banks[i]
+			if b.npend == 0 {
+				continue
+			}
+			if b.openRow < 0 {
+				if b.actAllowedAt < best {
+					best = b.actAllowedAt
+				}
+				continue
+			}
+			matched := false
+			for r := b.head; r != nil; r = r.nextB {
+				if int64(r.row) != b.openRow {
+					continue
+				}
+				matched = true
+				cand := b.casReadyAt
+				if t := c.busFreeAt - c.casDelay(r); t > cand {
+					cand = t
+				}
+				if cand < best {
+					best = cand
+				}
+			}
+			if !matched && b.preAllowedAt < best {
+				// No pending request wants the open row: precharge is
+				// permitted once tRAS expires.
+				best = b.preAllowedAt
+			}
+		}
+		// The edge where the oldest request crosses the starvation limit
+		// changes pick behavior even if no bank timing expires.
+		if t := head.Arrive + c.cfg.StarvationLimit + 1; t < best {
+			best = t
+		}
+	}
+	if c.nextRefreshAt < best {
+		best = c.nextRefreshAt
+	}
+	if best < lower {
+		best = lower
+	}
+	// Round up to the chain's clock grid.
+	k := (best - c.anchor + c.httime.TCK - 1) / c.httime.TCK
+	at = c.anchor + k*c.httime.TCK
+	// Virtual schedule time: when the polling model would have scheduled
+	// its tick for this edge (one clock earlier, floored at arming).
+	s = at - c.httime.TCK
+	if s < c.anchor {
+		s = c.anchor
+	}
+	return at, s
 }
 
 // mapAddress decodes the module-local RoRaBaChCo address interleave: the
@@ -324,136 +623,128 @@ func (c *Controller) mapAddress(r *Request) {
 	r.row = (high<<(stripe-c.colBits) | low) % uint64(c.cfg.Device.Geometry.Rows)
 }
 
-func (c *Controller) armTick() {
-	if c.ticking {
-		return
-	}
-	c.ticking = true
-	c.q.After(0, c.tick)
-}
-
-// tick runs one controller clock: refresh bookkeeping, then up to
-// CommandsPerTick command issues chosen by the scheduling policy.
-func (c *Controller) tick() {
-	now := c.q.Now()
-
-	// Refresh: when the interval elapses, all banks close and stay busy
-	// for tRFC. Modeled as a bank-timing update, not a queued command.
-	for now >= c.nextRefreshAt {
-		start := c.nextRefreshAt
-		for i := range c.banks {
-			b := &c.banks[i]
-			b.openRow = -1
-			b.preInFlightRow = -1
-			if t := start + c.httime.TRFC; t > b.actAllowedAt {
-				b.actAllowedAt = t
-			}
-		}
-		c.stats.Refreshes++
-		if c.obsRefreshes != nil {
-			c.obsRefreshes.Inc()
-		}
-		c.nextRefreshAt += c.httime.TREFI
-	}
-
-	for i := 0; i < c.httime.CommandsPerTick; i++ {
-		if !c.issueOne(now) {
-			break
-		}
-	}
-
-	if len(c.queue) == 0 {
-		c.ticking = false
-		return
-	}
-	c.q.Schedule(now+c.httime.TCK, c.tick)
-}
-
 // issueOne issues the single best command available this cycle, preferring
 // CAS (completes a request) over ACT over PRE so data flows as early as
 // possible. Returns false if no command could issue.
 func (c *Controller) issueOne(now event.Time) bool {
-	if r := c.pickCAS(now); r != nil {
+	// In-order mode considers only the oldest request: always under FCFS,
+	// and under FR-FCFS once the oldest has been starved past the limit.
+	inOrder := c.cfg.Scheduler == FCFS ||
+		(c.qHead != nil && now-c.qHead.Arrive > c.cfg.StarvationLimit)
+	if r := c.pickCAS(now, inOrder); r != nil {
 		c.issueCAS(now, r)
 		return true
 	}
-	if r := c.pickACT(now); r != nil {
+	if r := c.pickACT(now, inOrder); r != nil {
 		c.issueACT(now, r)
 		return true
 	}
-	if r := c.pickPRE(now); r != nil {
+	if r := c.pickPRE(now, inOrder); r != nil {
 		c.issuePRE(now, r)
 		return true
 	}
 	return false
 }
 
-// scanLimit returns how many queued requests (in age order) the scheduler
-// may consider this cycle: all of them under FR-FCFS, only the oldest under
-// FCFS, and only the oldest when it has been starved past the limit.
-func (c *Controller) scanLimit(now event.Time) int {
-	if len(c.queue) == 0 {
-		return 0
-	}
-	if c.cfg.Scheduler == FCFS {
-		return 1
-	}
-	if now-c.queue[0].Arrive > c.cfg.StarvationLimit {
-		return 1
-	}
-	return len(c.queue)
-}
-
 // pickCAS finds the oldest request whose bank has its row open and ready
 // and whose data burst can claim the bus. Row hits inherently win under
-// FR-FCFS because conflicting requests are not CAS-ready.
-func (c *Controller) pickCAS(now event.Time) *Request {
-	limit := c.scanLimit(now)
-	for i := 0; i < limit; i++ {
-		r := c.queue[i]
+// FR-FCFS because conflicting requests are not CAS-ready. Per-bank lists
+// make this O(pending-in-bank) for the oldest match in each open bank.
+func (c *Controller) pickCAS(now event.Time, inOrder bool) *Request {
+	if c.qHead == nil {
+		return nil
+	}
+	if inOrder {
+		r := c.qHead
 		b := &c.banks[r.bank]
 		if b.openRow == int64(r.row) && now >= b.casReadyAt && c.busFreeAt <= now+c.casDelay(r) {
 			return r
 		}
+		return nil
 	}
-	return nil
+	var best *Request
+	for i := range c.banks {
+		b := &c.banks[i]
+		if b.npend == 0 || b.openRow < 0 || now < b.casReadyAt {
+			continue
+		}
+		for r := b.head; r != nil; r = r.nextB {
+			if int64(r.row) == b.openRow && c.busFreeAt <= now+c.casDelay(r) {
+				if best == nil || r.qSeq < best.qSeq {
+					best = r
+				}
+				break // older requests in this bank cannot beat r
+			}
+		}
+	}
+	return best
 }
 
-func (c *Controller) pickACT(now event.Time) *Request {
-	limit := c.scanLimit(now)
-	for i := 0; i < limit; i++ {
-		r := c.queue[i]
+func (c *Controller) pickACT(now event.Time, inOrder bool) *Request {
+	if c.qHead == nil {
+		return nil
+	}
+	if inOrder {
+		r := c.qHead
 		b := &c.banks[r.bank]
 		if b.openRow == -1 && b.preInFlightRow == -1 && now >= b.actAllowedAt {
 			return r
 		}
+		return nil
 	}
-	return nil
+	var best *Request
+	for i := range c.banks {
+		b := &c.banks[i]
+		if b.npend == 0 || b.openRow != -1 || b.preInFlightRow != -1 || now < b.actAllowedAt {
+			continue
+		}
+		if r := b.head; best == nil || r.qSeq < best.qSeq {
+			best = r
+		}
+	}
+	return best
 }
 
-func (c *Controller) pickPRE(now event.Time) *Request {
-	limit := c.scanLimit(now)
-	for i := 0; i < limit; i++ {
-		r := c.queue[i]
+// pickPRE finds the oldest conflicting request whose bank may close its
+// row: tRAS has expired and no pending request still targets the open row
+// (the essence of row-hit priority). In a bank with no request wanting the
+// open row, every pending request conflicts, so the bank's oldest is its
+// candidate.
+func (c *Controller) pickPRE(now event.Time, inOrder bool) *Request {
+	if c.qHead == nil {
+		return nil
+	}
+	if inOrder {
+		r := c.qHead
 		b := &c.banks[r.bank]
+		// With only the head considered, no request can want the open row.
 		if b.openRow != -1 && b.openRow != int64(r.row) && b.preInFlightRow == -1 &&
-			now >= b.preAllowedAt && !c.anyWantsRow(r.bank, b.openRow, limit) {
+			now >= b.preAllowedAt {
 			return r
 		}
+		return nil
 	}
-	return nil
-}
-
-// anyWantsRow prevents closing a row that a schedulable queued request
-// still targets — the essence of row-hit priority.
-func (c *Controller) anyWantsRow(bankID int, row int64, limit int) bool {
-	for i := 0; i < limit; i++ {
-		r := c.queue[i]
-		if r.bank == bankID && int64(r.row) == row {
-			return true
+	var best *Request
+	for i := range c.banks {
+		b := &c.banks[i]
+		if b.npend == 0 || b.openRow == -1 || b.preInFlightRow != -1 || now < b.preAllowedAt {
+			continue
+		}
+		wanted := false
+		for r := b.head; r != nil; r = r.nextB {
+			if int64(r.row) == b.openRow {
+				wanted = true
+				break
+			}
+		}
+		if wanted {
+			continue
+		}
+		if r := b.head; best == nil || r.qSeq < best.qSeq {
+			best = r
 		}
 	}
-	return false
+	return best
 }
 
 // casDelay returns the CAS-to-data delay for a request: writes on
@@ -526,10 +817,10 @@ func (c *Controller) issueCAS(now event.Time, r *Request) {
 	}
 
 	c.removeRequest(r)
-	if r.Done != nil {
-		c.q.Schedule(r.DataFinish+c.cfg.BackendLatency, func() {
-			r.Done(r, c.q.Now())
-		})
+	if r.sink != nil || r.Done != nil {
+		c.q.Post(r.DataFinish+c.cfg.BackendLatency, c, opDone, 0, r)
+	} else {
+		c.release(r)
 	}
 }
 
@@ -571,19 +862,55 @@ func (c *Controller) issuePRE(now event.Time, r *Request) {
 	if done > b.actAllowedAt {
 		b.actAllowedAt = done
 	}
-	c.q.Schedule(done, func() {
-		b.preInFlightRow = -1
-		c.armTick()
-	})
+	c.q.Post(done, c, opPreDone, int64(r.bank), nil)
 }
 
+// removeRequest unlinks a served request from the global FIFO and its
+// bank's list in O(1).
 func (c *Controller) removeRequest(r *Request) {
-	for i, cur := range c.queue {
-		if cur == r {
-			c.queue = append(c.queue[:i], c.queue[i+1:]...)
-			return
-		}
+	if r.prevQ != nil {
+		r.prevQ.nextQ = r.nextQ
+	} else {
+		c.qHead = r.nextQ
 	}
+	if r.nextQ != nil {
+		r.nextQ.prevQ = r.prevQ
+	} else {
+		c.qTail = r.prevQ
+	}
+	b := &c.banks[r.bank]
+	if r.prevB != nil {
+		r.prevB.nextB = r.nextB
+	} else {
+		b.head = r.nextB
+	}
+	if r.nextB != nil {
+		r.nextB.prevB = r.prevB
+	} else {
+		b.tail = r.prevB
+	}
+	r.nextQ, r.prevQ, r.nextB, r.prevB = nil, nil, nil, nil
+	c.qLen--
+	b.npend--
+}
+
+// SyncObs flushes the virtual-tick account into the event queue's
+// scheduled/executed counters, making them read exactly as if the
+// controller had polled every device clock. The simulator calls it
+// immediately before resetting or snapshotting the metrics registry — the
+// only two points where counter values are observed.
+func (c *Controller) SyncObs() {
+	exec := c.vtClosed
+	sched := c.vtClosed
+	if c.chainActive {
+		// Ticks the polling chain would have executed by now, plus the
+		// one it would currently have pending (scheduled, not executed).
+		n := uint64((c.q.Now()-c.anchor)/c.httime.TCK) + 1
+		exec += n
+		sched += n + 1
+	}
+	c.q.Credit(sched-c.creditedSched, exec-c.creditedExec)
+	c.creditedSched, c.creditedExec = sched, exec
 }
 
 // IdealReadLatency returns the unloaded read latency of this channel: a

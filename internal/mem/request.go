@@ -2,6 +2,14 @@ package mem
 
 import "moca/internal/event"
 
+// DoneSink receives request completions from a controller. It replaces a
+// per-request closure on the hot path: the submitter registers itself once
+// and distinguishes requests by token (for a cache hierarchy, the line
+// address), so pooled requests complete without allocating.
+type DoneSink interface {
+	MemDone(token uint64, at event.Time)
+}
+
 // Request is one line-sized memory access presented to a channel
 // controller. Addr is module-local (the byte offset within the module);
 // translating a global physical address to (module, offset) is the memory
@@ -17,7 +25,8 @@ type Request struct {
 	Obj  uint64
 
 	// Done, if non-nil, is invoked exactly once when the access completes
-	// (data burst finished plus the channel's backend latency).
+	// (data burst finished plus the channel's backend latency). Requests
+	// submitted through EnqueueLine use a DoneSink instead.
 	Done func(r *Request, at event.Time)
 
 	// Timestamps filled in by the controller.
@@ -27,6 +36,19 @@ type Request struct {
 
 	bank int
 	row  uint64
+
+	// Completion sink for pooled requests (EnqueueLine path).
+	sink  DoneSink
+	token uint64
+
+	// Intrusive queue links: the controller keeps every pending request on
+	// a global FIFO list and on its bank's list, both in arrival order, so
+	// scheduling scans touch only the relevant bank and removal is O(1).
+	nextQ, prevQ *Request
+	nextB, prevB *Request
+	qSeq         uint64 // global age stamp for cross-bank oldest-first picks
+
+	pooled bool // owned by the controller free list; recycled after Done
 }
 
 // QueueDelay is the time the request waited before its first command.

@@ -41,62 +41,100 @@ func (s *System) setupMigration(cfg Config, infos []alloc.ModuleInfo) error {
 	if epoch <= 0 {
 		epoch = 50 * event.Microsecond
 	}
-	migrations := s.reg.Counter("alloc.migrations")
-	var tick func()
-	tick = func() {
-		moves := mig.Epoch()
-		if len(moves) > 0 {
-			migrations.Add(uint64(len(moves)))
-			if s.runTrace != nil {
-				for _, mv := range moves {
-					s.runTrace.Emit(obs.Event{
-						At:   int64(s.q.Now()),
-						Kind: obs.MigrationTriggered,
-						Unit: "migrate",
-						Core: mv.Proc,
-						Addr: mv.VPage,
-						Aux:  uint64(mv.To.Module),
-					})
-				}
-			}
-		}
-		// Pace the copy engine: pages staggered through the epoch, lines
-		// within a page at DMA-burst rate, so copy traffic interferes
-		// with demand traffic realistically instead of as one spike.
-		const pageStagger = 3 * event.Microsecond
-		const lineGap = 40 * event.Nanosecond
-		for i, mv := range moves {
-			mv := mv
-			s.q.After(event.Time(i)*pageStagger, func() {
-				s.copyPage(mv, lineGap)
-			})
-		}
-		s.q.After(epoch, tick)
-	}
-	s.q.After(epoch, tick)
+	d := &migDriver{s: s, mig: mig, epoch: epoch, migrations: s.reg.Counter("alloc.migrations")}
+	s.q.PostAfter(epoch, d, mopEpoch, 0, nil)
 	return nil
 }
 
-// copyPage applies the costs of one page move: shoot the old frame's
-// lines out of every cache (dirty copies must travel with the page) and
-// issue the copy traffic — a read of every line from the old frame and a
-// write to the new one, one line per gap. Copy requests are best-effort
-// under controller backpressure; the page-table retarget already happened
-// at the epoch boundary (the simulator carries no data, so only the
-// timing of the copy matters).
-func (s *System) copyPage(mv alloc.Migration, gap event.Time) {
-	oldBase := vm.Compose(mv.From.Module, mv.From.Number, 0)
-	newBase := vm.Compose(mv.To.Module, mv.To.Number, 0)
-	for off := uint64(0); off < vm.PageBytes; off += cache.LineBytes {
-		off := off
-		s.q.After(event.Time(off/cache.LineBytes)*gap, func() {
-			for _, c := range s.cores {
-				c.hier.InvalidateLine(oldBase + off)
-			}
-			s.route.Submit(oldBase+off, false, -1, 0, nil)
-			s.route.Submit(newBase+off, true, -1, 0, nil)
-		})
+// migDriver owns the migration engine's event handling: the recurring epoch
+// event plus the staggered page- and line-copy events, all pooled (one
+// copyJob allocation per moved page instead of a closure per line).
+type migDriver struct {
+	s          *System
+	mig        *alloc.Migrator
+	epoch      event.Time
+	migrations *obs.Counter
+}
+
+// copyJob is the shared payload of one page move's copy events.
+type copyJob struct {
+	oldBase, newBase uint64
+}
+
+// Migration event opcodes.
+const (
+	mopEpoch    int32 = iota // recurring epoch boundary
+	mopCopyPage              // p = *copyJob: start copying one page
+	mopCopyLine              // p = *copyJob, i64 = byte offset within the page
+)
+
+// Copy-engine pacing: pages staggered through the epoch, lines within a
+// page at DMA-burst rate, so copy traffic interferes with demand traffic
+// realistically instead of as one spike.
+const (
+	migPageStagger = 3 * event.Microsecond
+	migLineGap     = 40 * event.Nanosecond
+)
+
+func (d *migDriver) OnEvent(_ event.Time, op int32, i64 int64, p any) {
+	switch op {
+	case mopEpoch:
+		d.runEpoch()
+		d.s.q.PostAfter(d.epoch, d, mopEpoch, 0, nil)
+	case mopCopyPage:
+		d.startPage(p.(*copyJob))
+	case mopCopyLine:
+		d.copyLine(p.(*copyJob), uint64(i64))
 	}
+}
+
+func (d *migDriver) runEpoch() {
+	s := d.s
+	moves := d.mig.Epoch()
+	if len(moves) > 0 {
+		d.migrations.Add(uint64(len(moves)))
+		if s.runTrace != nil {
+			for _, mv := range moves {
+				s.runTrace.Emit(obs.Event{
+					At:   int64(s.q.Now()),
+					Kind: obs.MigrationTriggered,
+					Unit: "migrate",
+					Core: mv.Proc,
+					Addr: mv.VPage,
+					Aux:  uint64(mv.To.Module),
+				})
+			}
+		}
+	}
+	for i, mv := range moves {
+		job := &copyJob{
+			oldBase: vm.Compose(mv.From.Module, mv.From.Number, 0),
+			newBase: vm.Compose(mv.To.Module, mv.To.Number, 0),
+		}
+		s.q.PostAfter(event.Time(i)*migPageStagger, d, mopCopyPage, 0, job)
+	}
+}
+
+// startPage schedules the line copies of one page move. The page-table
+// retarget already happened at the epoch boundary (the simulator carries no
+// data, so only the timing of the copy matters).
+func (d *migDriver) startPage(job *copyJob) {
+	for off := uint64(0); off < vm.PageBytes; off += cache.LineBytes {
+		d.s.q.PostAfter(event.Time(off/cache.LineBytes)*migLineGap, d, mopCopyLine, int64(off), job)
+	}
+}
+
+// copyLine applies the costs of copying one line: shoot it out of every
+// cache (dirty copies must travel with the page) and issue a read of the
+// old frame's line plus a write to the new one. Copy requests are
+// best-effort under controller backpressure.
+func (d *migDriver) copyLine(job *copyJob, off uint64) {
+	s := d.s
+	for _, c := range s.cores {
+		c.hier.InvalidateLine(job.oldBase + off)
+	}
+	s.route.Submit(job.oldBase+off, false, -1, 0, nil, 0)
+	s.route.Submit(job.newBase+off, true, -1, 0, nil, 0)
 }
 
 // MigrationStats returns the migration engine's counters (zero value when

@@ -27,8 +27,10 @@ type router struct {
 	onAccess func(paddr uint64)
 }
 
-// Submit implements cache.Backend.
-func (r *router) Submit(lineAddr uint64, write bool, core int, obj uint64, done func(at event.Time)) bool {
+// Submit implements cache.Backend. The sink and token pass through to the
+// selected controller, which owns a pool of request records — no per-access
+// allocation happens on this path.
+func (r *router) Submit(lineAddr uint64, write bool, core int, obj uint64, sink mem.DoneSink, token uint64) bool {
 	if r.onAccess != nil {
 		r.onAccess(lineAddr)
 	}
@@ -49,11 +51,7 @@ func (r *router) Submit(lineAddr uint64, write bool, core int, obj uint64, done 
 		ctrl = chans[ch]
 		local = (off/(g*n))*g + off%g
 	}
-	req := &mem.Request{Addr: local, Write: write, Core: core, Obj: obj}
-	if done != nil {
-		req.Done = func(_ *mem.Request, at event.Time) { done(at) }
-	}
-	return ctrl.Enqueue(req)
+	return ctrl.EnqueueLine(local, write, core, obj, sink, token)
 }
 
 type coreCtx struct {
@@ -272,7 +270,12 @@ func (s *System) Run(warmup, measure uint64) (*Result, error) {
 		ch.ResetStats()
 	}
 	// The observability snapshot covers the same measured window as the
-	// component stats (nil-safe when metrics are disabled).
+	// component stats (nil-safe when metrics are disabled). Controllers
+	// first flush their virtual-tick accounts so the event counters read
+	// as if every device clock had been polled.
+	for _, ch := range s.channels {
+		ch.SyncObs()
+	}
 	s.reg.Reset()
 	start := s.q.Now()
 
@@ -285,6 +288,9 @@ func (s *System) Run(warmup, measure uint64) (*Result, error) {
 		return nil, err
 	}
 	end := s.q.Now()
+	for _, ch := range s.channels {
+		ch.SyncObs()
+	}
 
 	res := &Result{
 		Name:      s.cfg.Name,
