@@ -12,13 +12,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"moca/internal/exp"
@@ -26,7 +29,14 @@ import (
 	"moca/internal/stats"
 )
 
+// main delegates to run so every deferred flush (CPU/heap profiles, the
+// run trace) executes even when an experiment fails: os.Exit in the body
+// of main would silently discard them.
 func main() {
+	os.Exit(run())
+}
+
+func run() (code int) {
 	measure := flag.Uint64("measure", 300_000, "measured instructions per core per run")
 	window := flag.Uint64("profile-window", 300_000, "profiling run window (instructions)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
@@ -35,6 +45,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the structured run trace (JSON lines) to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	cacheDir := flag.String("cache-dir", os.Getenv("MOCA_CACHE_DIR"), "persistent run-cache directory (default $MOCA_CACHE_DIR; empty = disabled)")
+	cacheMode := flag.String("cache", envOr("MOCA_CACHE", "write"), "persistent cache mode: off, read, or write (default $MOCA_CACHE or write)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: moca-bench [flags] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s, all\n", strings.Join(names(), " "))
@@ -42,15 +54,19 @@ func main() {
 	}
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "moca-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "moca-bench: cpuprofile: %v\n", err)
-			os.Exit(1)
+			f.Close()
+			return 1
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -76,17 +92,52 @@ func main() {
 	r.Measure = *measure
 	r.FW.ProfileWindow = *window
 	r.Parallelism = *parallel
+	r.Ctx = ctx
 	var runTrace *obs.Trace
 	if *traceOut != "" {
 		runTrace = obs.NewTrace(0)
+		// Flush from a defer so a failing or interrupted sweep still
+		// leaves its partial trace on disk.
+		defer func() {
+			if err := writeTrace(*traceOut, runTrace); err != nil {
+				fmt.Fprintf(os.Stderr, "moca-bench: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+				return
+			}
+			fmt.Printf("[wrote %d trace events to %s (%d dropped past cap)]\n",
+				runTrace.Len(), *traceOut, runTrace.Dropped())
+		}()
 	}
 	r.Obs = obs.Options{Metrics: *metrics, Trace: runTrace}
+
+	if *cacheDir != "" {
+		mode, err := exp.ParseCacheMode(*cacheMode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moca-bench: %v\n", err)
+			return 2
+		}
+		cache, err := exp.OpenRunCache(*cacheDir, mode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moca-bench: %v\n", err)
+			return 1
+		}
+		r.Cache = cache
+		if cache != nil {
+			defer func() {
+				st := cache.Stats()
+				fmt.Printf("[cache %s (%s): %d hits, %d misses, %d written, %d evicted]\n",
+					cache.Dir(), cache.Mode(), st.Hits, st.Misses, st.Writes, st.Evictions)
+			}()
+		}
+	}
 
 	switch *format {
 	case "text", "md", "csv":
 	default:
 		fmt.Fprintf(os.Stderr, "moca-bench: unknown format %q\n", *format)
-		os.Exit(2)
+		return 2
 	}
 
 	args := flag.Args()
@@ -100,21 +151,21 @@ func main() {
 		start := time.Now()
 		if err := runOne(r, strings.ToLower(name), *format); err != nil {
 			fmt.Fprintf(os.Stderr, "moca-bench: %s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 	if *metrics {
 		printMetrics(r)
 	}
-	if runTrace != nil {
-		if err := writeTrace(*traceOut, runTrace); err != nil {
-			fmt.Fprintf(os.Stderr, "moca-bench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("[wrote %d trace events to %s (%d dropped past cap)]\n",
-			runTrace.Len(), *traceOut, runTrace.Dropped())
+	return 0
+}
+
+func envOr(key, fallback string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
 	}
+	return fallback
 }
 
 // printMetrics aggregates the cached runs' snapshots per system (counters

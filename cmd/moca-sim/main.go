@@ -15,18 +15,28 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"moca"
+	"moca/internal/exp"
 	"moca/internal/profile"
 )
 
+// main delegates to run so deferred flushes (the run trace) execute even
+// when the simulation fails: os.Exit in main's body would discard them.
 func main() {
+	os.Exit(run())
+}
+
+func run() (code int) {
 	system := flag.String("system", "moca", "memory system (ddr3|rl|hbm|lp|heter-app|moca|migrate, optionally @config2/@config3)")
 	appName := flag.String("app", "", "single application to run")
 	mixName := flag.String("mix", "", "4-application workload set to run")
@@ -36,10 +46,20 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of tables")
 	metrics := flag.Bool("metrics", false, "collect runtime metrics and emit the snapshot (table + JSON)")
 	traceOut := flag.String("trace-out", "", "write the structured run trace (JSON lines) to this file")
+	cacheDir := flag.String("cache-dir", os.Getenv("MOCA_CACHE_DIR"), "persistent run-cache directory (default $MOCA_CACHE_DIR; empty = disabled)")
+	cacheMode := flag.String("cache", envOr("MOCA_CACHE", "write"), "persistent cache mode: off, read, or write (default $MOCA_CACHE or write)")
 	flag.Parse()
 
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "moca-sim: "+format+"\n", args...)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if (*appName == "") == (*mixName == "") {
-		fatal("exactly one of -app or -mix is required")
+		return fail("exactly one of -app or -mix is required")
 	}
 	var apps []string
 	if *appName != "" {
@@ -51,20 +71,44 @@ func main() {
 			for _, m := range moca.WorkloadMixes() {
 				names = append(names, m.Name)
 			}
-			fatal("unknown mix %q (have: %s)", *mixName, strings.Join(names, " "))
+			return fail("unknown mix %q (have: %s)", *mixName, strings.Join(names, " "))
 		}
 		apps = mix.Apps
 	}
 
 	cfg, err := systemConfig(*system)
 	if err != nil {
-		fatal("%v", err)
+		return fail("%v", err)
 	}
 	var runTrace *moca.RunTrace
 	if *traceOut != "" {
 		runTrace = moca.NewRunTrace(0)
+		// Flush from a defer so a failing run still leaves its partial
+		// trace on disk.
+		defer func() {
+			if err := writeTrace(*traceOut, runTrace); err != nil {
+				fmt.Fprintf(os.Stderr, "moca-sim: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+				return
+			}
+			fmt.Fprintf(os.Stderr, "moca-sim: wrote %d trace events to %s (%d dropped past cap)\n",
+				runTrace.Len(), *traceOut, runTrace.Dropped())
+		}()
 	}
 	cfg.Obs = moca.ObsOptions{Metrics: *metrics, Trace: runTrace}
+
+	var cache *exp.RunCache
+	if *cacheDir != "" {
+		mode, err := exp.ParseCacheMode(*cacheMode)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if cache, err = exp.OpenRunCache(*cacheDir, mode); err != nil {
+			return fail("%v", err)
+		}
+	}
 
 	fw := moca.NewFramework()
 	fw.ProfileWindow = *window
@@ -72,35 +116,55 @@ func main() {
 	for _, name := range apps {
 		spec, ok := moca.AppByName(name)
 		if !ok {
-			fatal("unknown application %q", name)
+			return fail("unknown application %q", name)
 		}
 		ins, err := instrument(fw, spec, *profiles)
 		if err != nil {
-			fatal("%v", err)
+			return fail("%v", err)
 		}
 		procs = append(procs, ins.Proc(cfg.Policy, moca.Ref))
 	}
 
-	sys, err := moca.NewSystem(cfg, procs)
-	if err != nil {
-		fatal("%v", err)
+	var cacheKey string
+	if cache != nil {
+		if cacheKey, err = exp.ResultCacheKey(cfg, procs, *measure, fw.ProfileWindow); err != nil {
+			return fail("%v", err)
+		}
 	}
-	res, err := sys.Run(sys.SuggestedWarmup(), *measure)
-	if err != nil {
-		fatal("%v", err)
+	res, cached := cache.LoadResult(cacheKey)
+	if cached {
+		res.Name = cfg.Name
+		fmt.Fprintf(os.Stderr, "moca-sim: result loaded from cache %s\n", cache.Dir())
+	} else {
+		sys, err := moca.NewSystem(cfg, procs)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if res, err = sys.RunContext(ctx, sys.SuggestedWarmup(), *measure); err != nil {
+			return fail("%v", err)
+		}
+		if cache != nil {
+			if err := cache.StoreResult(cacheKey, res); err != nil {
+				return fail("%v", err)
+			}
+		}
 	}
 	if *jsonOut {
-		reportJSON(res)
+		err = reportJSON(res)
 	} else {
-		report(res)
+		err = report(res)
 	}
-	if runTrace != nil {
-		if err := writeTrace(*traceOut, runTrace); err != nil {
-			fatal("%v", err)
-		}
-		fmt.Fprintf(os.Stderr, "moca-sim: wrote %d trace events to %s (%d dropped past cap)\n",
-			runTrace.Len(), *traceOut, runTrace.Dropped())
+	if err != nil {
+		return fail("%v", err)
 	}
+	return 0
+}
+
+func envOr(key, fallback string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return fallback
 }
 
 func writeTrace(path string, tr *moca.RunTrace) error {
@@ -150,7 +214,7 @@ type jsonChannel struct {
 	RowHitRate float64 `json:"row_hit_rate"`
 }
 
-func reportJSON(res *moca.Result) {
+func reportJSON(res *moca.Result) error {
 	out := jsonReport{
 		System:            res.Name,
 		Policy:            res.Policy,
@@ -184,9 +248,10 @@ func reportJSON(res *moca.Result) {
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	fmt.Println(string(data))
+	return nil
 }
 
 func systemConfig(name string) (moca.SystemConfig, error) {
@@ -240,7 +305,7 @@ func instrument(fw *moca.Framework, spec moca.AppSpec, dir string) (moca.Instrum
 	return fw.InstrumentFromProfile(spec, pr), nil
 }
 
-func report(res *moca.Result) {
+func report(res *moca.Result) error {
 	fmt.Printf("system: %s (policy %s)\n", res.Name, res.Policy)
 	fmt.Printf("window: %.2f ms simulated, %d instructions total\n",
 		float64(res.Elapsed)/1e9, res.TotalInstructions())
@@ -284,13 +349,9 @@ func report(res *moca.Result) {
 		fmt.Print(res.Obs.Table("metrics (measured window)").String())
 		data, err := json.MarshalIndent(res.Obs, "", "  ")
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		fmt.Printf("\nmetrics snapshot (JSON):\n%s\n", data)
 	}
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "moca-sim: "+format+"\n", args...)
-	os.Exit(1)
+	return nil
 }

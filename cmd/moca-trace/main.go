@@ -16,6 +16,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -45,7 +46,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   moca-trace record -app NAME [-items N] [-input ref|train] -o FILE
   moca-trace info FILE
-  moca-trace replay -app NAME [-system ddr3|rl|hbm|lp] [-measure N] FILE`)
+  moca-trace replay -app NAME [-system ddr3|rl|hbm|lp] [-measure N] [-loop] FILE`)
 	os.Exit(2)
 }
 
@@ -135,6 +136,7 @@ func replay(args []string) {
 	appName := fs.String("app", "", "application the trace was recorded from")
 	system := fs.String("system", "ddr3", "memory system (ddr3|rl|hbm|lp)")
 	measure := fs.Uint64("measure", 200_000, "measured instructions")
+	loop := fs.Bool("loop", false, "restart the trace when it ends (finite trace, long run)")
 	fs.Parse(args)
 	if *appName == "" || fs.NArg() != 1 {
 		usage()
@@ -151,18 +153,36 @@ func replay(args []string) {
 		fatal("unknown system %q", *system)
 	}
 
-	f, err := os.Open(fs.Arg(0))
-	if err != nil {
-		fatal("%v", err)
-	}
-	defer f.Close()
-	r, err := trace.NewReader(f)
-	if err != nil {
-		fatal("%v", err)
+	// The stream's Err() distinguishes a trace that is simply too short
+	// from one that is corrupt; the simulator also surfaces it when a
+	// decode error ends the stream mid-run.
+	var stream cpu.Stream
+	var streamErr func() error
+	if *loop {
+		// Read once so each pass decodes from memory (no fd per pass).
+		data, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			fatal("%v", err)
+		}
+		l := trace.NewLoop(func() (cpu.Stream, error) {
+			return trace.NewReader(bytes.NewReader(data))
+		})
+		stream, streamErr = l, l.Err
+	} else {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			fatal("%v", err)
+		}
+		stream, streamErr = r, r.Err
 	}
 
 	cfg := moca.DefaultSystem("replay-"+*system, moca.Homogeneous(kind), moca.PolicyFixed)
-	sys, err := moca.NewSystem(cfg, []moca.ProcSpec{{App: app, Input: moca.Ref, Stream: r}})
+	sys, err := moca.NewSystem(cfg, []moca.ProcSpec{{App: app, Input: moca.Ref, Stream: stream}})
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -173,7 +193,7 @@ func replay(args []string) {
 	fmt.Printf("replayed on %s: %d instructions, IPC %.2f, mem %.1f ns/request, mem EDP %.3e\n",
 		cfg.Name, res.TotalInstructions(), res.Cores[0].IPC(),
 		float64(res.AvgMemAccessTime())/1000, res.MemEDP())
-	if err := r.Err(); err != nil {
+	if err := streamErr(); err != nil {
 		fatal("trace decode: %v", err)
 	}
 }

@@ -1,0 +1,244 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"moca/internal/profile"
+	"moca/internal/sim"
+)
+
+// cacheFormatVersion is the on-disk envelope format revision; bump it when
+// the envelope or payload schema changes incompatibly.
+const cacheFormatVersion = 1
+
+// CacheMode selects how a RunCache participates in a run.
+type CacheMode int
+
+const (
+	// CacheOff disables the persistent cache entirely.
+	CacheOff CacheMode = iota
+	// CacheRead loads cached entries but never writes new ones (useful
+	// for reproducing from a sealed cache).
+	CacheRead
+	// CacheReadWrite loads cached entries and persists new ones (the
+	// default when a cache directory is configured).
+	CacheReadWrite
+)
+
+// ParseCacheMode parses the -cache flag values off/read/write.
+func ParseCacheMode(s string) (CacheMode, error) {
+	switch strings.ToLower(s) {
+	case "off":
+		return CacheOff, nil
+	case "read":
+		return CacheRead, nil
+	case "write", "readwrite", "rw":
+		return CacheReadWrite, nil
+	default:
+		return CacheOff, fmt.Errorf("exp: unknown cache mode %q (want off, read, or write)", s)
+	}
+}
+
+func (m CacheMode) String() string {
+	switch m {
+	case CacheOff:
+		return "off"
+	case CacheRead:
+		return "read"
+	case CacheReadWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("CacheMode(%d)", int(m))
+	}
+}
+
+// CacheStats counts a RunCache's traffic.
+type CacheStats struct {
+	Hits      uint64 // entries served from disk
+	Misses    uint64 // lookups that found no usable entry
+	Writes    uint64 // entries persisted
+	Evictions uint64 // stale/corrupt entries removed on load
+}
+
+// envelope wraps every cached payload with its identity: the full
+// canonical key (hash collisions and schema drift are detected by string
+// comparison, not trusted to the filename) and the version salt. A salt
+// or key mismatch evicts the file — this is how a simulator behavior bump
+// (sim.BehaviorVersion) invalidates stale results in place.
+type envelope struct {
+	Salt    string          `json:"salt"`
+	Key     string          `json:"key"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// RunCache is a content-addressed persistent cache of simulation results
+// and offline profiles, shared across processes via a directory. Writes
+// are atomic (temp file + rename), so a crashed or killed run leaves only
+// complete entries behind and the next invocation resumes from them.
+// All methods are safe for concurrent use.
+type RunCache struct {
+	dir  string
+	mode CacheMode
+	salt string
+
+	hits, misses, writes, evictions atomic.Uint64
+}
+
+// defaultCacheSalt versions every entry: the envelope format and the
+// simulator behavior revision.
+func defaultCacheSalt() string {
+	return fmt.Sprintf("moca-cache-v%d/sim-v%d", cacheFormatVersion, sim.BehaviorVersion)
+}
+
+// OpenRunCache opens (creating if needed) a persistent run cache rooted at
+// dir. Mode CacheOff returns a nil cache — callers treat nil as disabled.
+func OpenRunCache(dir string, mode CacheMode) (*RunCache, error) {
+	if mode == CacheOff {
+		return nil, nil
+	}
+	if dir == "" {
+		return nil, fmt.Errorf("exp: cache directory is empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("exp: creating cache directory: %w", err)
+	}
+	return &RunCache{dir: dir, mode: mode, salt: defaultCacheSalt()}, nil
+}
+
+// Dir returns the cache directory.
+func (c *RunCache) Dir() string { return c.dir }
+
+// Mode returns the cache's mode.
+func (c *RunCache) Mode() CacheMode { return c.mode }
+
+// Stats returns a snapshot of the cache's traffic counters.
+func (c *RunCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Writes:    c.writes.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}
+
+func (c *RunCache) path(kind, key string) string {
+	return filepath.Join(c.dir, kind+"-"+hashKey(key)+".json")
+}
+
+// load returns the payload stored under (kind, key), evicting entries
+// whose salt or canonical key does not match.
+func (c *RunCache) load(kind, key string) (json.RawMessage, bool) {
+	if c == nil {
+		return nil, false
+	}
+	path := c.path(kind, key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil || env.Salt != c.salt || env.Key != key {
+		// Corrupt (e.g. a partial write from a pre-atomic tool), stale
+		// salt, or hash mismatch: remove so the slot can be rewritten.
+		c.evict(path)
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return env.Payload, true
+}
+
+// store persists payload under (kind, key) atomically; no-op outside
+// read-write mode.
+func (c *RunCache) store(kind, key string, payload any) error {
+	if c == nil || c.mode != CacheReadWrite {
+		return nil
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("exp: encoding cache entry: %w", err)
+	}
+	data, err := json.Marshal(envelope{Salt: c.salt, Key: key, Payload: raw})
+	if err != nil {
+		return fmt.Errorf("exp: encoding cache envelope: %w", err)
+	}
+	path := c.path(kind, key)
+	tmp, err := os.CreateTemp(c.dir, "."+kind+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("exp: writing cache entry: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("exp: writing cache entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("exp: writing cache entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("exp: writing cache entry: %w", err)
+	}
+	c.writes.Add(1)
+	return nil
+}
+
+func (c *RunCache) evict(path string) {
+	if err := os.Remove(path); err == nil || os.IsNotExist(err) {
+		c.evictions.Add(1)
+	}
+}
+
+// LoadResult returns the cached simulation result for key, if present and
+// valid. An entry that fails to decode is evicted and reported as a miss.
+func (c *RunCache) LoadResult(key string) (*sim.Result, bool) {
+	payload, ok := c.load("result", key)
+	if !ok {
+		return nil, false
+	}
+	var res sim.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		c.evict(c.path("result", key))
+		c.hits.Add(^uint64(0)) // undo the hit: the entry was unusable
+		c.misses.Add(1)
+		return nil, false
+	}
+	return &res, true
+}
+
+// StoreResult persists a simulation result under key.
+func (c *RunCache) StoreResult(key string, res *sim.Result) error {
+	return c.store("result", key, res)
+}
+
+// LoadProfile returns the cached offline profile for key, if present and
+// valid.
+func (c *RunCache) LoadProfile(key string) (profile.Profile, bool) {
+	payload, ok := c.load("profile", key)
+	if !ok {
+		return profile.Profile{}, false
+	}
+	pr, err := profile.Unmarshal(payload)
+	if err != nil {
+		c.evict(c.path("profile", key))
+		c.hits.Add(^uint64(0))
+		c.misses.Add(1)
+		return profile.Profile{}, false
+	}
+	return pr, true
+}
+
+// StoreProfile persists an offline profile under key.
+func (c *RunCache) StoreProfile(key string, pr profile.Profile) error {
+	return c.store("profile", key, pr)
+}

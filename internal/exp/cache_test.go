@@ -1,0 +1,275 @@
+package exp
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"moca/internal/cpu"
+	"moca/internal/mem"
+	"moca/internal/sim"
+	"moca/internal/workload"
+)
+
+func openCache(t *testing.T, dir string, mode CacheMode) *RunCache {
+	t.Helper()
+	c, err := OpenRunCache(dir, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCacheRoundTrip: a second runner pointed at the same cache directory
+// performs zero simulations and zero profiling runs, and its results match
+// the originals numerically.
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	r1 := fastRunner()
+	r1.Cache = openCache(t, dir, CacheReadWrite)
+	res1, err := r1.RunSingle(ddr3Def(), "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r1.Stats(); st.Simulated != 1 || st.Profiled != 1 {
+		t.Fatalf("first runner: Simulated=%d Profiled=%d, want 1/1", st.Simulated, st.Profiled)
+	}
+	if st := r1.Cache.Stats(); st.Writes < 2 {
+		t.Fatalf("first runner wrote %d cache entries, want profile + result", st.Writes)
+	}
+
+	r2 := fastRunner()
+	r2.Cache = openCache(t, dir, CacheReadWrite)
+	swapNewSystem(t, func(cfg sim.Config, procs []sim.ProcSpec) (*sim.System, error) {
+		t.Error("simulation constructed despite a warm cache")
+		return sim.New(cfg, procs)
+	})
+	res2, err := r2.RunSingle(ddr3Def(), "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r2.Stats()
+	if st.Simulated != 0 || st.Profiled != 0 {
+		t.Errorf("second runner: Simulated=%d Profiled=%d, want 0/0", st.Simulated, st.Profiled)
+	}
+	if st.DiskHits != 1 || st.ProfileDiskHits != 1 {
+		t.Errorf("second runner: DiskHits=%d ProfileDiskHits=%d, want 1/1", st.DiskHits, st.ProfileDiskHits)
+	}
+	if res2.Name != res1.Name {
+		t.Errorf("cached result name %q, want %q", res2.Name, res1.Name)
+	}
+	if res2.Elapsed != res1.Elapsed ||
+		res2.MemEnergyJ() != res1.MemEnergyJ() ||
+		res2.SystemEDP() != res1.SystemEDP() ||
+		res2.TotalInstructions() != res1.TotalInstructions() ||
+		res2.AvgMemAccessTime() != res1.AvgMemAccessTime() {
+		t.Error("cached result diverges numerically from the simulated one")
+	}
+}
+
+// TestCacheResume: a cache warmed with part of a sweep only simulates the
+// missing runs — the crash-resume property.
+func TestCacheResume(t *testing.T) {
+	dir := t.TempDir()
+
+	r1 := fastRunner()
+	r1.Cache = openCache(t, dir, CacheReadWrite)
+	if _, err := r1.RunSingle(ddr3Def(), "mcf"); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := fastRunner()
+	r2.Cache = openCache(t, dir, CacheReadWrite)
+	calls := countingNewSystem(t)
+	for _, app := range []string{"mcf", "gcc"} {
+		if _, err := r2.RunSingle(ddr3Def(), app); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if *calls != 1 {
+		t.Errorf("resumed sweep constructed %d simulations, want 1 (only the missing run)", *calls)
+	}
+	if st := r2.Stats(); st.DiskHits != 1 || st.Simulated != 1 {
+		t.Errorf("DiskHits=%d Simulated=%d, want 1/1", st.DiskHits, st.Simulated)
+	}
+}
+
+// TestCacheSaltEviction: entries written under an older simulator behavior
+// version are evicted on load and the run re-simulates.
+func TestCacheSaltEviction(t *testing.T) {
+	dir := t.TempDir()
+
+	r1 := fastRunner()
+	r1.Cache = openCache(t, dir, CacheReadWrite)
+	if _, err := r1.RunSingle(ddr3Def(), "mcf"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reader whose salt differs (as after a sim.BehaviorVersion bump)
+	// must treat every existing entry as stale.
+	r2 := fastRunner()
+	c2 := openCache(t, dir, CacheReadWrite)
+	c2.salt = "moca-cache-v0/sim-v0"
+	r2.Cache = c2
+	if _, err := r2.RunSingle(ddr3Def(), "mcf"); err != nil {
+		t.Fatal(err)
+	}
+	if st := r2.Stats(); st.Simulated != 1 || st.DiskHits != 0 {
+		t.Errorf("stale-salt runner: Simulated=%d DiskHits=%d, want 1/0", st.Simulated, st.DiskHits)
+	}
+	if st := c2.Stats(); st.Evictions == 0 {
+		t.Error("stale entries were not evicted")
+	}
+	if st := c2.Stats(); st.Hits != 0 {
+		t.Errorf("stale entries counted as hits: %d", st.Hits)
+	}
+}
+
+// TestCacheReadMode: read-only mode serves hits but never writes.
+func TestCacheReadMode(t *testing.T) {
+	dir := t.TempDir()
+	r := fastRunner()
+	r.Cache = openCache(t, dir, CacheRead)
+	if _, err := r.RunSingle(ddr3Def(), "mcf"); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Cache.Stats(); st.Writes != 0 {
+		t.Errorf("read-only cache wrote %d entries", st.Writes)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("read-only cache left %d files in %s", len(entries), dir)
+	}
+}
+
+// TestCacheCorruptEntryEvicted: a truncated or garbled cache file is
+// evicted and the lookup reported as a miss, never a crash.
+func TestCacheCorruptEntryEvicted(t *testing.T) {
+	dir := t.TempDir()
+	r1 := fastRunner()
+	c1 := openCache(t, dir, CacheReadWrite)
+	r1.Cache = c1
+	if _, err := r1.RunSingle(ddr3Def(), "mcf"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		// Truncate every entry mid-JSON, as a pre-atomic writer crash would.
+		if err := os.WriteFile(dir+"/"+e.Name(), []byte(`{"salt":"x`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r2 := fastRunner()
+	c2 := openCache(t, dir, CacheReadWrite)
+	r2.Cache = c2
+	if _, err := r2.RunSingle(ddr3Def(), "mcf"); err != nil {
+		t.Fatal(err)
+	}
+	if st := r2.Stats(); st.Simulated != 1 {
+		t.Errorf("Simulated=%d after corruption, want 1", st.Simulated)
+	}
+	if st := c2.Stats(); st.Evictions == 0 || st.Hits != 0 {
+		t.Errorf("corrupt entries: Evictions=%d Hits=%d, want >0 evictions and 0 hits", st.Evictions, st.Hits)
+	}
+}
+
+// sinkStream is a trivial cpu.Stream used only to prove streams are
+// excluded from cache keys.
+type sinkStream struct{}
+
+func (sinkStream) Next() (cpu.Instr, bool) { return cpu.Instr{}, false }
+
+// TestResultCacheKeyCanonical: the key is stable for identical inputs,
+// blind to presentation-only fields, and sensitive to everything that
+// shapes the run.
+func TestResultCacheKeyCanonical(t *testing.T) {
+	cfg := sim.DefaultConfig("A", sim.Homogeneous(mem.DDR3), sim.PolicyFixed)
+	procs := []sim.ProcSpec{{App: workload.MCF(), Input: workload.Ref}}
+	base, err := ResultCacheKey(cfg, procs, 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, _ := ResultCacheKey(cfg, procs, 100, 200); again != base {
+		t.Error("identical inputs produced different keys")
+	}
+
+	renamed := cfg
+	renamed.Name = "B"
+	if k, _ := ResultCacheKey(renamed, procs, 100, 200); k != base {
+		t.Error("Config.Name leaked into the key")
+	}
+
+	streamed := []sim.ProcSpec{procs[0]}
+	streamed[0].Stream = sinkStream{}
+	if k, _ := ResultCacheKey(cfg, streamed, 100, 200); k != base {
+		t.Error("ProcSpec.Stream leaked into the key")
+	}
+	if procs[0].Stream != nil {
+		t.Error("ResultCacheKey mutated its input procs")
+	}
+
+	if k, _ := ResultCacheKey(cfg, procs, 101, 200); k == base {
+		t.Error("Measure does not affect the key")
+	}
+	if k, _ := ResultCacheKey(cfg, procs, 100, 201); k == base {
+		t.Error("ProfileWindow does not affect the key")
+	}
+	hbm := sim.DefaultConfig("A", sim.Homogeneous(mem.HBM), sim.PolicyFixed)
+	if k, _ := ResultCacheKey(hbm, procs, 100, 200); k == base {
+		t.Error("memory modules do not affect the key")
+	}
+	moca := sim.DefaultConfig("A", sim.Heterogeneous(sim.Config1), sim.PolicyMOCA)
+	if k, _ := ResultCacheKey(moca, procs, 100, 200); k == base {
+		t.Error("placement policy does not affect the key")
+	}
+
+	if !strings.Contains(base, `"kind":"result"`) {
+		t.Errorf("key is not self-describing: %s", base[:60])
+	}
+}
+
+// TestFig10ResumesFromCache: the acceptance scenario — a second full
+// "fig10" sweep against a warm cache performs zero simulations and zero
+// profiling runs.
+func TestFig10ResumesFromCache(t *testing.T) {
+	skipHeavy(t, "two full fig10 sweeps")
+	dir := t.TempDir()
+
+	r1 := fastRunner()
+	r1.Measure = 20_000
+	r1.Cache = openCache(t, dir, CacheReadWrite)
+	g1, err := r1.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := fastRunner()
+	r2.Measure = 20_000
+	r2.Cache = openCache(t, dir, CacheReadWrite)
+	swapNewSystem(t, func(cfg sim.Config, procs []sim.ProcSpec) (*sim.System, error) {
+		t.Error("simulation constructed despite a warm cache")
+		return sim.New(cfg, procs)
+	})
+	g2, err := r2.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r2.Stats()
+	if st.Simulated != 0 || st.Profiled != 0 {
+		t.Errorf("resumed fig10: Simulated=%d Profiled=%d, want 0/0", st.Simulated, st.Profiled)
+	}
+	if st.DiskHits == 0 {
+		t.Error("resumed fig10 loaded nothing from disk")
+	}
+	if g1.CSV() != g2.CSV() {
+		t.Error("resumed fig10 grid differs from the simulated one")
+	}
+}

@@ -5,9 +5,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"moca/internal/classify"
 	"moca/internal/core"
@@ -54,9 +57,48 @@ func SystemNames() []string {
 	return []string{SysDDR3, SysRL, SysHBM, SysLP, SysHeterApp, SysMOCA}
 }
 
+// newSystem is sim.New behind a seam so tests can count or fault-inject
+// the simulations the runner actually executes (cache hits never reach it).
+var newSystem = sim.New
+
+// RunnerStats counts the work a Runner performed versus reused.
+type RunnerStats struct {
+	// Simulated counts measured-window simulations actually executed.
+	Simulated uint64
+	// Profiled counts offline profiling runs actually executed.
+	Profiled uint64
+	// MemoryHits counts results served from the in-memory memo (including
+	// callers that waited on another caller's in-flight run).
+	MemoryHits uint64
+	// DiskHits counts results loaded from the persistent cache.
+	DiskHits uint64
+	// ProfileDiskHits counts profiles loaded from the persistent cache.
+	ProfileDiskHits uint64
+}
+
+// flight is one in-progress (or completed) deduplicated call: waiters
+// block on done and then read res/err. Exactly one goroutine executes the
+// work per key at a time; a failed flight is forgotten so the key can be
+// retried.
+type flight struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
+// instrFlight is the profiling pipeline's equivalent of flight.
+type instrFlight struct {
+	done chan struct{}
+	ins  core.Instrumentation
+	err  error
+}
+
 // Runner executes simulations with caching (profiles and results are
 // reused across figures, as Figs. 10-13 share the same runs) and bounded
-// parallelism across independent runs.
+// parallelism across independent runs. Runs are deduplicated: concurrent
+// requests for the same key share one simulation (singleflight), and an
+// optional persistent cache (Cache) spills results and profiles to disk so
+// an interrupted sweep resumes from its completed runs.
 type Runner struct {
 	// FW is the MOCA pipeline used for profiling runs.
 	FW *core.Framework
@@ -67,11 +109,25 @@ type Runner struct {
 	// Obs selects per-run observability. Each simulation builds its own
 	// metrics registry, so concurrent runs never share instruments; a
 	// Trace sink, if set, is shared and concurrency-safe.
+	//
+	// Note: a run served from the persistent cache replays its stored
+	// metrics snapshot but does not re-emit trace events into the sink.
 	Obs obs.Options
+	// Cache, if non-nil, persists results and profiles across invocations
+	// (see OpenRunCache). Nil disables the persistent layer; the
+	// in-memory memoization below is always on.
+	Cache *RunCache
+	// Ctx, if non-nil, cancels in-flight and pending simulations when it
+	// fires (the commands wire signal.NotifyContext here).
+	Ctx context.Context
 
 	mu      sync.Mutex
 	instr   map[string]core.Instrumentation
+	iflight map[string]*instrFlight
 	results map[string]*sim.Result
+	flights map[string]*flight
+
+	simulated, profiled, memoryHits, diskHits, profileDiskHits atomic.Uint64
 }
 
 // NewRunner returns a runner with paper-default settings.
@@ -82,54 +138,166 @@ func NewRunner() *Runner {
 	}
 }
 
-// Instrument profiles an application (once; cached) and returns its
-// instrumentation.
+// context returns the runner's cancellation context (never nil).
+func (r *Runner) context() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
+}
+
+// Stats returns a snapshot of the runner's work counters.
+func (r *Runner) Stats() RunnerStats {
+	return RunnerStats{
+		Simulated:       r.simulated.Load(),
+		Profiled:        r.profiled.Load(),
+		MemoryHits:      r.memoryHits.Load(),
+		DiskHits:        r.diskHits.Load(),
+		ProfileDiskHits: r.profileDiskHits.Load(),
+	}
+}
+
+// Instrument profiles an application (once; deduplicated and cached, with
+// a persistent-cache fast path) and returns its instrumentation.
 func (r *Runner) Instrument(appName string) (core.Instrumentation, error) {
+	ctx := r.context()
 	r.mu.Lock()
 	if r.instr == nil {
 		r.instr = make(map[string]core.Instrumentation)
+		r.iflight = make(map[string]*instrFlight)
 	}
 	if ins, ok := r.instr[appName]; ok {
 		r.mu.Unlock()
 		return ins, nil
 	}
+	if f, ok := r.iflight[appName]; ok {
+		r.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.ins, f.err
+		case <-ctx.Done():
+			return core.Instrumentation{}, ctx.Err()
+		}
+	}
+	f := &instrFlight{done: make(chan struct{})}
+	r.iflight[appName] = f
 	r.mu.Unlock()
 
+	f.ins, f.err = r.instrument(appName)
+
+	r.mu.Lock()
+	if f.err == nil {
+		r.instr[appName] = f.ins
+	}
+	delete(r.iflight, appName) // failed flights are retryable
+	r.mu.Unlock()
+	close(f.done)
+	return f.ins, f.err
+}
+
+// instrument executes the profiling pipeline for one app, consulting the
+// persistent cache first. Panics (a profiling bug) surface as errors
+// carrying the app name instead of killing the process.
+func (r *Runner) instrument(appName string) (ins core.Instrumentation, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("exp: profiling %s panicked: %v\n%s", appName, p, debug.Stack())
+		}
+	}()
 	spec, ok := workload.ByName(appName)
 	if !ok {
 		return core.Instrumentation{}, fmt.Errorf("exp: unknown app %q", appName)
 	}
-	ins, err := r.FW.Instrument(spec)
+	var key string
+	if r.Cache != nil {
+		key, err = profileCacheKey(r.FW, spec)
+		if err != nil {
+			return core.Instrumentation{}, err
+		}
+		if pr, ok := r.Cache.LoadProfile(key); ok {
+			r.profileDiskHits.Add(1)
+			return r.FW.InstrumentFromProfile(spec, pr), nil
+		}
+	}
+	pr, err := r.FW.Profile(spec)
 	if err != nil {
 		return core.Instrumentation{}, err
 	}
-	r.mu.Lock()
-	r.instr[appName] = ins
-	r.mu.Unlock()
-	return ins, nil
+	r.profiled.Add(1)
+	if r.Cache != nil {
+		if err := r.Cache.StoreProfile(key, pr); err != nil {
+			return core.Instrumentation{}, err
+		}
+	}
+	return r.FW.InstrumentFromProfile(spec, pr), nil
 }
 
 // RunSingle simulates one application alone on the given system (cached).
 func (r *Runner) RunSingle(def SystemDef, appName string) (*sim.Result, error) {
-	return r.run(def, "single/"+appName, []string{appName})
+	return r.run(r.context(), def, "single/"+appName, []string{appName})
 }
 
 // RunMix simulates a 4-application mix on the given system (cached).
 func (r *Runner) RunMix(def SystemDef, mix workload.Mix) (*sim.Result, error) {
-	return r.run(def, "mix/"+mix.Name, mix.Apps)
+	return r.run(r.context(), def, "mix/"+mix.Name, mix.Apps)
 }
 
-func (r *Runner) run(def SystemDef, key string, apps []string) (*sim.Result, error) {
-	cacheKey := def.Name + "|" + key
+// run is the deduplicated entry point: per-key singleflight over the
+// in-memory memo, backed by the persistent cache. The first caller for a
+// key executes the simulation; concurrent callers block on its flight and
+// share the identical *sim.Result. A canceled waiter returns ctx.Err()
+// without abandoning the flight for others.
+func (r *Runner) run(ctx context.Context, def SystemDef, key string, apps []string) (*sim.Result, error) {
+	memoKey := def.Name + "|" + key
 	r.mu.Lock()
 	if r.results == nil {
 		r.results = make(map[string]*sim.Result)
+		r.flights = make(map[string]*flight)
 	}
-	if res, ok := r.results[cacheKey]; ok {
+	if res, ok := r.results[memoKey]; ok {
 		r.mu.Unlock()
+		r.memoryHits.Add(1)
 		return res, nil
 	}
+	if f, ok := r.flights[memoKey]; ok {
+		r.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err == nil {
+				r.memoryHits.Add(1)
+			}
+			return f.res, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	r.flights[memoKey] = f
 	r.mu.Unlock()
+
+	f.res, f.err = r.simulate(ctx, def, memoKey, apps)
+	if f.err != nil {
+		f.err = fmt.Errorf("exp: %s on %s: %w", key, def.Name, f.err)
+	}
+
+	r.mu.Lock()
+	if f.err == nil {
+		r.results[memoKey] = f.res
+	}
+	delete(r.flights, memoKey) // failed flights are retryable
+	r.mu.Unlock()
+	close(f.done)
+	return f.res, f.err
+}
+
+// simulate executes (or loads from the persistent cache) one simulation.
+// Panics in the simulator surface as errors carrying the run's key.
+func (r *Runner) simulate(ctx context.Context, def SystemDef, memoKey string, apps []string) (res *sim.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("run %q panicked: %v\n%s", memoKey, p, debug.Stack())
+		}
+	}()
 
 	var procs []sim.ProcSpec
 	for _, app := range apps {
@@ -142,17 +310,35 @@ func (r *Runner) run(def SystemDef, key string, apps []string) (*sim.Result, err
 	cfg := sim.DefaultConfig(def.Name, def.Modules, def.Policy)
 	cfg.Chains = def.Chains
 	cfg.Obs = r.Obs
-	sys, err := sim.New(cfg, procs)
+
+	var cacheKey string
+	if r.Cache != nil {
+		cacheKey, err = ResultCacheKey(cfg, procs, r.Measure, r.FW.ProfileWindow)
+		if err != nil {
+			return nil, err
+		}
+		if cached, ok := r.Cache.LoadResult(cacheKey); ok {
+			cached.Name = def.Name // presentational; excluded from the key
+			r.diskHits.Add(1)
+			return cached, nil
+		}
+	}
+
+	sys, err := newSystem(cfg, procs)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sys.Run(sys.SuggestedWarmup(), r.Measure)
+	res, err = sys.RunContext(ctx, sys.SuggestedWarmup(), r.Measure)
 	if err != nil {
-		return nil, fmt.Errorf("exp: %s on %s: %w", key, def.Name, err)
+		return nil, err
 	}
-	r.mu.Lock()
-	r.results[cacheKey] = res
-	r.mu.Unlock()
+	r.simulated.Add(1)
+	if r.Cache != nil {
+		// Spill immediately so a later crash resumes from this run.
+		if err := r.Cache.StoreResult(cacheKey, res); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
 }
 
@@ -171,8 +357,10 @@ func (r *Runner) Results() map[string]*sim.Result {
 // parallel runs the tasks with bounded concurrency. After all tasks
 // complete it returns the error of the first failing task in submission
 // order (not completion order), so a run that fails reports the same error
-// no matter how the goroutines interleave.
-func (r *Runner) parallel(tasks []func() error) error {
+// no matter how the goroutines interleave. Cancellation stops tasks that
+// have not started; a panicking task becomes that task's error instead of
+// killing the process.
+func (r *Runner) parallel(ctx context.Context, tasks []func() error) error {
 	limit := r.Parallelism
 	if limit <= 0 {
 		limit = runtime.NumCPU()
@@ -191,7 +379,19 @@ func (r *Runner) parallel(tasks []func() error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sem <- struct{}{} // acquire inside the goroutine: spawning never blocks
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("exp: parallel task %d panicked: %v\n%s", i, p, debug.Stack())
+				}
+			}()
+			// Acquire inside the goroutine: spawning never blocks. A
+			// cancellation while queued skips the task entirely.
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
 			defer func() { <-sem }()
 			errs[i] = task()
 		}()
@@ -208,6 +408,7 @@ func (r *Runner) parallel(tasks []func() error) error {
 // warmAll pre-executes the cross product of systems and workloads in
 // parallel so subsequent sequential reads hit the cache.
 func (r *Runner) warmSingles(systems []SystemDef, apps []string) error {
+	ctx := r.context()
 	var tasks []func() error
 	// Profile serially first: instrumentation is shared across systems.
 	for _, app := range apps {
@@ -219,15 +420,16 @@ func (r *Runner) warmSingles(systems []SystemDef, apps []string) error {
 		for _, app := range apps {
 			def, app := def, app
 			tasks = append(tasks, func() error {
-				_, err := r.RunSingle(def, app)
+				_, err := r.run(ctx, def, "single/"+app, []string{app})
 				return err
 			})
 		}
 	}
-	return r.parallel(tasks)
+	return r.parallel(ctx, tasks)
 }
 
 func (r *Runner) warmMixes(systems []SystemDef, mixes []workload.Mix) error {
+	ctx := r.context()
 	appSet := map[string]bool{}
 	for _, m := range mixes {
 		for _, a := range m.Apps {
@@ -246,10 +448,10 @@ func (r *Runner) warmMixes(systems []SystemDef, mixes []workload.Mix) error {
 		for _, m := range mixes {
 			def, m := def, m
 			tasks = append(tasks, func() error {
-				_, err := r.RunMix(def, m)
+				_, err := r.run(ctx, def, "mix/"+m.Name, m.Apps)
 				return err
 			})
 		}
 	}
-	return r.parallel(tasks)
+	return r.parallel(ctx, tasks)
 }

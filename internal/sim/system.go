@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"moca/internal/alloc"
@@ -61,6 +62,7 @@ type coreCtx struct {
 	hier      *cache.Hierarchy
 	allocator *heap.Allocator
 	profiler  *profile.Profiler
+	stream    cpu.Stream
 
 	frozen   bool
 	snapshot CoreResult
@@ -208,7 +210,7 @@ func New(cfg Config, procs []ProcSpec) (*System, error) {
 			return nil, err
 		}
 
-		ctx := &coreCtx{proc: i, app: app, core: core, hier: hier, allocator: allocator}
+		ctx := &coreCtx{proc: i, app: app, core: core, hier: hier, allocator: allocator, stream: stream}
 		if cfg.Profile {
 			prof := profile.New()
 			ctx.profiler = prof
@@ -254,12 +256,21 @@ func (s *System) SuggestedWarmup() uint64 {
 // executing so memory contention persists until the last core finishes,
 // as in standard multi-program methodology.
 func (s *System) Run(warmup, measure uint64) (*Result, error) {
+	return s.RunContext(context.Background(), warmup, measure)
+}
+
+// RunContext is Run with cancellation: the simulation loop polls ctx
+// between cycle batches and returns ctx.Err() promptly when it fires, so
+// an in-flight run can be abandoned cleanly (Ctrl-C in the commands).
+// Cancellation never perturbs a run that completes: the poll is a
+// read-only check between deterministic cycles.
+func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (*Result, error) {
 	if measure == 0 {
 		return nil, fmt.Errorf("sim: zero measurement window")
 	}
 	cycle := s.cfg.Core.Cycle
 
-	if err := s.runPhase(warmup, cycle, nil); err != nil {
+	if err := s.runPhase(ctx, warmup, cycle, nil); err != nil {
 		return nil, err
 	}
 	for _, c := range s.cores {
@@ -284,7 +295,7 @@ func (s *System) Run(warmup, measure uint64) (*Result, error) {
 		c.snapAt = s.q.Now()
 		c.snapshot = s.coreResult(c, s.q.Now()-start)
 	}
-	if err := s.runPhase(measure, cycle, snap); err != nil {
+	if err := s.runPhase(ctx, measure, cycle, snap); err != nil {
 		return nil, err
 	}
 	end := s.q.Now()
@@ -325,7 +336,7 @@ func (s *System) Run(warmup, measure uint64) (*Result, error) {
 // runPhase ticks all cores until each has retired `target` instructions
 // beyond its current count. onCross, if non-nil, fires once per core when
 // it crosses (used to freeze measurement snapshots).
-func (s *System) runPhase(target uint64, cycle event.Time, onCross func(*coreCtx)) error {
+func (s *System) runPhase(ctx context.Context, target uint64, cycle event.Time, onCross func(*coreCtx)) error {
 	if target == 0 {
 		return nil
 	}
@@ -337,12 +348,20 @@ func (s *System) runPhase(target uint64, cycle event.Time, onCross func(*coreCtx
 	}
 	remaining := len(s.cores)
 	now := s.q.Now()
+	done := ctx.Done()
 	// Watchdog: generous IPC floor of 1/400 plus fixed slack.
 	maxCycles := target*400 + 50_000_000
 	for cyc := uint64(0); remaining > 0; cyc++ {
 		if cyc > maxCycles {
 			return fmt.Errorf("sim: %s: watchdog expired after %d cycles (%d/%d cores finished %d instructions)",
 				s.cfg.Name, cyc, len(s.cores)-remaining, len(s.cores), target)
+		}
+		if done != nil && cyc&4095 == 0 {
+			select {
+			case <-done:
+				return fmt.Errorf("sim: %s: canceled after %d cycles: %w", s.cfg.Name, cyc, ctx.Err())
+			default:
+			}
 		}
 		s.q.RunUntil(now)
 		for i, c := range s.cores {
@@ -357,8 +376,30 @@ func (s *System) runPhase(target uint64, cycle event.Time, onCross func(*coreCtx
 					onCross(c)
 				}
 			}
+			if !crossed[i] && c.core.Done() {
+				// The stream ran dry before the quota: this core can never
+				// cross, so fail now instead of spinning into the watchdog.
+				// A replayed trace that ended on a decode error reports
+				// that error, not a bare end-of-stream.
+				short := target - (c.core.Stats().Instructions - base[i])
+				if serr := streamErr(c.stream); serr != nil {
+					return fmt.Errorf("sim: %s core %d (%s): trace decode: %w", s.cfg.Name, i, c.app.Spec.Name, serr)
+				}
+				return fmt.Errorf("sim: %s core %d (%s): instruction stream ended %d instructions short of its %d quota",
+					s.cfg.Name, i, c.app.Spec.Name, short, target)
+			}
 		}
 		now += cycle
+	}
+	return nil
+}
+
+// streamErr extracts a terminal decode error from streams that expose one
+// (trace.Reader, trace.Loop); built-in generators are infinite and report
+// nothing.
+func streamErr(s cpu.Stream) error {
+	if ec, ok := s.(interface{ Err() error }); ok {
+		return ec.Err()
 	}
 	return nil
 }

@@ -76,9 +76,13 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// F formats a float at a sensible precision for table cells.
+// F formats a float at a sensible precision for table cells. NaN — the
+// grid's missing-value marker (e.g. a normalized cell with a zero
+// baseline) — renders as "-".
 func F(v float64) string {
 	switch {
+	case math.IsNaN(v):
+		return "-"
 	case v == 0:
 		return "0"
 	case math.Abs(v) >= 1000:
@@ -90,33 +94,51 @@ func F(v float64) string {
 	}
 }
 
-// Mean returns the arithmetic mean (0 for empty input).
+// Mean returns the arithmetic mean (0 for empty input). NaN values are
+// missing cells and are skipped; if every value is missing the mean is NaN.
 func Mean(vals []float64) float64 {
 	if len(vals) == 0 {
 		return 0
 	}
 	var s float64
+	n := 0
 	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
 		s += v
+		n++
 	}
-	return s / float64(len(vals))
+	if n == 0 {
+		return math.NaN()
+	}
+	return s / float64(n)
 }
 
 // GeoMean returns the geometric mean of positive values (0 if any value is
 // non-positive or the input is empty) — the standard summary for
-// normalized performance ratios.
+// normalized performance ratios. NaN values are missing cells and are
+// skipped; if every value is missing the mean is NaN.
 func GeoMean(vals []float64) float64 {
 	if len(vals) == 0 {
 		return 0
 	}
 	var s float64
+	n := 0
 	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
 		if v <= 0 {
 			return 0
 		}
 		s += math.Log(v)
+		n++
 	}
-	return math.Exp(s / float64(len(vals)))
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(s / float64(n))
 }
 
 // Grid is a labeled rows x cols matrix of values — the shape of every
@@ -170,8 +192,10 @@ func (g *Grid) colIndex(col string) int {
 
 // Normalize returns a copy where every row is divided by that row's value
 // in the baseline column (the paper's "normalized to Homogen-DDR3" /
-// "normalized to Heter-App" presentation). Zero baselines leave the row
-// unnormalized.
+// "normalized to Heter-App" presentation). A zero baseline makes the whole
+// row NaN (missing): mixing raw values into a normalized grid would
+// silently corrupt the trailing mean row, so the summary means skip these
+// cells and F renders them as "-".
 func (g *Grid) Normalize(baseline string) *Grid {
 	bi := g.colIndex(baseline)
 	out := NewGrid(g.Name+" (normalized to "+baseline+")", g.RowName, g.Rows, g.Cols)
@@ -181,7 +205,7 @@ func (g *Grid) Normalize(baseline string) *Grid {
 			if base != 0 {
 				out.Values[r][c] = g.Values[r][c] / base
 			} else {
-				out.Values[r][c] = g.Values[r][c]
+				out.Values[r][c] = math.NaN()
 			}
 		}
 	}

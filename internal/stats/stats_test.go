@@ -83,11 +83,44 @@ func TestGridSetGetNormalize(t *testing.T) {
 }
 
 func TestGridZeroBaseline(t *testing.T) {
-	g := NewGrid("fig", "app", []string{"a"}, []string{"base", "x"})
-	g.Set("a", "x", 5)
+	g := NewGrid("fig", "app", []string{"a", "b"}, []string{"base", "x"})
+	g.Set("a", "x", 5) // row a: zero baseline
+	g.Set("b", "base", 2)
+	g.Set("b", "x", 4)
 	n := g.Normalize("base")
-	if n.Get("a", "x") != 5 {
-		t.Error("zero baseline should leave values unchanged")
+	// The zero-baseline row is entirely missing — NaN, not raw values —
+	// so the mean row never mixes raw and normalized numbers.
+	if !math.IsNaN(n.Get("a", "x")) || !math.IsNaN(n.Get("a", "base")) {
+		t.Errorf("zero-baseline row not NaN: %+v", n.Values)
+	}
+	// Summary means skip the missing row instead of absorbing it.
+	if got := n.ColMean("x"); got != 2 {
+		t.Errorf("ColMean skipping NaN = %v, want 2", got)
+	}
+	if got := n.ColGeoMean("x"); got != 2 {
+		t.Errorf("ColGeoMean skipping NaN = %v, want 2", got)
+	}
+	// Missing cells render as "-" in tables.
+	if s := n.Table().String(); !strings.Contains(s, "-") {
+		t.Errorf("table does not render missing cells:\n%s", s)
+	}
+	if got := F(math.NaN()); got != "-" {
+		t.Errorf("F(NaN) = %q, want %q", got, "-")
+	}
+}
+
+func TestMeansSkipNaN(t *testing.T) {
+	if got := Mean([]float64{1, math.NaN(), 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{1, math.NaN(), 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	if !math.IsNaN(Mean([]float64{math.NaN()})) {
+		t.Error("all-NaN Mean should be NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{math.NaN()})) {
+		t.Error("all-NaN GeoMean should be NaN")
 	}
 }
 

@@ -248,9 +248,13 @@ var _ cpu.Stream = (*Reader)(nil)
 
 // Loop wraps a finite stream source so it restarts from a factory when
 // exhausted — letting a finite trace drive an arbitrarily long simulation.
+// A stream that ends with a decode error (rather than clean end-of-trace)
+// terminates the loop: restarting would replay the valid prefix forever.
+// Check Err after the simulation to distinguish the two.
 type Loop struct {
 	open func() (cpu.Stream, error)
 	cur  cpu.Stream
+	err  error
 }
 
 // NewLoop builds a looping stream; open is called for each pass.
@@ -258,12 +262,24 @@ func NewLoop(open func() (cpu.Stream, error)) *Loop {
 	return &Loop{open: open}
 }
 
+// Err returns the error that terminated the loop: a failed reopen, or the
+// inner stream's decode error (any stream exposing Err() error, such as
+// Reader). Nil while the loop is still live.
+func (l *Loop) Err() error { return l.err }
+
 // Next implements cpu.Stream.
 func (l *Loop) Next() (cpu.Instr, bool) {
+	if l.err != nil {
+		return cpu.Instr{}, false
+	}
 	for attempt := 0; attempt < 2; attempt++ {
 		if l.cur == nil {
 			s, err := l.open()
-			if err != nil || s == nil {
+			if err != nil {
+				l.err = fmt.Errorf("trace: reopening stream: %w", err)
+				return cpu.Instr{}, false
+			}
+			if s == nil {
 				return cpu.Instr{}, false
 			}
 			l.cur = s
@@ -271,7 +287,18 @@ func (l *Loop) Next() (cpu.Instr, bool) {
 		if in, ok := l.cur.Next(); ok {
 			return in, true
 		}
+		// The pass ended. A decode error is terminal — only a clean
+		// end-of-stream may restart.
+		if ec, ok := l.cur.(interface{ Err() error }); ok {
+			if err := ec.Err(); err != nil {
+				l.err = err
+				l.cur = nil
+				return cpu.Instr{}, false
+			}
+		}
 		l.cur = nil
 	}
 	return cpu.Instr{}, false
 }
+
+var _ cpu.Stream = (*Loop)(nil)

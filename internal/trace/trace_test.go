@@ -202,6 +202,90 @@ func TestLoopRestartsStream(t *testing.T) {
 	}
 }
 
+// TestLoopStopsOnDecodeError: a corrupt trace must terminate the loop
+// with its decode error, not replay the valid prefix forever.
+func TestLoopStopsOnDecodeError(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 3; i++ {
+		w.Append(cpu.Instr{Kind: cpu.Load, VAddr: uint64(i) * 64, Obj: 1})
+	}
+	w.Close()
+	data := buf.Bytes()
+	// Corrupt the end marker into an unknown opcode: the valid prefix
+	// still decodes, then the stream errors instead of ending cleanly.
+	data[len(data)-1] = 200
+
+	opens := 0
+	loop := NewLoop(func() (cpu.Stream, error) {
+		opens++
+		return NewReader(bytes.NewReader(data))
+	})
+	var n int
+	for {
+		if _, ok := loop.Next(); !ok {
+			break
+		}
+		n++
+		if n > 10 {
+			t.Fatal("loop replays a corrupt trace forever")
+		}
+	}
+	if n != 3 {
+		t.Errorf("decoded %d instructions before the error, want 3", n)
+	}
+	if loop.Err() == nil {
+		t.Error("loop swallowed the decode error")
+	}
+	if opens != 1 {
+		t.Errorf("corrupt stream reopened %d times, want 1", opens)
+	}
+	// The loop stays terminated.
+	if _, ok := loop.Next(); ok {
+		t.Error("loop resumed after a terminal error")
+	}
+}
+
+// TestLoopStopsOnTruncation: a trace cut off mid-record terminates the
+// loop with an error rather than restarting.
+func TestLoopStopsOnTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Append(cpu.Instr{Kind: cpu.Load, VAddr: 0x1234_5678, Obj: 7})
+	w.Append(cpu.Instr{Kind: cpu.Load, VAddr: 0x9abc_def0, Obj: 9})
+	w.Close()
+	data := buf.Bytes()[:buf.Len()-3] // cut into the last record's varints
+
+	loop := NewLoop(func() (cpu.Stream, error) {
+		return NewReader(bytes.NewReader(data))
+	})
+	for i := 0; ; i++ {
+		if _, ok := loop.Next(); !ok {
+			break
+		}
+		if i > 10 {
+			t.Fatal("loop replays a truncated trace forever")
+		}
+	}
+	if loop.Err() == nil {
+		t.Error("loop swallowed the truncation error")
+	}
+}
+
+// TestLoopReportsOpenError: a failing factory must surface its error.
+func TestLoopReportsOpenError(t *testing.T) {
+	wantErr := bytes.ErrTooLarge // any sentinel
+	loop := NewLoop(func() (cpu.Stream, error) {
+		return nil, wantErr
+	})
+	if _, ok := loop.Next(); ok {
+		t.Fatal("failed open produced an instruction")
+	}
+	if err := loop.Err(); err == nil {
+		t.Error("loop swallowed the open error")
+	}
+}
+
 // Property: arbitrary instruction sequences survive the round trip.
 func TestPropertyRoundTrip(t *testing.T) {
 	f := func(raw []uint32) bool {
