@@ -1,0 +1,112 @@
+// Package benchcmp diffs trajectory entries of the repo's throughput
+// benchmark ledger (BENCH_throughput.json) and formats the speedup line
+// quoted in CHANGES.md and the README's performance table.
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Entry is one measured point of the BenchmarkSimulatorThroughput
+// trajectory.
+type Entry struct {
+	Commit      string `json:"commit"`
+	Date        string `json:"date"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	Instrs      int64  `json:"instructions_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	Note        string `json:"note"`
+}
+
+// File is the ledger layout: a named benchmark with its measured
+// trajectory (the optional "micro" section is ignored here).
+type File struct {
+	Benchmark  string  `json:"benchmark"`
+	Trajectory []Entry `json:"trajectory"`
+}
+
+// Load reads and validates a ledger file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Trajectory) == 0 {
+		return nil, fmt.Errorf("%s: empty trajectory", path)
+	}
+	for i, e := range f.Trajectory {
+		if e.NsPerOp <= 0 {
+			return nil, fmt.Errorf("%s: trajectory[%d] (%s) has ns_per_op %d", path, i, e.Commit, e.NsPerOp)
+		}
+	}
+	return &f, nil
+}
+
+// Last returns the newest trajectory entry.
+func (f *File) Last() Entry { return f.Trajectory[len(f.Trajectory)-1] }
+
+// Speedup formats the old→new delta as the one-line summary used in
+// CHANGES.md, e.g. "1.94x instructions/sec, 96.4% fewer allocs/op".
+// Regressions read "0.87x instructions/sec, 12.0% more allocs/op".
+func Speedup(old, new Entry) string {
+	ratio := float64(old.NsPerOp) / float64(new.NsPerOp)
+	line := fmt.Sprintf("%.2fx instructions/sec", ratio)
+	switch {
+	case old.AllocsPerOp <= 0:
+		// Nothing meaningful to compare against.
+	case new.AllocsPerOp <= old.AllocsPerOp:
+		pct := 100 * float64(old.AllocsPerOp-new.AllocsPerOp) / float64(old.AllocsPerOp)
+		line += fmt.Sprintf(", %.1f%% fewer allocs/op", pct)
+	default:
+		pct := 100 * float64(new.AllocsPerOp-old.AllocsPerOp) / float64(old.AllocsPerOp)
+		line += fmt.Sprintf(", %.1f%% more allocs/op", pct)
+	}
+	return line
+}
+
+// Compare diffs two ledger entries and returns a multi-line report: one
+// row per metric plus the Speedup summary line. With one path the last
+// two trajectory entries of that file are compared; with two paths the
+// last entry of each.
+func Compare(paths []string) (string, error) {
+	var old, new Entry
+	switch len(paths) {
+	case 1:
+		f, err := Load(paths[0])
+		if err != nil {
+			return "", err
+		}
+		if len(f.Trajectory) < 2 {
+			return "", fmt.Errorf("%s: need at least 2 trajectory entries to compare", paths[0])
+		}
+		old, new = f.Trajectory[len(f.Trajectory)-2], f.Last()
+	case 2:
+		of, err := Load(paths[0])
+		if err != nil {
+			return "", err
+		}
+		nf, err := Load(paths[1])
+		if err != nil {
+			return "", err
+		}
+		if of.Benchmark != nf.Benchmark {
+			return "", fmt.Errorf("benchmark mismatch: %q vs %q", of.Benchmark, nf.Benchmark)
+		}
+		old, new = of.Last(), nf.Last()
+	default:
+		return "", fmt.Errorf("benchcompare takes 1 or 2 ledger files, got %d", len(paths))
+	}
+	out := fmt.Sprintf("old: %s (%s)\nnew: %s (%s)\n", old.Commit, old.Date, new.Commit, new.Date)
+	out += fmt.Sprintf("%-12s %14d → %14d ns/op\n", "time", old.NsPerOp, new.NsPerOp)
+	out += fmt.Sprintf("%-12s %14d → %14d B/op\n", "bytes", old.BytesPerOp, new.BytesPerOp)
+	out += fmt.Sprintf("%-12s %14d → %14d allocs/op\n", "allocs", old.AllocsPerOp, new.AllocsPerOp)
+	out += Speedup(old, new) + "\n"
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package benchcmp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeLedger(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const twoPoint = `{
+  "benchmark": "BenchmarkSimulatorThroughput",
+  "trajectory": [
+    {"commit": "aaa", "date": "2026-08-01", "ns_per_op": 110326132, "allocs_per_op": 746593},
+    {"commit": "bbb", "date": "2026-08-05", "ns_per_op": 56787207, "allocs_per_op": 26715}
+  ]
+}`
+
+func TestSpeedupLine(t *testing.T) {
+	old := Entry{NsPerOp: 110326132, AllocsPerOp: 746593}
+	new := Entry{NsPerOp: 56787207, AllocsPerOp: 26715}
+	got := Speedup(old, new)
+	// The exact line quoted in CHANGES.md for the PR 2 engine rewrite.
+	if got != "1.94x instructions/sec, 96.4% fewer allocs/op" {
+		t.Errorf("Speedup = %q", got)
+	}
+}
+
+func TestSpeedupRegressionWording(t *testing.T) {
+	old := Entry{NsPerOp: 100, AllocsPerOp: 100}
+	new := Entry{NsPerOp: 115, AllocsPerOp: 112}
+	got := Speedup(old, new)
+	if !strings.Contains(got, "0.87x") || !strings.Contains(got, "12.0% more allocs/op") {
+		t.Errorf("regression line = %q", got)
+	}
+}
+
+func TestCompareSingleFile(t *testing.T) {
+	path := writeLedger(t, "bench.json", twoPoint)
+	out, err := Compare([]string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"old: aaa", "new: bbb", "1.94x instructions/sec"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareTwoFiles(t *testing.T) {
+	oldPath := writeLedger(t, "old.json", `{
+  "benchmark": "BenchmarkSimulatorThroughput",
+  "trajectory": [{"commit": "aaa", "ns_per_op": 200, "allocs_per_op": 50}]
+}`)
+	newPath := writeLedger(t, "new.json", `{
+  "benchmark": "BenchmarkSimulatorThroughput",
+  "trajectory": [{"commit": "bbb", "ns_per_op": 100, "allocs_per_op": 50}]
+}`)
+	out, err := Compare([]string{oldPath, newPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2.00x instructions/sec") {
+		t.Errorf("report = %q", out)
+	}
+}
+
+func TestCompareRejectsMismatchedBenchmarks(t *testing.T) {
+	a := writeLedger(t, "a.json", `{"benchmark": "X", "trajectory": [{"commit": "a", "ns_per_op": 1}]}`)
+	b := writeLedger(t, "b.json", `{"benchmark": "Y", "trajectory": [{"commit": "b", "ns_per_op": 1}]}`)
+	if _, err := Compare([]string{a, b}); err == nil {
+		t.Fatal("mismatched benchmark names not rejected")
+	}
+}
+
+func TestCompareSingleEntryFileErrors(t *testing.T) {
+	path := writeLedger(t, "one.json", `{"benchmark": "X", "trajectory": [{"commit": "a", "ns_per_op": 1}]}`)
+	if _, err := Compare([]string{path}); err == nil {
+		t.Fatal("single-entry file accepted for self-comparison")
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file not reported")
+	}
+	empty := writeLedger(t, "empty.json", `{"benchmark": "X", "trajectory": []}`)
+	if _, err := Load(empty); err == nil {
+		t.Error("empty trajectory not rejected")
+	}
+	bad := writeLedger(t, "bad.json", `{"benchmark": "X", "trajectory": [{"commit": "a", "ns_per_op": 0}]}`)
+	if _, err := Load(bad); err == nil {
+		t.Error("zero ns_per_op not rejected")
+	}
+}
+
+// TestRepoLedgerLoads guards the checked-in ledger itself: it must parse
+// and keep a monotone history of real measurements.
+func TestRepoLedgerLoads(t *testing.T) {
+	f, err := Load("../../BENCH_throughput.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Trajectory) < 3 {
+		t.Fatalf("ledger has %d entries, want ≥ 3", len(f.Trajectory))
+	}
+	last, prev := f.Last(), f.Trajectory[len(f.Trajectory)-2]
+	if last.NsPerOp >= prev.NsPerOp {
+		t.Errorf("newest entry %s (%d ns/op) does not improve on %s (%d ns/op)",
+			last.Commit, last.NsPerOp, prev.Commit, prev.NsPerOp)
+	}
+}

@@ -1,0 +1,70 @@
+package cache
+
+// Microbenchmark for the open-addressed MSHR index, plus its CI alloc
+// smoke gate (mirrors the internal/vm gates: >20% allocs/op past the
+// checked-in budget in BENCH_throughput.json fails).
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// BenchmarkMSHRIndex churns the index with the hierarchy's miss-path
+// pattern: fill to the MSHR budget, look every line up (merge check),
+// then drain — entries are pre-allocated so the index's own cost shows.
+func BenchmarkMSHRIndex(b *testing.B) {
+	const budget = 20
+	ix := newMSHRIndex(budget)
+	entries := make([]*mshrEntry, budget)
+	for i := range entries {
+		entries[i] = &mshrEntry{}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := uint64(i*budget+1) * LineBytes
+		for j := uint64(0); j < budget; j++ {
+			entries[j].lineAddr = base + j*LineBytes
+			ix.insert(entries[j].lineAddr, entries[j])
+		}
+		for j := uint64(0); j < budget; j++ {
+			if ix.lookup(base+j*LineBytes) == nil {
+				b.Fatal("outstanding miss not indexed")
+			}
+		}
+		for j := uint64(0); j < budget; j++ {
+			ix.remove(base + j*LineBytes)
+		}
+	}
+}
+
+func TestMSHRIndexAllocBudget(t *testing.T) {
+	if os.Getenv("MOCA_BENCH_SMOKE") == "" {
+		t.Skip("set MOCA_BENCH_SMOKE=1 to run the bench smoke")
+	}
+	data, err := os.ReadFile("../../BENCH_throughput.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		Micro map[string]struct {
+			AllocsPerOp int64 `json:"allocs_per_op"`
+		} `json:"micro"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := f.Micro["BenchmarkMSHRIndex"]
+	if !ok {
+		t.Fatal("BENCH_throughput.json has no micro entry BenchmarkMSHRIndex")
+	}
+	budget := m.AllocsPerOp + m.AllocsPerOp/5
+	res := testing.Benchmark(BenchmarkMSHRIndex)
+	allocs := res.AllocsPerOp()
+	t.Logf("BenchmarkMSHRIndex: %d allocs/op, budget %d", allocs, budget)
+	if allocs > budget {
+		t.Fatalf("BenchmarkMSHRIndex allocation regression: %d allocs/op exceeds budget %d; if intentional, update the micro entry in BENCH_throughput.json",
+			allocs, budget)
+	}
+}

@@ -111,7 +111,7 @@ type Hierarchy struct {
 	l1      *Cache
 	l2      *Cache
 
-	mshrs    map[uint64]*mshrEntry
+	mshrs    *mshrIndex    // line address → in-flight entry, fixed size
 	freeMSHR []*mshrEntry  // entry pool; recycled on fill
 	waiting  []pendingMiss // stalled on a full MSHR file
 	wbQ      []uint64      // writebacks awaiting backend acceptance
@@ -163,7 +163,7 @@ func NewHierarchy(q *event.Queue, backend Backend, cfg HierarchyConfig) (*Hierar
 		backend: backend,
 		l1:      l1,
 		l2:      l2,
-		mshrs:   make(map[uint64]*mshrEntry),
+		mshrs:   newMSHRIndex(cfg.L2.MSHRs),
 	}
 	if cfg.Prefetch.Enable {
 		h.pf = newPrefetcher(cfg.Prefetch)
@@ -220,7 +220,7 @@ func (h *Hierarchy) ResetStats() {
 }
 
 // OutstandingMisses returns the number of in-flight LLC misses.
-func (h *Hierarchy) OutstandingMisses() int { return len(h.mshrs) }
+func (h *Hierarchy) OutstandingMisses() int { return h.mshrs.len() }
 
 // Event opcodes for the hierarchy's pooled events.
 const (
@@ -249,7 +249,7 @@ func (h *Hierarchy) OnEvent(now event.Time, op int32, i64 int64, p any) {
 // MemDone receives line completions from the backend (mem.DoneSink); the
 // token is the line address, which names the MSHR entry.
 func (h *Hierarchy) MemDone(token uint64, at event.Time) {
-	if e, ok := h.mshrs[token]; ok {
+	if e := h.mshrs.lookup(token); e != nil {
 		h.onFill(e, at)
 	}
 }
@@ -310,7 +310,7 @@ func (h *Hierarchy) Access(addr uint64, obj uint64, write bool, sink AccessSink,
 	}
 
 	// LLC miss.
-	if e, ok := h.mshrs[lineAddr]; ok {
+	if e := h.mshrs.lookup(lineAddr); e != nil {
 		h.stats.MergedMisses++
 		if h.obsMerged != nil {
 			h.obsMerged.Inc()
@@ -326,7 +326,7 @@ func (h *Hierarchy) Access(addr uint64, obj uint64, write bool, sink AccessSink,
 		}
 		return
 	}
-	if len(h.mshrs) >= h.mshrLimit(write) {
+	if h.mshrs.len() >= h.mshrLimit(write) {
 		h.stats.MSHRFullStalls++
 		if h.obsMSHRFull != nil {
 			h.obsMSHRFull.Inc()
@@ -367,11 +367,11 @@ func (h *Hierarchy) allocateMSHR(m pendingMiss) {
 	if m.sink != nil {
 		e.waiters = append(e.waiters, waiter{m.sink, m.token})
 	}
-	h.mshrs[m.lineAddr] = e
+	h.mshrs.insert(m.lineAddr, e)
 	h.stats.DemandMisses++
 	if h.obsMisses != nil {
 		h.obsMisses.Inc()
-		h.obsMSHROcc.RecordMax(int64(len(h.mshrs)))
+		h.obsMSHROcc.RecordMax(int64(h.mshrs.len()))
 	}
 	if h.OnLLCMiss != nil {
 		h.OnLLCMiss(m.obj)
@@ -417,15 +417,15 @@ func (h *Hierarchy) issuePrefetch(lineAddr uint64, obj uint64) {
 	if h.l2.Probe(lineAddr) || h.l1.Probe(lineAddr) {
 		return
 	}
-	if _, inflight := h.mshrs[lineAddr]; inflight {
+	if h.mshrs.lookup(lineAddr) != nil {
 		return
 	}
-	if len(h.mshrs) >= h.cfg.L2.MSHRs-2 {
+	if h.mshrs.len() >= h.cfg.L2.MSHRs-2 {
 		return
 	}
 	e := h.getMSHR()
 	e.lineAddr, e.obj, e.prefetch = lineAddr, obj, true
-	h.mshrs[lineAddr] = e
+	h.mshrs.insert(lineAddr, e)
 	h.pf.stats.Issued++
 	delay := event.Time(h.cfg.L1.LatencyCycles+h.cfg.L2.LatencyCycles) * h.cfg.CPUCycle
 	h.q.PostAfter(delay, h, hopSubmit, 0, e)
@@ -448,7 +448,7 @@ func (h *Hierarchy) onFill(e *mshrEntry, at event.Time) {
 	if e.prefetch {
 		// Speculative fill: L2 only, invisible to demand statistics.
 		h.pf.markPrefetched(e.lineAddr)
-		delete(h.mshrs, e.lineAddr)
+		h.mshrs.remove(e.lineAddr)
 		h.putMSHR(e)
 		h.admitWaiting()
 		h.pumpWritebacks()
@@ -456,7 +456,7 @@ func (h *Hierarchy) onFill(e *mshrEntry, at event.Time) {
 	}
 	h.fillL1(e.lineAddr, e.dirty)
 
-	delete(h.mshrs, e.lineAddr)
+	h.mshrs.remove(e.lineAddr)
 	for _, w := range e.waiters {
 		w.sink.AccessDone(w.token, at, MemHit)
 	}
@@ -482,7 +482,7 @@ func (h *Hierarchy) admitWaiting() {
 			idx = 0
 		}
 		m := h.waiting[idx]
-		if len(h.mshrs) >= h.mshrLimit(m.write) {
+		if h.mshrs.len() >= h.mshrLimit(m.write) {
 			break
 		}
 		h.waiting = append(h.waiting[:idx], h.waiting[idx+1:]...)
@@ -500,7 +500,7 @@ func (h *Hierarchy) reAccess(m pendingMiss) {
 		}
 		return
 	}
-	if e, ok := h.mshrs[m.lineAddr]; ok {
+	if e := h.mshrs.lookup(m.lineAddr); e != nil {
 		h.stats.MergedMisses++
 		if h.obsMerged != nil {
 			h.obsMerged.Inc()
@@ -555,6 +555,12 @@ func (h *Hierarchy) pumpWritebacks() {
 func (h *Hierarchy) InvalidateLine(lineAddr uint64) (present, dirty bool) {
 	p1, d1 := h.l1.Invalidate(lineAddr)
 	p2, d2 := h.l2.Invalidate(lineAddr)
+	if h.pf != nil {
+		// The physical line is gone for good (the page now lives in
+		// another frame), so its usefulness mark can never be claimed —
+		// drop it instead of letting shootdowns leak marks.
+		h.pf.evicted(lineAddr)
+	}
 	return p1 || p2, d1 || d2
 }
 

@@ -1,0 +1,133 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// collidingLines returns n distinct line addresses sharing one home slot.
+func collidingLines(ix *mshrIndex, n int) []uint64 {
+	out := []uint64{LineBytes}
+	home := ix.hash(LineBytes)
+	for a := uint64(2 * LineBytes); len(out) < n; a += LineBytes {
+		if ix.hash(a) == home {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func TestMSHRIndexCollisionChains(t *testing.T) {
+	ix := newMSHRIndex(20)
+	lines := collidingLines(ix, 6)
+	entries := make([]*mshrEntry, len(lines))
+	for i, a := range lines {
+		entries[i] = &mshrEntry{lineAddr: a}
+		ix.insert(a, entries[i])
+	}
+	if ix.len() != len(lines) {
+		t.Fatalf("len = %d, want %d", ix.len(), len(lines))
+	}
+	for i, a := range lines {
+		if got := ix.lookup(a); got != entries[i] {
+			t.Fatalf("lookup(%#x) = %p, want %p", a, got, entries[i])
+		}
+	}
+	// Remove the head of the chain: backward-shift must keep the rest
+	// reachable (a tombstone-less table breaks here if deletion is naive).
+	ix.remove(lines[0])
+	if ix.lookup(lines[0]) != nil {
+		t.Fatal("removed line still indexed")
+	}
+	for i := 1; i < len(lines); i++ {
+		if ix.lookup(lines[i]) != entries[i] {
+			t.Fatalf("chain entry %#x lost after head removal", lines[i])
+		}
+	}
+	// Remove from the middle, then re-insert the head.
+	ix.remove(lines[3])
+	ix.insert(lines[0], entries[0])
+	for i, a := range lines {
+		want := entries[i]
+		if i == 3 {
+			want = nil
+		}
+		if got := ix.lookup(a); got != want {
+			t.Fatalf("after churn, lookup(%#x) = %p, want %p", a, got, want)
+		}
+	}
+}
+
+func TestMSHRIndexRemoveAbsent(t *testing.T) {
+	ix := newMSHRIndex(4)
+	ix.insert(LineBytes, &mshrEntry{})
+	ix.remove(99 * LineBytes) // absent: no-op
+	if ix.len() != 1 || ix.lookup(LineBytes) == nil {
+		t.Fatal("removing an absent line perturbed the index")
+	}
+}
+
+func TestMSHRIndexNeverGrows(t *testing.T) {
+	const budget = 20
+	ix := newMSHRIndex(budget)
+	size := len(ix.addrs)
+	if size < budget*2 {
+		t.Fatalf("table sized %d for budget %d, want ≥ 2× budget", size, budget)
+	}
+	// Churn at the full budget for many rounds: size must never change.
+	for round := 0; round < 500; round++ {
+		base := uint64(round*budget+1) * LineBytes
+		for i := uint64(0); i < budget; i++ {
+			ix.insert(base+i*LineBytes, &mshrEntry{})
+		}
+		if ix.len() != budget {
+			t.Fatalf("round %d: len %d, want %d", round, ix.len(), budget)
+		}
+		for i := uint64(0); i < budget; i++ {
+			ix.remove(base + i*LineBytes)
+		}
+	}
+	if len(ix.addrs) != size {
+		t.Fatalf("index grew from %d to %d slots", size, len(ix.addrs))
+	}
+	if ix.len() != 0 {
+		t.Fatalf("len = %d after draining", ix.len())
+	}
+}
+
+// TestMSHRIndexMatchesMapModel cross-checks the open-addressed index
+// against a plain Go map under randomized insert/remove/lookup churn.
+func TestMSHRIndexMatchesMapModel(t *testing.T) {
+	const budget = 20
+	ix := newMSHRIndex(budget)
+	model := map[uint64]*mshrEntry{}
+	rng := rand.New(rand.NewSource(7))
+	var keys []uint64
+	for i := 0; i < 50000; i++ {
+		switch {
+		case len(keys) < budget && rng.Intn(2) == 0:
+			a := uint64(rng.Intn(1<<20)) * LineBytes
+			if _, dup := model[a]; dup {
+				continue
+			}
+			e := &mshrEntry{lineAddr: a}
+			ix.insert(a, e)
+			model[a] = e
+			keys = append(keys, a)
+		case len(keys) > 0 && rng.Intn(2) == 0:
+			j := rng.Intn(len(keys))
+			a := keys[j]
+			keys = append(keys[:j], keys[j+1:]...)
+			ix.remove(a)
+			delete(model, a)
+		default:
+			a := uint64(rng.Intn(1<<20)) * LineBytes
+			if got, want := ix.lookup(a), model[a]; got != want {
+				t.Fatalf("lookup(%#x) = %p, model %p", a, got, want)
+			}
+		}
+		if ix.len() != len(model) {
+			t.Fatalf("len = %d, model %d", ix.len(), len(model))
+		}
+	}
+}

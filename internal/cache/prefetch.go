@@ -1,5 +1,7 @@
 package cache
 
+import "math/bits"
+
 // Stride prefetcher (optional, off by default — the paper's Table I system
 // has none, and prefetching shifts the classification metrics MOCA relies
 // on; the prefetch ablation quantifies exactly that).
@@ -18,6 +20,11 @@ type PrefetchConfig struct {
 	Degree int
 	// TableSize bounds the number of tracked objects (default 32).
 	TableSize int
+	// FilterSize bounds the usefulness filter: the number of
+	// prefetched-but-not-yet-demanded line marks retained (default 1024).
+	// When full, the oldest marks are evicted clock-wise; an evicted mark
+	// only forfeits a Useful count, never correctness.
+	FilterSize int
 }
 
 func (c *PrefetchConfig) setDefaults() {
@@ -27,13 +34,17 @@ func (c *PrefetchConfig) setDefaults() {
 	if c.TableSize <= 0 {
 		c.TableSize = 32
 	}
+	if c.FilterSize <= 0 {
+		c.FilterSize = 1024
+	}
 }
 
 // PrefetchStats counts prefetcher activity.
 type PrefetchStats struct {
-	Issued uint64 // prefetch fetches sent to memory
-	Useful uint64 // prefetched lines later hit by demand accesses
-	Late   uint64 // demand arrived while the prefetch was in flight
+	Issued  uint64 // prefetch fetches sent to memory
+	Useful  uint64 // prefetched lines later hit by demand accesses
+	Late    uint64 // demand arrived while the prefetch was in flight
+	Evicted uint64 // stale usefulness marks dropped at the filter's cap
 }
 
 // Accuracy returns useful/issued (late prefetches excluded).
@@ -67,18 +78,21 @@ type prefetcher struct {
 	clock   uint64
 
 	// prefetched marks lines brought in by the prefetcher and not yet
-	// touched by demand (for usefulness accounting).
-	prefetched map[uint64]bool
+	// touched by demand (for usefulness accounting). Bounded: stale marks
+	// of lines demand never touched are evicted rather than accumulating
+	// for the length of the run.
+	prefetched pfFilter
 	stats      PrefetchStats
 }
 
 func newPrefetcher(cfg PrefetchConfig) *prefetcher {
 	cfg.setDefaults()
-	return &prefetcher{
-		cfg:        cfg,
-		entries:    make([]strideEntry, cfg.TableSize),
-		prefetched: make(map[uint64]bool),
+	p := &prefetcher{
+		cfg:     cfg,
+		entries: make([]strideEntry, cfg.TableSize),
 	}
+	p.prefetched.init(cfg.FilterSize)
+	return p
 }
 
 // observe updates stride detection with a demand access and returns the
@@ -138,18 +152,125 @@ func (p *prefetcher) lookup(obj uint64) *strideEntry {
 
 // markPrefetched records a line the prefetcher filled.
 func (p *prefetcher) markPrefetched(lineAddr uint64) {
-	p.prefetched[lineAddr] = true
+	if p.prefetched.insert(lineAddr) {
+		p.stats.Evicted++
+	}
 }
 
 // demandTouch accounts a demand access to a possibly-prefetched line.
 func (p *prefetcher) demandTouch(lineAddr uint64) {
-	if p.prefetched[lineAddr] {
+	if p.prefetched.remove(lineAddr) {
 		p.stats.Useful++
-		delete(p.prefetched, lineAddr)
 	}
 }
 
 // evicted forgets a line that left the cache before being used.
 func (p *prefetcher) evicted(lineAddr uint64) {
-	delete(p.prefetched, lineAddr)
+	p.prefetched.remove(lineAddr)
 }
+
+// pfFilter is a bounded open-addressed set of line addresses with
+// clock-hand eviction: when the filter is at capacity, the hand sweeps
+// the slot array and drops the next live mark (entries are never
+// re-referenced after insertion, so the sweep order approximates FIFO).
+// Deletion is backward-shift compaction — no tombstones, and the table
+// never grows, so a long run's memory stays at the configured cap.
+type pfSlot struct {
+	addr uint64
+	live bool
+}
+
+type pfFilter struct {
+	slots []pfSlot
+	shift uint
+	cap   int
+	n     int
+	hand  int
+}
+
+func (f *pfFilter) init(capacity int) {
+	size := 8
+	for size < capacity*2 {
+		size *= 2
+	}
+	f.slots = make([]pfSlot, size)
+	f.shift = 64 - uint(bits.TrailingZeros(uint(size)))
+	f.cap = capacity
+}
+
+func (f *pfFilter) hash(addr uint64) int {
+	return int((addr * 0x9E3779B97F4A7C15) >> f.shift)
+}
+
+// insert adds a mark, evicting the clock-hand victim when at capacity.
+// Reports whether an eviction happened.
+func (f *pfFilter) insert(addr uint64) (evicted bool) {
+	mask := len(f.slots) - 1
+	i := f.hash(addr)
+	for f.slots[i].live {
+		if f.slots[i].addr == addr {
+			return false // already marked
+		}
+		i = (i + 1) & mask
+	}
+	if f.n >= f.cap {
+		f.evictClock()
+		evicted = true
+		// The victim's removal may have compacted the probe chain; redo
+		// the probe for the insertion slot.
+		i = f.hash(addr)
+		for f.slots[i].live {
+			i = (i + 1) & mask
+		}
+	}
+	f.slots[i] = pfSlot{addr: addr, live: true}
+	f.n++
+	return evicted
+}
+
+// evictClock removes the first live mark at or after the hand.
+func (f *pfFilter) evictClock() {
+	mask := len(f.slots) - 1
+	for !f.slots[f.hand].live {
+		f.hand = (f.hand + 1) & mask
+	}
+	victim := f.slots[f.hand].addr
+	f.hand = (f.hand + 1) & mask
+	f.remove(victim)
+}
+
+// remove deletes a mark, reporting whether it was present. The probe
+// chain is compacted by shifting back displaced entries (Knuth 6.4 R).
+func (f *pfFilter) remove(addr uint64) bool {
+	mask := len(f.slots) - 1
+	i := f.hash(addr)
+	for {
+		if !f.slots[i].live {
+			return false
+		}
+		if f.slots[i].addr == addr {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	f.n--
+	for {
+		f.slots[i] = pfSlot{}
+		j := i
+		for {
+			j = (j + 1) & mask
+			if !f.slots[j].live {
+				return true
+			}
+			h := f.hash(f.slots[j].addr)
+			if (j > i && (h <= i || h > j)) || (j < i && h <= i && h > j) {
+				f.slots[i] = f.slots[j]
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// len returns the number of live marks (for tests).
+func (f *pfFilter) len() int { return f.n }

@@ -114,6 +114,158 @@ func TestPrefetcherLateCounting(t *testing.T) {
 	}
 }
 
+// TestPrefetchFilterBoundedOnStream is the regression test for the
+// formerly unbounded usefulness set: it only shrank on demand hits, so a
+// streaming workload whose prefetched lines were evicted unseen (or a very
+// long run) grew it without limit. The bounded filter must stay at its cap.
+func TestPrefetchFilterBoundedOnStream(t *testing.T) {
+	q := event.NewQueue()
+	be := &fakeBackend{q: q, latency: 10 * event.Nanosecond}
+	cfg := HierarchyConfig{
+		L1:       Config{SizeBytes: 1024, Ways: 2, LatencyCycles: 2, MSHRs: 4},
+		L2:       Config{SizeBytes: 8192, Ways: 4, LatencyCycles: 20, MSHRs: 8},
+		CPUCycle: event.Nanosecond,
+		Prefetch: PrefetchConfig{Enable: true, FilterSize: 16},
+	}
+	h, err := NewHierarchy(q, be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A region-hopping stream: four sequential accesses rebuild stride
+	// confidence and trigger a burst of prefetches, then demand jumps to
+	// the next region and never touches the prefetched lines — every
+	// region strands its marks while the lines stay L2-resident. Under
+	// the old map this set grew with the live footprint and leaked on
+	// shootdowns; now it must never exceed the cap.
+	for r := 0; r < 200; r++ {
+		base := uint64(r) << 24 // regions never overlap
+		for i := uint64(0); i < 4; i++ {
+			h.Access(base+i*LineBytes, 7, false, nil, 0)
+			q.Drain()
+		}
+		if n := h.pf.prefetched.len(); n > 16 {
+			t.Fatalf("region %d: filter grew to %d marks, cap 16", r, n)
+		}
+	}
+	st := h.PrefetchStats()
+	if st.Issued == 0 {
+		t.Fatal("stream issued no prefetches")
+	}
+	if st.Evicted == 0 {
+		t.Fatal("200 regions of stranded marks never hit the filter cap")
+	}
+	if n := h.pf.prefetched.len(); n != 16 {
+		t.Fatalf("steady-state filter has %d marks, want the cap of 16", n)
+	}
+}
+
+// TestPrefetchShootdownDropsMark: a page-migration shootdown removes the
+// line for good (the page moves to a different physical frame), so the
+// usefulness mark must be dropped with it rather than leaking.
+func TestPrefetchShootdownDropsMark(t *testing.T) {
+	q, _, h := prefetchHierarchy(t, true)
+	for i := uint64(0); i < 6; i++ {
+		h.Access(i*LineBytes, 7, false, nil, 0)
+		q.Drain()
+	}
+	if h.pf.prefetched.len() == 0 {
+		t.Skip("no marks outstanding in this pattern")
+	}
+	before := h.pf.prefetched.len()
+	var addr uint64
+	for i := range h.pf.prefetched.slots {
+		if h.pf.prefetched.slots[i].live {
+			addr = h.pf.prefetched.slots[i].addr
+			break
+		}
+	}
+	h.InvalidateLine(addr)
+	if h.pf.prefetched.len() != before-1 {
+		t.Fatalf("shootdown left %d marks, want %d", h.pf.prefetched.len(), before-1)
+	}
+}
+
+func TestPrefetchFilterSetSemantics(t *testing.T) {
+	var f pfFilter
+	f.init(8)
+	for i := uint64(0); i < 8; i++ {
+		if f.insert(i * LineBytes) {
+			t.Fatalf("insert %d evicted below cap", i)
+		}
+	}
+	if f.insert(3 * LineBytes) {
+		t.Fatal("re-inserting a present mark evicted")
+	}
+	if f.len() != 8 {
+		t.Fatalf("len = %d, want 8", f.len())
+	}
+	if !f.insert(100 * LineBytes) {
+		t.Fatal("insert at cap did not evict")
+	}
+	if f.len() != 8 {
+		t.Fatalf("len = %d after eviction, want 8", f.len())
+	}
+	if !f.remove(100 * LineBytes) {
+		t.Fatal("fresh mark not removable")
+	}
+	if f.remove(100 * LineBytes) {
+		t.Fatal("double remove reported present")
+	}
+}
+
+// TestPrefetchFilterMatchesMapModel churns the filter below its cap and
+// cross-checks membership against a Go map (collisions and backward-shift
+// deletion must preserve exact set semantics when no eviction happens).
+func TestPrefetchFilterMatchesMapModel(t *testing.T) {
+	var f pfFilter
+	f.init(256)
+	model := map[uint64]bool{}
+	var keys []uint64
+	rng := uint64(1)
+	next := func(n int) int { // xorshift: deterministic, no imports
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	for i := 0; i < 30000; i++ {
+		switch {
+		case len(keys) < 200 && next(2) == 0:
+			a := uint64(next(1<<16)) * LineBytes
+			if !model[a] {
+				f.insert(a)
+				model[a] = true
+				keys = append(keys, a)
+			}
+		case len(keys) > 0 && next(2) == 0:
+			j := next(len(keys))
+			a := keys[j]
+			keys = append(keys[:j], keys[j+1:]...)
+			if !f.remove(a) {
+				t.Fatalf("mark %#x missing on remove", a)
+			}
+			delete(model, a)
+		default:
+			a := uint64(next(1<<16)) * LineBytes
+			if f.remove(a) != model[a] {
+				t.Fatalf("membership of %#x diverged from model", a)
+			}
+			if model[a] {
+				delete(model, a)
+				for j, k := range keys {
+					if k == a {
+						keys = append(keys[:j], keys[j+1:]...)
+						break
+					}
+				}
+			}
+		}
+		if f.len() != len(model) {
+			t.Fatalf("len = %d, model %d", f.len(), len(model))
+		}
+	}
+}
+
 func TestPrefetchAccuracy(t *testing.T) {
 	s := PrefetchStats{Issued: 10, Useful: 5}
 	if s.Accuracy() != 0.5 {

@@ -250,25 +250,26 @@ func Merge(profiles []Profile, weights []float64) (Profile, error) {
 	}
 
 	th := profiles[0].Thresholds
-	type acc struct {
-		op           ObjectProfile
-		mpki, stall  float64
-		stallWeights float64
-	}
-	order := []heap.NameKey{}
-	accs := map[heap.NameKey]*acc{}
+	// Accumulation runs over a flat table in first-seen order, with a
+	// keyIndex resolving NameKey → table row. The index persists across
+	// the profile windows of the merge, so each window's objects cost one
+	// open-addressed probe each — no per-window map rebuild, and the
+	// output order is the deterministic insertion order.
+	var accs []mergeAcc
+	var idx keyIndex
+	idx.init(64)
 	var instr float64
 	for i, pr := range profiles {
 		w := weights[i] / wsum
 		instr += w * float64(pr.Instructions)
 		for _, o := range pr.Objects {
-			a, ok := accs[o.Key]
-			if !ok {
-				a = &acc{op: o}
+			row, fresh := idx.at(o.Key, len(accs))
+			if fresh {
+				accs = append(accs, mergeAcc{op: o})
+				a := &accs[row]
 				a.op.LLCMisses, a.op.MemLoads, a.op.StallCycles = 0, 0, 0
-				accs[o.Key] = a
-				order = append(order, o.Key)
 			}
+			a := &accs[row]
 			a.op.LLCMisses += o.LLCMisses
 			a.op.MemLoads += o.MemLoads
 			a.op.StallCycles += o.StallCycles
@@ -283,8 +284,8 @@ func Merge(profiles []Profile, weights []float64) (Profile, error) {
 		}
 	}
 	out := Profile{App: profiles[0].App, Instructions: uint64(instr), Thresholds: th}
-	for _, key := range order {
-		a := accs[key]
+	for i := range accs {
+		a := &accs[i]
 		a.op.MPKI = a.mpki
 		if a.stallWeights > 0 {
 			a.op.StallPerMiss = a.stall / a.stallWeights
@@ -296,4 +297,64 @@ func Merge(profiles []Profile, weights []float64) (Profile, error) {
 		return out.Objects[i].LLCMisses > out.Objects[j].LLCMisses
 	})
 	return out, nil
+}
+
+// mergeAcc is one row of Merge's flat accumulator table.
+type mergeAcc struct {
+	op           ObjectProfile
+	mpki, stall  float64
+	stallWeights float64
+}
+
+// keyIndex is a power-of-two, linear-probing open-addressed index from
+// NameKey to a dense row number. NameKeys are already well-mixed hashes
+// (heap.Allocator.KeyOf is FNV-based), so the index uses them directly.
+type keyIndex struct {
+	keys []heap.NameKey
+	rows []int32
+	used []bool
+	n    int
+}
+
+func (ix *keyIndex) init(size int) {
+	ix.keys = make([]heap.NameKey, size)
+	ix.rows = make([]int32, size)
+	ix.used = make([]bool, size)
+	ix.n = 0
+}
+
+// at returns the row for key, assigning `next` as a new row (fresh=true)
+// on first sight. Grows at ~75% load.
+func (ix *keyIndex) at(key heap.NameKey, next int) (row int, fresh bool) {
+	mask := len(ix.keys) - 1
+	i := int(uint64(key)) & mask
+	for ix.used[i] {
+		if ix.keys[i] == key {
+			return int(ix.rows[i]), false
+		}
+		i = (i + 1) & mask
+	}
+	ix.keys[i], ix.rows[i], ix.used[i] = key, int32(next), true
+	ix.n++
+	if ix.n*4 > len(ix.keys)*3 {
+		ix.grow()
+	}
+	return next, true
+}
+
+func (ix *keyIndex) grow() {
+	keys, rows, used := ix.keys, ix.rows, ix.used
+	ix.init(len(keys) * 2)
+	mask := len(ix.keys) - 1
+	for i := range keys {
+		if !used[i] {
+			continue
+		}
+		j := int(uint64(keys[i])) & mask
+		for ix.used[j] {
+			j = (j + 1) & mask
+		}
+		ix.keys[j], ix.rows[j], ix.used[j] = keys[i], rows[i], true
+		ix.n++
+	}
 }

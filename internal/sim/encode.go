@@ -10,7 +10,9 @@ import (
 // it. The experiment harness folds it into the salt of its persistent
 // result cache, so stale results from an older simulator are evicted
 // instead of silently reused.
-const BehaviorVersion = 1
+// v2: hashed set-associative TLB (hit/miss counts differ from the old
+// fully-associative LRU) and bounded prefetch usefulness filter.
+const BehaviorVersion = 2
 
 // resultWire adds the unexported energy accumulators to the wire format so
 // a Result survives a disk round-trip with MemEnergyJ/SystemEDP intact.

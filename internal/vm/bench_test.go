@@ -1,0 +1,101 @@
+package vm
+
+// Microbenchmarks for the per-access translation path, plus the CI alloc
+// smoke gates (same scheme as the repo-level throughput gate: measured
+// allocs/op may not regress more than 20% past the checked-in budget in
+// BENCH_throughput.json).
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// BenchmarkPageTable exercises the open-addressed page table at a steady
+// 64k-page working set: per op one hit lookup, one miss lookup, and every
+// 16th op a Remap — the per-simulated-access pattern, no growth.
+func BenchmarkPageTable(b *testing.B) {
+	const pages = 1 << 16
+	pt := NewPageTable()
+	for v := uint64(0); v < pages; v++ {
+		pt.Map(v, Frame{Module: int(v % 4), Number: v})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := uint64(i) & (pages - 1)
+		if _, ok := pt.Lookup(v); !ok {
+			b.Fatal("mapped page missed")
+		}
+		if _, ok := pt.Lookup(v + pages); ok {
+			b.Fatal("unmapped page hit")
+		}
+		if i&15 == 0 {
+			pt.Remap(v, Frame{Module: int(v+1) % 4, Number: v})
+		}
+	}
+}
+
+// BenchmarkTLB exercises the hashed set-associative TLB with the
+// translation loop's miss-then-insert pattern over a working set twice
+// the TLB's capacity (steady mix of hits, misses, and evictions).
+func BenchmarkTLB(b *testing.B) {
+	tlb := NewTLB(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := uint64(i) & 127
+		if _, ok := tlb.Lookup(v); !ok {
+			tlb.Insert(v, Frame{Number: v})
+		}
+	}
+}
+
+// readMicroBudget loads one entry of BENCH_throughput.json's "micro"
+// section (the per-microbenchmark allocs/op trajectory).
+func readMicroBudget(t *testing.T, path, name string) int64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		Micro map[string]struct {
+			AllocsPerOp int64 `json:"allocs_per_op"`
+		} `json:"micro"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	m, ok := f.Micro[name]
+	if !ok {
+		t.Fatalf("%s has no micro entry %q", path, name)
+	}
+	return m.AllocsPerOp
+}
+
+// checkMicroAllocBudget runs a microbenchmark for one iteration batch and
+// fails on a >20% allocs/op regression past the checked-in budget.
+func checkMicroAllocBudget(t *testing.T, path, name string, bench func(*testing.B)) {
+	t.Helper()
+	if os.Getenv("MOCA_BENCH_SMOKE") == "" {
+		t.Skip("set MOCA_BENCH_SMOKE=1 to run the bench smoke")
+	}
+	budget := readMicroBudget(t, path, name)
+	budget += budget / 5
+	res := testing.Benchmark(bench)
+	allocs := res.AllocsPerOp()
+	t.Logf("%s: %d allocs/op, budget %d", name, allocs, budget)
+	if allocs > budget {
+		t.Fatalf("%s allocation regression: %d allocs/op exceeds budget %d; if intentional, update the micro entry in BENCH_throughput.json",
+			name, allocs, budget)
+	}
+}
+
+func TestPageTableAllocBudget(t *testing.T) {
+	checkMicroAllocBudget(t, "../../BENCH_throughput.json", "BenchmarkPageTable", BenchmarkPageTable)
+}
+
+func TestTLBAllocBudget(t *testing.T) {
+	checkMicroAllocBudget(t, "../../BENCH_throughput.json", "BenchmarkTLB", BenchmarkTLB)
+}

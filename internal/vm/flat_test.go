@@ -1,0 +1,261 @@
+package vm
+
+// Adversarial tests for the open-addressed page table and the hashed
+// set-associative TLB: hash collisions, growth across the resize
+// boundary, Remap-in-place, and the per-module resident counters.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// collidingVPages returns n distinct vpages whose home slots all equal
+// the home slot of the first, at the table's current size.
+func collidingVPages(pt *PageTable, n int) []uint64 {
+	out := []uint64{1}
+	home := pt.hash(1)
+	for v := uint64(2); len(out) < n; v++ {
+		if pt.hash(v) == home {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestPageTableCollidingVPages(t *testing.T) {
+	pt := NewPageTable()
+	vpages := collidingVPages(pt, 8)
+	for i, v := range vpages {
+		pt.Map(v, Frame{Module: i % 3, Number: uint64(i)})
+	}
+	for i, v := range vpages {
+		f, ok := pt.Lookup(v)
+		if !ok || f.Number != uint64(i) || f.Module != i%3 {
+			t.Fatalf("colliding vpage %#x: lookup = %+v,%v, want number %d", v, f, ok, i)
+		}
+	}
+	// A missing vpage on the same probe chain must stay a miss.
+	probe := vpages[len(vpages)-1] + 1
+	for pt.hash(probe) != pt.hash(vpages[0]) {
+		probe++
+	}
+	if _, ok := pt.Lookup(probe); ok {
+		t.Fatalf("unmapped colliding vpage %#x reported mapped", probe)
+	}
+}
+
+func TestPageTableGrowthAcrossResize(t *testing.T) {
+	pt := NewPageTable()
+	// Push well past several resize boundaries (64 → 128 → ... → 4096).
+	const n = 3000
+	for v := uint64(0); v < n; v++ {
+		pt.Map(v*31, Frame{Module: int(v % 4), Number: v})
+	}
+	if pt.Mapped() != n {
+		t.Fatalf("Mapped = %d, want %d", pt.Mapped(), n)
+	}
+	if len(pt.slots) < n*4/3 {
+		t.Fatalf("load factor above 75%%: %d mappings in %d slots", n, len(pt.slots))
+	}
+	for v := uint64(0); v < n; v++ {
+		f, ok := pt.Lookup(v * 31)
+		if !ok || f.Number != v {
+			t.Fatalf("after growth, vpage %#x = %+v,%v", v*31, f, ok)
+		}
+	}
+	if _, ok := pt.Lookup(n*31 + 1); ok {
+		t.Fatal("unmapped vpage reported mapped after growth")
+	}
+}
+
+func TestPageTableRemapInPlace(t *testing.T) {
+	pt := NewPageTable()
+	vpages := collidingVPages(pt, 4)
+	for i, v := range vpages {
+		pt.Map(v, Frame{Module: 0, Number: uint64(i)})
+	}
+	before := len(pt.slots)
+	// Remap every page repeatedly: the table must not grow (updates in
+	// place, no tombstones or reinsertion) and chains stay intact.
+	for round := 0; round < 50; round++ {
+		for i, v := range vpages {
+			old := pt.Remap(v, Frame{Module: 1, Number: uint64(100 + round + i)})
+			if round == 0 && old.Number != uint64(i) {
+				t.Fatalf("remap of %#x returned old frame %+v, want number %d", v, old, i)
+			}
+		}
+	}
+	if len(pt.slots) != before {
+		t.Fatalf("table grew on remaps: %d → %d slots", before, len(pt.slots))
+	}
+	if pt.Mapped() != len(vpages) {
+		t.Fatalf("Mapped = %d after remaps, want %d", pt.Mapped(), len(vpages))
+	}
+	for _, v := range vpages {
+		if f, ok := pt.Lookup(v); !ok || f.Module != 1 {
+			t.Fatalf("post-remap lookup of %#x = %+v,%v", v, f, ok)
+		}
+	}
+}
+
+func TestPageTableDoubleMapPanics(t *testing.T) {
+	pt := NewPageTable()
+	pt.Map(7, Frame{})
+	defer func() {
+		if recover() == nil {
+			t.Error("double Map did not panic")
+		}
+	}()
+	pt.Map(7, Frame{Module: 1})
+}
+
+func TestPageTableRemapUnmappedPanics(t *testing.T) {
+	pt := NewPageTable()
+	pt.Map(1, Frame{})
+	defer func() {
+		if recover() == nil {
+			t.Error("Remap of unmapped vpage did not panic")
+		}
+	}()
+	pt.Remap(2, Frame{})
+}
+
+func TestResidentCountersAcrossMapRemap(t *testing.T) {
+	pt := NewPageTable()
+	for v := uint64(0); v < 30; v++ {
+		pt.Map(v, Frame{Module: int(v % 3), Number: v})
+	}
+	if got := pt.Resident(0); got != 10 {
+		t.Errorf("Resident(0) = %d, want 10", got)
+	}
+	// Migrate every module-2 page to module 1.
+	for v := uint64(0); v < 30; v++ {
+		if v%3 == 2 {
+			pt.Remap(v, Frame{Module: 1, Number: 1000 + v})
+		}
+	}
+	if got := pt.Resident(2); got != 0 {
+		t.Errorf("Resident(2) = %d after migration, want 0", got)
+	}
+	if got := pt.Resident(1); got != 20 {
+		t.Errorf("Resident(1) = %d after migration, want 20", got)
+	}
+	// The census map must agree with the counters and omit empty modules.
+	census := pt.ResidentByModule()
+	if len(census) != 2 || census[0] != 10 || census[1] != 20 {
+		t.Errorf("ResidentByModule = %v, want map[0:10 1:20]", census)
+	}
+	if pt.Resident(-1) != 0 || pt.Resident(99) != 0 {
+		t.Error("out-of-range Resident not zero")
+	}
+}
+
+// TestPageTableMatchesMapModel cross-checks the open-addressed table
+// against a plain Go map under a randomized Map/Remap/Lookup workload.
+func TestPageTableMatchesMapModel(t *testing.T) {
+	pt := NewPageTable()
+	model := map[uint64]Frame{}
+	rng := rand.New(rand.NewSource(42))
+	var keys []uint64
+	for i := 0; i < 20000; i++ {
+		switch {
+		case len(keys) == 0 || rng.Intn(3) > 0:
+			v := rng.Uint64() >> rng.Intn(40) // mix dense and sparse vpages
+			if _, dup := model[v]; dup {
+				continue
+			}
+			f := Frame{Module: rng.Intn(4), Number: rng.Uint64()}
+			pt.Map(v, f)
+			model[v] = f
+			keys = append(keys, v)
+		case rng.Intn(2) == 0:
+			v := keys[rng.Intn(len(keys))]
+			f := Frame{Module: rng.Intn(4), Number: rng.Uint64()}
+			if old := pt.Remap(v, f); old != model[v] {
+				t.Fatalf("Remap(%#x) returned %+v, model has %+v", v, old, model[v])
+			}
+			model[v] = f
+		default:
+			v := keys[rng.Intn(len(keys))]
+			f, ok := pt.Lookup(v)
+			if !ok || f != model[v] {
+				t.Fatalf("Lookup(%#x) = %+v,%v, model has %+v", v, f, ok, model[v])
+			}
+		}
+	}
+	if pt.Mapped() != len(model) {
+		t.Fatalf("Mapped = %d, model has %d", pt.Mapped(), len(model))
+	}
+	want := map[int]int{}
+	for _, f := range model {
+		want[f.Module]++
+	}
+	got := pt.ResidentByModule()
+	for m, n := range want {
+		if got[m] != n {
+			t.Fatalf("Resident census %v, model %v", got, want)
+		}
+	}
+}
+
+func TestTLBSetConflictEviction(t *testing.T) {
+	tlb := NewTLB(64) // 16 sets × 4 ways
+	if tlb.sets != 16 || tlb.ways != 4 {
+		t.Fatalf("geometry = %d sets × %d ways, want 16×4", tlb.sets, tlb.ways)
+	}
+	// Five pages that index the same set must evict within that set only.
+	set0 := []uint64{}
+	for v := uint64(0); len(set0) < 5; v++ {
+		if tlb.setOf(v) == tlb.setOf(0) {
+			set0 = append(set0, v)
+		}
+	}
+	other := uint64(0)
+	for tlb.setOf(other) == tlb.setOf(set0[0]) {
+		other++
+	}
+	tlb.Insert(other, Frame{Number: 777})
+	for i, v := range set0 {
+		tlb.Insert(v, Frame{Number: uint64(i)})
+	}
+	// The set's LRU (first inserted, never touched) is gone; the rest hit.
+	if _, ok := tlb.Lookup(set0[0]); ok {
+		t.Error("set-LRU entry survived a 5th insert into a 4-way set")
+	}
+	for _, v := range set0[1:] {
+		if _, ok := tlb.Lookup(v); !ok {
+			t.Errorf("entry %#x missing from its set", v)
+		}
+	}
+	// A different set is untouched by the conflict.
+	if _, ok := tlb.Lookup(other); !ok {
+		t.Error("conflict in one set evicted an entry from another")
+	}
+}
+
+func TestTLBSetIndexSpreadsStrides(t *testing.T) {
+	tlb := NewTLB(64)
+	// Pages strided by the set count would all land on one set under a
+	// pure low-bits index; the XOR fold must spread them.
+	counts := map[int]int{}
+	for i := uint64(0); i < 64; i++ {
+		counts[tlb.setOf(i*uint64(tlb.sets))]++
+	}
+	if len(counts) < 2 {
+		t.Fatalf("stride-%d pages all mapped to one set", tlb.sets)
+	}
+}
+
+func TestTLBInvalidateProbesOneSet(t *testing.T) {
+	tlb := NewTLB(64)
+	tlb.Insert(5, Frame{Number: 5})
+	if !tlb.Invalidate(5) {
+		t.Error("present entry not invalidated")
+	}
+	if tlb.Invalidate(5) {
+		t.Error("absent entry reported invalidated")
+	}
+	if _, ok := tlb.Lookup(5); ok {
+		t.Error("invalidated entry still present")
+	}
+}

@@ -8,6 +8,7 @@ package vm
 
 import (
 	"fmt"
+	"math/bits"
 
 	"moca/internal/mem"
 )
@@ -107,15 +108,72 @@ type Frame struct {
 	Number uint64
 }
 
-// PageTable maps one process's virtual pages to physical frames.
-type PageTable struct {
-	pages map[uint64]Frame
-	walks uint64
+// ptSlot is one open-addressed page-table slot. vpage 0 is a legal key, so
+// occupancy is an explicit flag rather than a sentinel value.
+type ptSlot struct {
+	vpage uint64
+	frame Frame
+	used  bool
 }
+
+// PageTable maps one process's virtual pages to physical frames. The
+// store is a power-of-two, linear-probing open-addressed table: Lookup is
+// once-per-simulated-access, so it must not pay Go-map hashing. The table
+// is tombstone-free by construction — translations are only ever installed
+// (Map) or updated in place (Remap), never removed — so probe chains never
+// degrade and no deletion logic exists.
+type PageTable struct {
+	slots    []ptSlot
+	mapped   int
+	shift    uint // hash produces the top log2(len(slots)) bits
+	walks    uint64
+	resident []int // mapped pages per module ID, maintained on Map/Remap
+}
+
+// ptMinSlots is the initial table size (power of two).
+const ptMinSlots = 64
 
 // NewPageTable returns an empty page table.
 func NewPageTable() *PageTable {
-	return &PageTable{pages: make(map[uint64]Frame)}
+	pt := &PageTable{}
+	pt.init(ptMinSlots)
+	return pt
+}
+
+func (pt *PageTable) init(size int) {
+	pt.slots = make([]ptSlot, size)
+	pt.shift = 64 - uint(bits.TrailingZeros(uint(size)))
+}
+
+// hash spreads vpage bits with a Fibonacci multiplicative hash and keeps
+// the top bits, which a power-of-two mask would otherwise discard —
+// sequential and strided vpages land on distinct home slots.
+func (pt *PageTable) hash(vpage uint64) int {
+	return int((vpage * 0x9E3779B97F4A7C15) >> pt.shift)
+}
+
+// find returns the slot index holding vpage, or the first empty slot of
+// its probe chain when absent.
+func (pt *PageTable) find(vpage uint64) int {
+	mask := len(pt.slots) - 1
+	i := pt.hash(vpage)
+	for pt.slots[i].used && pt.slots[i].vpage != vpage {
+		i = (i + 1) & mask
+	}
+	return i
+}
+
+// grow doubles the table once load passes ~75%, rehashing every live
+// translation (no tombstones exist to skip).
+func (pt *PageTable) grow() {
+	old := pt.slots
+	pt.init(len(pt.slots) * 2)
+	for i := range old {
+		if old[i].used {
+			j := pt.find(old[i].vpage)
+			pt.slots[j] = old[i]
+		}
+	}
 }
 
 // Lookup finds the frame backing a virtual page. Every call models a page
@@ -123,42 +181,77 @@ func NewPageTable() *PageTable {
 // by the caller if modeled).
 func (pt *PageTable) Lookup(vpage uint64) (Frame, bool) {
 	pt.walks++
-	f, ok := pt.pages[vpage]
-	return f, ok
+	i := pt.find(vpage)
+	if !pt.slots[i].used {
+		return Frame{}, false
+	}
+	return pt.slots[i].frame, true
 }
 
 // Map installs a translation. Remapping a mapped page panics: the
 // simulator never swaps implicitly — migration uses Remap.
 func (pt *PageTable) Map(vpage uint64, f Frame) {
-	if _, dup := pt.pages[vpage]; dup {
+	i := pt.find(vpage)
+	if pt.slots[i].used {
 		panic(fmt.Sprintf("vm: remap of vpage %#x", vpage))
 	}
-	pt.pages[vpage] = f
+	pt.slots[i] = ptSlot{vpage: vpage, frame: f, used: true}
+	pt.mapped++
+	pt.countResident(f.Module, 1)
+	if pt.mapped*4 > len(pt.slots)*3 {
+		pt.grow()
+	}
 }
 
 // Remap moves an existing translation to a new frame (page migration) and
-// returns the old frame. Remapping an unmapped page panics.
+// returns the old frame. The slot is updated in place — the key set never
+// shrinks, which is what keeps the table tombstone-free. Remapping an
+// unmapped page panics.
 func (pt *PageTable) Remap(vpage uint64, f Frame) Frame {
-	old, ok := pt.pages[vpage]
-	if !ok {
+	i := pt.find(vpage)
+	if !pt.slots[i].used {
 		panic(fmt.Sprintf("vm: remap of unmapped vpage %#x", vpage))
 	}
-	pt.pages[vpage] = f
+	old := pt.slots[i].frame
+	pt.slots[i].frame = f
+	pt.countResident(old.Module, -1)
+	pt.countResident(f.Module, 1)
 	return old
 }
 
+func (pt *PageTable) countResident(module, delta int) {
+	for len(pt.resident) <= module {
+		pt.resident = append(pt.resident, 0)
+	}
+	pt.resident[module] += delta
+}
+
 // Mapped returns the number of installed translations.
-func (pt *PageTable) Mapped() int { return len(pt.pages) }
+func (pt *PageTable) Mapped() int { return pt.mapped }
 
 // Walks returns the number of Lookup calls.
 func (pt *PageTable) Walks() uint64 { return pt.walks }
 
-// ResidentByModule counts this process's mapped pages per module ID,
-// the per-process placement census used in experiment reporting.
+// Resident returns the number of this process's pages mapped on one
+// module, from counters maintained on Map/Remap — no table walk.
+func (pt *PageTable) Resident(module int) int {
+	if module < 0 || module >= len(pt.resident) {
+		return 0
+	}
+	return pt.resident[module]
+}
+
+// ResidentByModule counts this process's mapped pages per module ID, the
+// per-process placement census used in experiment reporting. The map is
+// built from the maintained counters (O(modules), not O(mappings)); only
+// modules with at least one resident page appear, matching the historical
+// walk-the-table behavior.
 func (pt *PageTable) ResidentByModule() map[int]int {
 	out := make(map[int]int)
-	for _, f := range pt.pages {
-		out[f.Module]++
+	for module, n := range pt.resident {
+		if n > 0 {
+			out[module] = n
+		}
 	}
 	return out
 }
