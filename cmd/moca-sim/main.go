@@ -22,11 +22,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 
 	"moca"
 	"moca/internal/exp"
+	"moca/internal/mem"
 	"moca/internal/profile"
 )
 
@@ -334,8 +336,14 @@ func report(res *moca.Result) error {
 	fmt.Printf("system EDP:         %.3e\n", res.SystemEDP())
 	fmt.Println()
 	fmt.Println("page placement (pages per module kind):")
-	for kind, n := range res.PagesOnKind() {
-		fmt.Printf("  %-8v %6d\n", kind, n)
+	pages := res.PagesOnKind()
+	kinds := make([]mem.Kind, 0, len(pages))
+	for kind := range pages {
+		kinds = append(kinds, kind)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, kind := range kinds {
+		fmt.Printf("  %-8v %6d\n", kind, pages[kind])
 	}
 	if res.OS.FallbackPages > 0 {
 		fmt.Printf("  (%d pages fell back past their first-choice module)\n", res.OS.FallbackPages)

@@ -1,0 +1,121 @@
+// Command moca-vet runs the repo's custom determinism and hot-path
+// analyzers (internal/lint) over the given package patterns — a
+// multichecker in the spirit of golang.org/x/tools, built on the stdlib
+// type-checker so it works in this dependency-free module.
+//
+// Usage:
+//
+//	moca-vet [packages]                 # run all analyzers (default ./...)
+//	moca-vet -fingerprint [packages]    # only the behaviorversion check
+//	moca-vet -fingerprint -update       # re-record the schema fingerprint
+//
+// Analyzers:
+//
+//	maporder         no unordered map iteration in deterministic packages
+//	walltime         no wall-clock/global-rand/env reads in the sim core
+//	hotalloc         no closures, fmt, or boxing in //moca:hotpath funcs
+//	behaviorversion  cache-visible schema changes bump sim.BehaviorVersion
+//
+// Exit status is 1 when any analyzer reports a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"moca/internal/lint"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	fingerprint := flag.Bool("fingerprint", false,
+		"run only the behaviorversion fingerprint check")
+	update := flag.Bool("update", false,
+		"with -fingerprint: re-record the checked-in schema fingerprint")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: moca-vet [-fingerprint [-update]] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *update && !*fingerprint {
+		fmt.Fprintln(os.Stderr, "moca-vet: -update requires -fingerprint")
+		return 2
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moca-vet:", err)
+		return 2
+	}
+
+	if *fingerprint {
+		return runFingerprint(pkgs, *update)
+	}
+
+	findings, err := lint.RunAnalyzers(pkgs, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moca-vet:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "moca-vet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// runFingerprint checks (or, with update, re-records) the schema
+// fingerprint of every loaded package that declares a behavior-versioned
+// schema (a Result type plus a BehaviorVersion constant).
+func runFingerprint(pkgs []*lint.Package, update bool) int {
+	checked := 0
+	bad := 0
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		if scope.Lookup("Result") == nil || scope.Lookup("BehaviorVersion") == nil {
+			continue
+		}
+		checked++
+		fp, err := lint.ComputeFingerprint(pkg.Types, pkg.ModulePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "moca-vet:", err)
+			return 2
+		}
+		path := filepath.Join(pkg.Dir, lint.FingerprintRelPath)
+		if update {
+			if err := lint.UpdateFingerprintFile(fp, path); err != nil {
+				fmt.Fprintln(os.Stderr, "moca-vet:", err)
+				return 2
+			}
+			fmt.Printf("moca-vet: recorded %s (behavior_version %d, schema %s)\n",
+				path, fp.Version, fp.Hash()[:12])
+			continue
+		}
+		for _, d := range lint.CheckFingerprintFile(fp, path) {
+			bad++
+			fmt.Printf("%s: behaviorversion: %s\n", pkg.ImportPath, d.Message)
+			if d.Fix != "" {
+				fmt.Printf("\tfix: %s\n", d.Fix)
+			}
+		}
+	}
+	if checked == 0 {
+		fmt.Fprintln(os.Stderr, "moca-vet: no behavior-versioned package in the given patterns")
+		return 2
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}

@@ -11,8 +11,10 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"moca"
+	"moca/internal/mem"
 )
 
 func main() {
@@ -60,7 +62,13 @@ func main() {
 		speedup*100, edpGain*100)
 
 	fmt.Println("\npage placement under MOCA:")
-	for kind, pages := range resMoca.PagesOnKind() {
-		fmt.Printf("  %-8v %5d pages\n", kind, pages)
+	byKind := resMoca.PagesOnKind()
+	kinds := make([]mem.Kind, 0, len(byKind))
+	for kind := range byKind {
+		kinds = append(kinds, kind)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, kind := range kinds {
+		fmt.Printf("  %-8v %5d pages\n", kind, byKind[kind])
 	}
 }

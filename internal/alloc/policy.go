@@ -112,6 +112,7 @@ func NewAppLevel(modules []ModuleInfo, chains map[classify.Class][]mem.Kind) *Ap
 		chains = DefaultChains()
 	}
 	expanded := make(map[classify.Class][]int, len(chains))
+	//moca:unordered builds a per-class map; each key is written independently
 	for c, kinds := range chains {
 		expanded[c] = ExpandChain(modules, kinds)
 	}
@@ -137,6 +138,7 @@ func NewMOCA(modules []ModuleInfo, chains map[classify.Class][]mem.Kind) *MOCA {
 		chains = DefaultChains()
 	}
 	expanded := make(map[classify.Class][]int, len(chains))
+	//moca:unordered builds a per-class map; each key is written independently
 	for c, kinds := range chains {
 		expanded[c] = ExpandChain(modules, kinds)
 	}
@@ -254,6 +256,7 @@ func (o *OS) Policy() Policy { return o.policy }
 func (o *OS) Stats() Stats {
 	cp := o.stats
 	cp.PagesByModule = make(map[int]uint64, len(o.stats.PagesByModule))
+	//moca:unordered map-to-map copy; no order-sensitive effects
 	for k, v := range o.stats.PagesByModule {
 		cp.PagesByModule[k] = v
 	}

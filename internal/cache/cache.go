@@ -104,16 +104,19 @@ func (c *Cache) Stats() Stats { return c.stats }
 // carries into the measured region, as in Gem5 stat resets).
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+//moca:hotpath
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
 	l := addr >> lineShift
 	return int(l & c.setMask), l >> uint(log2(c.sets))
 }
 
+//moca:hotpath
 func (c *Cache) slot(set, way int) *line { return &c.lines[set*c.cfg.Ways+way] }
 
 // Lookup accesses the cache. On a hit it updates recency (and the dirty bit
 // for writes) and returns true. On a miss it returns false and changes
 // nothing; the caller decides whether and when to Fill.
+//moca:hotpath
 func (c *Cache) Lookup(addr uint64, write bool) bool {
 	c.stats.Accesses++
 	set, tag := c.index(addr)
@@ -134,6 +137,7 @@ func (c *Cache) Lookup(addr uint64, write bool) bool {
 }
 
 // Probe reports whether addr is present without perturbing state or stats.
+//moca:hotpath
 func (c *Cache) Probe(addr uint64) bool {
 	set, tag := c.index(addr)
 	for w := 0; w < c.cfg.Ways; w++ {
@@ -155,6 +159,7 @@ type Victim struct {
 // Fill inserts the line containing addr, evicting the LRU way if the set is
 // full, and returns the displaced line (if any). If the line is already
 // present, Fill only updates recency/dirtiness.
+//moca:hotpath
 func (c *Cache) Fill(addr uint64, dirty bool) Victim {
 	set, tag := c.index(addr)
 	for w := 0; w < c.cfg.Ways; w++ {
@@ -197,6 +202,7 @@ func (c *Cache) Fill(addr uint64, dirty bool) Victim {
 
 // Invalidate removes the line containing addr and reports whether the
 // removed copy was dirty (for inclusive back-invalidation flushes).
+//moca:hotpath
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	set, tag := c.index(addr)
 	for w := 0; w < c.cfg.Ways; w++ {
@@ -212,6 +218,7 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 
 // SetDirty marks an already-present line dirty (used when a dirty L1 line
 // is written back into L2 on eviction). Reports whether the line was found.
+//moca:hotpath
 func (c *Cache) SetDirty(addr uint64) bool {
 	set, tag := c.index(addr)
 	for w := 0; w < c.cfg.Ways; w++ {

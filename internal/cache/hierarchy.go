@@ -231,6 +231,7 @@ const (
 )
 
 // OnEvent dispatches the hierarchy's pooled events (event.Handler).
+//moca:hotpath
 func (h *Hierarchy) OnEvent(now event.Time, op int32, i64 int64, p any) {
 	switch op {
 	case hopDeliverL1:
@@ -248,12 +249,14 @@ func (h *Hierarchy) OnEvent(now event.Time, op int32, i64 int64, p any) {
 
 // MemDone receives line completions from the backend (mem.DoneSink); the
 // token is the line address, which names the MSHR entry.
+//moca:hotpath
 func (h *Hierarchy) MemDone(token uint64, at event.Time) {
 	if e := h.mshrs.lookup(token); e != nil {
 		h.onFill(e, at)
 	}
 }
 
+//moca:hotpath
 func (h *Hierarchy) getMSHR() *mshrEntry {
 	if n := len(h.freeMSHR); n > 0 {
 		e := h.freeMSHR[n-1]
@@ -263,6 +266,7 @@ func (h *Hierarchy) getMSHR() *mshrEntry {
 	return &mshrEntry{}
 }
 
+//moca:hotpath
 func (h *Hierarchy) putMSHR(e *mshrEntry) {
 	*e = mshrEntry{waiters: e.waiters[:0]}
 	h.freeMSHR = append(h.freeMSHR, e)
@@ -272,6 +276,7 @@ func (h *Hierarchy) putMSHR(e *mshrEntry) {
 // address on behalf of memory object obj. sink, if non-nil, receives the
 // completion (with the given token) and the level that satisfied it. Stores
 // are posted: callers typically pass sink=nil and never stall on them.
+//moca:hotpath
 func (h *Hierarchy) Access(addr uint64, obj uint64, write bool, sink AccessSink, token uint64) {
 	lineAddr := LineAddr(addr)
 	cycle := h.cfg.CPUCycle
@@ -347,6 +352,7 @@ func (h *Hierarchy) Access(addr uint64, obj uint64, write bool, sink AccessSink,
 // occupy the last few MSHRs, so demand loads are never starved by a burst
 // of posted stores (the read-over-write priority every real memory system
 // applies).
+//moca:hotpath
 func (h *Hierarchy) mshrLimit(write bool) int {
 	limit := h.cfg.L2.MSHRs
 	if write {
@@ -361,6 +367,7 @@ func (h *Hierarchy) mshrLimit(write bool) int {
 	return limit
 }
 
+//moca:hotpath
 func (h *Hierarchy) allocateMSHR(m pendingMiss) {
 	e := h.getMSHR()
 	e.lineAddr, e.dirty, e.obj = m.lineAddr, m.write, m.obj
@@ -381,6 +388,7 @@ func (h *Hierarchy) allocateMSHR(m pendingMiss) {
 	h.q.PostAfter(delay, h, hopSubmit, 0, e)
 }
 
+//moca:hotpath
 func (h *Hierarchy) submit(e *mshrEntry) {
 	if e.submitted {
 		return
@@ -398,6 +406,7 @@ func (h *Hierarchy) submit(e *mshrEntry) {
 	e.submitted = true
 }
 
+//moca:hotpath
 func (h *Hierarchy) pumpSubmissions() {
 	for len(h.subQ) > 0 {
 		e := h.subQ[0]
@@ -413,6 +422,7 @@ func (h *Hierarchy) pumpSubmissions() {
 // issuePrefetch speculatively fetches a line into the L2. Prefetches never
 // queue: they are dropped when the line is resident or in flight, or when
 // the MSHR file lacks spare capacity beyond a small demand reserve.
+//moca:hotpath
 func (h *Hierarchy) issuePrefetch(lineAddr uint64, obj uint64) {
 	if h.l2.Probe(lineAddr) || h.l1.Probe(lineAddr) {
 		return
@@ -433,6 +443,7 @@ func (h *Hierarchy) issuePrefetch(lineAddr uint64, obj uint64) {
 
 // onFill handles a returning memory line: fill L2 then L1 (maintaining
 // inclusion), wake waiters, free the MSHR, and admit stalled misses.
+//moca:hotpath
 func (h *Hierarchy) onFill(e *mshrEntry, at event.Time) {
 	if v := h.l2.Fill(e.lineAddr, false); v.Valid {
 		// Inclusion: remove the victim from L1; a dirty copy at either
@@ -469,6 +480,7 @@ func (h *Hierarchy) onFill(e *mshrEntry, at event.Time) {
 // admitWaiting admits misses stalled on the MSHR file, loads before stores
 // (read priority). A stalled miss may target a line that just became
 // present or in-flight again; re-run the full access path.
+//moca:hotpath
 func (h *Hierarchy) admitWaiting() {
 	for len(h.waiting) > 0 {
 		idx := -1
@@ -492,6 +504,7 @@ func (h *Hierarchy) admitWaiting() {
 
 // reAccess re-executes a previously stalled miss without recounting cache
 // lookup stats (the miss was already counted when it first accessed).
+//moca:hotpath
 func (h *Hierarchy) reAccess(m pendingMiss) {
 	if h.l2.Probe(m.lineAddr) {
 		h.fillL1(m.lineAddr, m.write)
@@ -516,6 +529,7 @@ func (h *Hierarchy) reAccess(m pendingMiss) {
 
 // fillL1 inserts a line into L1; a displaced dirty line merges into its L2
 // copy (guaranteed present by inclusion).
+//moca:hotpath
 func (h *Hierarchy) fillL1(lineAddr uint64, dirty bool) {
 	if v := h.l1.Fill(lineAddr, dirty); v.Valid && v.Dirty {
 		if !h.l2.SetDirty(v.Addr) {
@@ -525,6 +539,7 @@ func (h *Hierarchy) fillL1(lineAddr uint64, dirty bool) {
 	}
 }
 
+//moca:hotpath
 func (h *Hierarchy) queueWriteback(lineAddr uint64) {
 	h.stats.Writebacks++
 	if h.obsWriteback != nil {
@@ -534,6 +549,7 @@ func (h *Hierarchy) queueWriteback(lineAddr uint64) {
 	h.pumpWritebacks()
 }
 
+//moca:hotpath
 func (h *Hierarchy) pumpWritebacks() {
 	for len(h.wbQ) > 0 {
 		addr := h.wbQ[0]
@@ -565,6 +581,7 @@ func (h *Hierarchy) InvalidateLine(lineAddr uint64) (present, dirty bool) {
 }
 
 // armRetry schedules a pump of backpressured work a few cycles out.
+//moca:hotpath
 func (h *Hierarchy) armRetry() {
 	if h.retryArmed {
 		return

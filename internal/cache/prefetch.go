@@ -97,6 +97,7 @@ func newPrefetcher(cfg PrefetchConfig) *prefetcher {
 
 // observe updates stride detection with a demand access and returns the
 // line addresses to prefetch (nil most of the time).
+//moca:hotpath
 func (p *prefetcher) observe(obj uint64, lineAddr uint64) []uint64 {
 	e := p.lookup(obj)
 	p.clock++
@@ -135,6 +136,7 @@ func (p *prefetcher) observe(obj uint64, lineAddr uint64) []uint64 {
 	return out
 }
 
+//moca:hotpath
 func (p *prefetcher) lookup(obj uint64) *strideEntry {
 	victim := 0
 	var oldest uint64 = ^uint64(0)
@@ -151,6 +153,7 @@ func (p *prefetcher) lookup(obj uint64) *strideEntry {
 }
 
 // markPrefetched records a line the prefetcher filled.
+//moca:hotpath
 func (p *prefetcher) markPrefetched(lineAddr uint64) {
 	if p.prefetched.insert(lineAddr) {
 		p.stats.Evicted++
@@ -158,6 +161,7 @@ func (p *prefetcher) markPrefetched(lineAddr uint64) {
 }
 
 // demandTouch accounts a demand access to a possibly-prefetched line.
+//moca:hotpath
 func (p *prefetcher) demandTouch(lineAddr uint64) {
 	if p.prefetched.remove(lineAddr) {
 		p.stats.Useful++
@@ -165,6 +169,7 @@ func (p *prefetcher) demandTouch(lineAddr uint64) {
 }
 
 // evicted forgets a line that left the cache before being used.
+//moca:hotpath
 func (p *prefetcher) evicted(lineAddr uint64) {
 	p.prefetched.remove(lineAddr)
 }
@@ -198,12 +203,14 @@ func (f *pfFilter) init(capacity int) {
 	f.cap = capacity
 }
 
+//moca:hotpath
 func (f *pfFilter) hash(addr uint64) int {
 	return int((addr * 0x9E3779B97F4A7C15) >> f.shift)
 }
 
 // insert adds a mark, evicting the clock-hand victim when at capacity.
 // Reports whether an eviction happened.
+//moca:hotpath
 func (f *pfFilter) insert(addr uint64) (evicted bool) {
 	mask := len(f.slots) - 1
 	i := f.hash(addr)
@@ -229,6 +236,7 @@ func (f *pfFilter) insert(addr uint64) (evicted bool) {
 }
 
 // evictClock removes the first live mark at or after the hand.
+//moca:hotpath
 func (f *pfFilter) evictClock() {
 	mask := len(f.slots) - 1
 	for !f.slots[f.hand].live {
@@ -241,6 +249,7 @@ func (f *pfFilter) evictClock() {
 
 // remove deletes a mark, reporting whether it was present. The probe
 // chain is compacted by shifting back displaced entries (Knuth 6.4 R).
+//moca:hotpath
 func (f *pfFilter) remove(addr uint64) bool {
 	mask := len(f.slots) - 1
 	i := f.hash(addr)

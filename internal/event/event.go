@@ -115,6 +115,7 @@ func (q *Queue) Len() int { return len(q.heap) }
 // virtual ticks accounted through Credit; wake events are excluded.
 func (q *Queue) Executed() uint64 { return q.runs }
 
+//moca:hotpath
 func (q *Queue) alloc() int32 {
 	if n := len(q.free); n > 0 {
 		i := q.free[n-1]
@@ -125,6 +126,7 @@ func (q *Queue) alloc() int32 {
 	return int32(len(q.pool) - 1)
 }
 
+//moca:hotpath
 func (q *Queue) releaseRec(i int32) {
 	r := &q.pool[i]
 	r.h, r.p = nil, nil
@@ -136,6 +138,7 @@ func (q *Queue) releaseRec(i int32) {
 // Post enqueues a pooled event for Handler h at the given absolute time.
 // Scheduling in the past is a simulator bug; it panics rather than silently
 // reordering time. Post performs no allocation when p is pointer-shaped.
+//moca:hotpath
 func (q *Queue) Post(at Time, h Handler, op int32, i64 int64, p any) {
 	if at < q.now {
 		panic("event: scheduled in the past")
@@ -153,6 +156,7 @@ func (q *Queue) Post(at Time, h Handler, op int32, i64 int64, p any) {
 }
 
 // PostAfter enqueues a pooled event delay picoseconds after the current time.
+//moca:hotpath
 func (q *Queue) PostAfter(delay Time, h Handler, op int32, i64 int64, p any) {
 	q.Post(q.now+delay, h, op, i64, p)
 }
@@ -176,6 +180,7 @@ func (q *Queue) After(delay Time, fn Func) { q.Schedule(q.now+delay, fn) }
 //     polled event would have been scheduled (at minus one device clock,
 //     floored at the chain's arming time);
 //   - they can be pulled earlier in place through the returned Handle.
+//moca:hotpath
 func (q *Queue) ScheduleWake(at, s Time, h Handler, op int32) Handle {
 	if at < q.now {
 		panic("event: wake scheduled in the past")
@@ -194,6 +199,7 @@ func (q *Queue) ScheduleWake(at, s Time, h Handler, op int32) Handle {
 
 // RescheduleWake moves a pending wake to a new time, keeping its arming
 // order. It panics if the handle's wake already fired (stale handle).
+//moca:hotpath
 func (q *Queue) RescheduleWake(hd Handle, at, s Time) {
 	if at < q.now {
 		panic("event: wake rescheduled into the past")
@@ -214,6 +220,7 @@ func (q *Queue) RescheduleWake(hd Handle, at, s Time) {
 // Credit accounts for virtual events: device-clock ticks a component proved
 // it could skip. They count exactly as if they had been scheduled and
 // executed, keeping the observability counters identical to a polling model.
+//moca:hotpath
 func (q *Queue) Credit(scheduled, executed uint64) {
 	q.runs += executed
 	if q.obsScheduled != nil {
@@ -224,6 +231,7 @@ func (q *Queue) Credit(scheduled, executed uint64) {
 
 // NextTime returns the timestamp of the earliest pending event and true, or
 // (0, false) if the queue is empty.
+//moca:hotpath
 func (q *Queue) NextTime() (Time, bool) {
 	if len(q.heap) == 0 {
 		return 0, false
@@ -233,6 +241,7 @@ func (q *Queue) NextTime() (Time, bool) {
 
 // RunOne executes the earliest pending event, advancing Now to its
 // timestamp. It reports whether an event was executed.
+//moca:hotpath
 func (q *Queue) RunOne() bool {
 	if len(q.heap) == 0 {
 		return false
@@ -256,6 +265,7 @@ func (q *Queue) RunOne() bool {
 // RunUntil executes every event with timestamp <= t (including events those
 // events schedule, if they also fall within t) and then advances Now to t.
 // It returns the number of events executed.
+//moca:hotpath
 func (q *Queue) RunUntil(t Time) int {
 	n := 0
 	for len(q.heap) > 0 && q.pool[q.heap[0]].at <= t {
@@ -283,6 +293,7 @@ func (q *Queue) Drain() int {
 
 // less orders the heap: time first, then normal events before wakes, then
 // FIFO by schedule order (wakes: virtual schedule time, then arming order).
+//moca:hotpath
 func (q *Queue) less(a, b int32) bool {
 	ra, rb := &q.pool[a], &q.pool[b]
 	if ra.at != rb.at {
@@ -297,6 +308,7 @@ func (q *Queue) less(a, b int32) bool {
 	return ra.ord < rb.ord
 }
 
+//moca:hotpath
 func (q *Queue) push(i int32) {
 	q.heap = append(q.heap, i)
 	pos := len(q.heap) - 1
@@ -304,6 +316,7 @@ func (q *Queue) push(i int32) {
 	q.up(pos)
 }
 
+//moca:hotpath
 func (q *Queue) popMin() {
 	last := len(q.heap) - 1
 	moved := q.heap[last]
@@ -317,6 +330,7 @@ func (q *Queue) popMin() {
 
 // up sifts the element at heap position i toward the root; it reports
 // whether the element moved.
+//moca:hotpath
 func (q *Queue) up(i int) bool {
 	moved := false
 	for i > 0 {
@@ -331,6 +345,7 @@ func (q *Queue) up(i int) bool {
 	return moved
 }
 
+//moca:hotpath
 func (q *Queue) down(i int) {
 	n := len(q.heap)
 	for {
@@ -353,6 +368,7 @@ func (q *Queue) down(i int) {
 	}
 }
 
+//moca:hotpath
 func (q *Queue) swap(i, j int) {
 	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
 	q.pool[q.heap[i]].pos = int32(i)

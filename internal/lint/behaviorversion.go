@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/constant"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// BehaviorVersion guards the persistent run cache's soundness. The cache
+// keys results by (config, procs, windows) and salts the store with
+// sim.BehaviorVersion, so any change to the cache-visible result schema —
+// the field graph reachable from sim.Result — that lands without a
+// version bump silently revalidates stale cached results. The analyzer
+// fingerprints that schema into a checked-in file
+// (testdata/schema.fingerprint next to the package) and fails when the
+// schema and the recorded fingerprint disagree:
+//
+//   - schema changed, version unchanged → bump sim.BehaviorVersion;
+//   - schema or version changed, bump present → regenerate the file with
+//     `moca-vet -fingerprint -update` (the golden `-update` convention).
+//
+// The fingerprint file stores the full canonical schema text, so a diff
+// of the file in review shows exactly which fields moved.
+var BehaviorVersion = &Analyzer{
+	Name: "behaviorversion",
+	Doc:  "checks that cache-visible schema changes bump sim.BehaviorVersion",
+	Run:  runBehaviorVersion,
+}
+
+// fingerprintRoot and fingerprintVersionConst name the schema root type
+// and the version constant the analyzer looks for.
+const (
+	fingerprintRoot         = "Result"
+	fingerprintVersionConst = "BehaviorVersion"
+)
+
+// FingerprintRelPath is where the fingerprint lives, relative to the
+// fingerprinted package's directory.
+var FingerprintRelPath = filepath.Join("testdata", "schema.fingerprint")
+
+func runBehaviorVersion(pass *Pass) error {
+	scope := pass.Pkg.Scope()
+	if scope.Lookup(fingerprintRoot) == nil || scope.Lookup(fingerprintVersionConst) == nil {
+		return nil // not a behavior-versioned package
+	}
+	fp, err := ComputeFingerprint(pass.Pkg, pass.ModulePath)
+	if err != nil {
+		return err
+	}
+	pos := scope.Lookup(fingerprintRoot).Pos()
+	path := filepath.Join(pass.Dir, FingerprintRelPath)
+	for _, d := range CheckFingerprintFile(fp, path) {
+		d.Pos = pos
+		pass.Report(d)
+	}
+	return nil
+}
+
+// Fingerprint is the recorded identity of a cache-visible schema.
+type Fingerprint struct {
+	// Version is the package's BehaviorVersion constant.
+	Version int64
+	// Schema is the canonical textual rendering of the type graph
+	// reachable from the root type.
+	Schema string
+}
+
+// Hash returns the hex SHA-256 of the canonical schema text.
+func (f Fingerprint) Hash() string {
+	sum := sha256.Sum256([]byte(f.Schema))
+	return hex.EncodeToString(sum[:])
+}
+
+// ComputeFingerprint renders the schema reachable from pkg's Result type
+// and reads its BehaviorVersion constant. Named types belonging to
+// modulePath expand structurally (in first-visit order, fields in
+// declaration order, struct tags included since the cache stores JSON);
+// foreign named types appear by qualified name only.
+func ComputeFingerprint(pkg *types.Package, modulePath string) (Fingerprint, error) {
+	root := pkg.Scope().Lookup(fingerprintRoot)
+	if root == nil {
+		return Fingerprint{}, fmt.Errorf("lint: %s has no %s type", pkg.Path(), fingerprintRoot)
+	}
+	vc, ok := pkg.Scope().Lookup(fingerprintVersionConst).(*types.Const)
+	if !ok {
+		return Fingerprint{}, fmt.Errorf("lint: %s has no %s constant", pkg.Path(), fingerprintVersionConst)
+	}
+	version, ok := constant.Int64Val(constant.ToInt(vc.Val()))
+	if !ok {
+		return Fingerprint{}, fmt.Errorf("lint: %s.%s is not an integer", pkg.Path(), fingerprintVersionConst)
+	}
+	sw := &schemaWriter{
+		module:  modulePath,
+		seen:    make(map[*types.TypeName]bool),
+		pending: []*types.TypeName{},
+	}
+	rootName, ok := root.Type().(*types.Named)
+	if !ok {
+		return Fingerprint{}, fmt.Errorf("lint: %s.%s is not a named type", pkg.Path(), fingerprintRoot)
+	}
+	sw.enqueue(rootName.Obj())
+	var b strings.Builder
+	for len(sw.pending) > 0 {
+		tn := sw.pending[0]
+		sw.pending = sw.pending[1:]
+		fmt.Fprintf(&b, "%s = %s\n", qualifiedName(tn), sw.describe(tn.Type().Underlying()))
+	}
+	return Fingerprint{Version: version, Schema: b.String()}, nil
+}
+
+// schemaWriter walks the type graph breadth-first so the rendering is
+// deterministic and every local named type appears exactly once.
+type schemaWriter struct {
+	module  string
+	seen    map[*types.TypeName]bool
+	pending []*types.TypeName
+}
+
+func qualifiedName(tn *types.TypeName) string {
+	if tn.Pkg() == nil {
+		return tn.Name()
+	}
+	return tn.Pkg().Path() + "." + tn.Name()
+}
+
+// local reports whether the named type belongs to the fingerprinted
+// module and should expand structurally.
+func (sw *schemaWriter) local(tn *types.TypeName) bool {
+	if tn.Pkg() == nil {
+		return false
+	}
+	p := tn.Pkg().Path()
+	return p == sw.module || strings.HasPrefix(p, sw.module+"/")
+}
+
+func (sw *schemaWriter) enqueue(tn *types.TypeName) {
+	if !sw.seen[tn] && sw.local(tn) {
+		sw.seen[tn] = true
+		sw.pending = append(sw.pending, tn)
+	}
+}
+
+// describe renders a type reference, enqueueing local named types for
+// their own top-level expansion.
+func (sw *schemaWriter) describe(t types.Type) string {
+	switch t := t.(type) {
+	case *types.Named:
+		sw.enqueue(t.Obj())
+		return qualifiedName(t.Obj())
+	case *types.Alias:
+		return sw.describe(types.Unalias(t))
+	case *types.Basic:
+		return t.Name()
+	case *types.Pointer:
+		return "*" + sw.describe(t.Elem())
+	case *types.Slice:
+		return "[]" + sw.describe(t.Elem())
+	case *types.Array:
+		return fmt.Sprintf("[%d]%s", t.Len(), sw.describe(t.Elem()))
+	case *types.Map:
+		return "map[" + sw.describe(t.Key()) + "]" + sw.describe(t.Elem())
+	case *types.Chan:
+		return "chan " + sw.describe(t.Elem())
+	case *types.Struct:
+		var b strings.Builder
+		b.WriteString("struct{")
+		for i := 0; i < t.NumFields(); i++ {
+			f := t.Field(i)
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			if f.Embedded() {
+				b.WriteString(sw.describe(f.Type()))
+			} else {
+				b.WriteString(f.Name())
+				b.WriteByte(' ')
+				b.WriteString(sw.describe(f.Type()))
+			}
+			if tag := t.Tag(i); tag != "" {
+				b.WriteByte(' ')
+				b.WriteString(strconv.Quote(tag))
+			}
+		}
+		b.WriteString("}")
+		return b.String()
+	case *types.Interface:
+		// Method sets are behavior, not wire schema; record arity only.
+		return fmt.Sprintf("interface{%d methods}", t.NumMethods())
+	case *types.Signature:
+		return "func"
+	default:
+		return t.String()
+	}
+}
+
+// fingerprint file format:
+//
+//	moca-vet schema fingerprint v1
+//	behavior_version: 2
+//	schema_sha256: <hex>
+//
+//	<canonical schema text>
+const fingerprintHeader = "moca-vet schema fingerprint v1"
+
+// FormatFingerprintFile renders the on-disk form.
+func FormatFingerprintFile(fp Fingerprint) []byte {
+	return []byte(fmt.Sprintf("%s\nbehavior_version: %d\nschema_sha256: %s\n\n%s",
+		fingerprintHeader, fp.Version, fp.Hash(), fp.Schema))
+}
+
+// ParseFingerprintFile reads a recorded fingerprint. The recorded hash is
+// verified against the recorded schema text so a hand-edited file is
+// rejected rather than trusted.
+func ParseFingerprintFile(data []byte) (Fingerprint, error) {
+	s := string(data)
+	lines := strings.SplitN(s, "\n", 4)
+	if len(lines) != 4 || lines[0] != fingerprintHeader {
+		return Fingerprint{}, fmt.Errorf("lint: malformed fingerprint file (bad header)")
+	}
+	var fp Fingerprint
+	if _, err := fmt.Sscanf(lines[1], "behavior_version: %d", &fp.Version); err != nil {
+		return Fingerprint{}, fmt.Errorf("lint: malformed fingerprint file: %w", err)
+	}
+	var hash string
+	if _, err := fmt.Sscanf(lines[2], "schema_sha256: %s", &hash); err != nil {
+		return Fingerprint{}, fmt.Errorf("lint: malformed fingerprint file: %w", err)
+	}
+	fp.Schema = strings.TrimPrefix(lines[3], "\n")
+	if fp.Hash() != hash {
+		return Fingerprint{}, fmt.Errorf("lint: fingerprint file hash does not match its schema text (hand-edited?); regenerate with moca-vet -fingerprint -update")
+	}
+	return fp, nil
+}
+
+// CheckFingerprintFile compares a computed fingerprint against the
+// recorded file and returns the resulting diagnostics (positions unset;
+// the caller anchors them).
+func CheckFingerprintFile(got Fingerprint, path string) []Diagnostic {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return []Diagnostic{{
+			Message: "no schema fingerprint recorded at " + path,
+			Fix:     "run `moca-vet -fingerprint -update` to record the current schema",
+		}}
+	}
+	if err != nil {
+		return []Diagnostic{{Message: "reading schema fingerprint: " + err.Error()}}
+	}
+	rec, err := ParseFingerprintFile(data)
+	if err != nil {
+		return []Diagnostic{{Message: err.Error(),
+			Fix: "run `moca-vet -fingerprint -update` to record the current schema"}}
+	}
+	switch {
+	case got.Schema == rec.Schema && got.Version == rec.Version:
+		return nil
+	case got.Schema != rec.Schema && got.Version == rec.Version:
+		return []Diagnostic{{
+			Message: fmt.Sprintf(
+				"cache-visible result schema changed without a %s bump (still %d): stale cached results would be silently reused\nschema diff:\n%s",
+				fingerprintVersionConst, got.Version, schemaDiff(rec.Schema, got.Schema)),
+			Fix: fmt.Sprintf("bump %s and run `moca-vet -fingerprint -update`", fingerprintVersionConst),
+		}}
+	default:
+		// Version moved (with or without a schema change): the bump is
+		// there, the recording is just stale.
+		return []Diagnostic{{
+			Message: fmt.Sprintf("schema fingerprint is stale (recorded version %d, current %d)",
+				rec.Version, got.Version),
+			Fix: "run `moca-vet -fingerprint -update` to refresh the recording",
+		}}
+	}
+}
+
+// UpdateFingerprintFile writes the fingerprint, creating the testdata
+// directory as needed.
+func UpdateFingerprintFile(fp Fingerprint, path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, FormatFingerprintFile(fp), 0o644)
+}
+
+// schemaDiff renders a minimal line diff (lines only in one side) so the
+// failure message names the moved fields without a diff tool.
+func schemaDiff(old, new string) string {
+	oldSet := make(map[string]bool)
+	for _, l := range strings.Split(old, "\n") {
+		oldSet[l] = true
+	}
+	newSet := make(map[string]bool)
+	for _, l := range strings.Split(new, "\n") {
+		newSet[l] = true
+	}
+	var out []string
+	for _, l := range strings.Split(old, "\n") {
+		if l != "" && !newSet[l] {
+			out = append(out, "- "+l)
+		}
+	}
+	var added []string
+	for _, l := range strings.Split(new, "\n") {
+		if l != "" && !oldSet[l] {
+			added = append(added, "+ "+l)
+		}
+	}
+	out = append(out, added...)
+	if len(out) == 0 {
+		return "(line-level diff empty; whitespace or ordering change)"
+	}
+	return strings.Join(out, "\n")
+}

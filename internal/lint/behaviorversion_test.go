@@ -1,0 +1,153 @@
+package lint_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"moca/internal/lint"
+	"moca/internal/lint/linttest"
+)
+
+var update = flag.Bool("update", false,
+	"rewrite the checked-in behaviorversion testdata fingerprint")
+
+// loadVariant type-checks testdata/src/behaviorversion/<dir> under the
+// SAME import path for every variant, so the three schemas differ only by
+// their deliberate edits (not by package qualification).
+func loadVariant(t *testing.T, dir string) lint.Fingerprint {
+	t.Helper()
+	pkg, err := lint.LoadDir(filepath.Join("testdata", "src", "behaviorversion", dir),
+		"behaviorversion/sim", "behaviorversion/sim")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	fp, err := lint.ComputeFingerprint(pkg.Types, pkg.ModulePath)
+	if err != nil {
+		t.Fatalf("fingerprinting %s: %v", dir, err)
+	}
+	return fp
+}
+
+// record writes fp to a fresh temp fingerprint file and returns the path.
+func record(t *testing.T, fp lint.Fingerprint) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), lint.FingerprintRelPath)
+	if err := lint.UpdateFingerprintFile(fp, path); err != nil {
+		t.Fatalf("recording fingerprint: %v", err)
+	}
+	return path
+}
+
+// TestBehaviorVersionCleanPass runs the analyzer end-to-end over a
+// package whose checked-in fingerprint matches: zero diagnostics. The
+// recording regenerates with `go test ./internal/lint -run BehaviorVersion -update`.
+func TestBehaviorVersionCleanPass(t *testing.T) {
+	if *update {
+		fp := loadVariant(t, "sim")
+		path := filepath.Join("testdata", "src", "behaviorversion", "sim", lint.FingerprintRelPath)
+		if err := lint.UpdateFingerprintFile(fp, path); err != nil {
+			t.Fatalf("updating %s: %v", path, err)
+		}
+	}
+	linttest.AnalysisTest(t, lint.BehaviorVersion, "testdata", "behaviorversion/sim")
+}
+
+// TestBehaviorVersionSchemaEditWithoutBump is the analyzer's reason to
+// exist: a synthetic cache-visible schema edit with an unchanged
+// BehaviorVersion must fail the check and name the moved field.
+func TestBehaviorVersionSchemaEditWithoutBump(t *testing.T) {
+	path := record(t, loadVariant(t, "sim"))
+	diags := lint.CheckFingerprintFile(loadVariant(t, "simedit"), path)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "without a BehaviorVersion bump") {
+		t.Errorf("message %q does not name the missing bump", diags[0].Message)
+	}
+	if !strings.Contains(diags[0].Message, "EnergyJ") {
+		t.Errorf("message %q does not show the edited field in the schema diff", diags[0].Message)
+	}
+	if !strings.Contains(diags[0].Fix, "bump BehaviorVersion") {
+		t.Errorf("fix %q does not suggest the bump", diags[0].Fix)
+	}
+}
+
+// TestBehaviorVersionStaleAfterBump checks the happy upgrade path: once
+// the version IS bumped the only complaint is a stale recording, and
+// -update (UpdateFingerprintFile) clears it.
+func TestBehaviorVersionStaleAfterBump(t *testing.T) {
+	path := record(t, loadVariant(t, "sim"))
+	bumped := loadVariant(t, "simbumped")
+	diags := lint.CheckFingerprintFile(bumped, path)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "stale") {
+		t.Fatalf("got %v, want one stale-recording diagnostic", diags)
+	}
+	if !strings.Contains(diags[0].Message, "recorded version 2, current 3") {
+		t.Errorf("message %q does not show both versions", diags[0].Message)
+	}
+	if err := lint.UpdateFingerprintFile(bumped, path); err != nil {
+		t.Fatalf("refreshing recording: %v", err)
+	}
+	if diags := lint.CheckFingerprintFile(bumped, path); len(diags) != 0 {
+		t.Errorf("after -update, got %v, want clean", diags)
+	}
+}
+
+// TestBehaviorVersionMissingRecording: a behavior-versioned package with
+// no checked-in fingerprint is itself a finding.
+func TestBehaviorVersionMissingRecording(t *testing.T) {
+	path := filepath.Join(t.TempDir(), lint.FingerprintRelPath)
+	diags := lint.CheckFingerprintFile(loadVariant(t, "sim"), path)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "no schema fingerprint recorded") {
+		t.Fatalf("got %v, want one missing-recording diagnostic", diags)
+	}
+}
+
+// TestBehaviorVersionRejectsHandEdit: the recorded hash covers the
+// recorded schema text, so editing the file by hand (instead of running
+// -update) is detected rather than trusted.
+func TestBehaviorVersionRejectsHandEdit(t *testing.T) {
+	fp := loadVariant(t, "sim")
+	tampered := strings.Replace(string(lint.FormatFingerprintFile(fp)), "Cycles", "Cyclez", 1)
+	if _, err := lint.ParseFingerprintFile([]byte(tampered)); err == nil ||
+		!strings.Contains(err.Error(), "hand-edited") {
+		t.Fatalf("got %v, want hand-edit rejection", err)
+	}
+}
+
+// TestRepoFingerprintCurrent pins the real thing: the checked-in
+// fingerprint for moca/internal/sim must match the schema as compiled.
+// If this fails after an intentional schema change, bump sim.BehaviorVersion
+// (when the cache-visible meaning changed) and run
+// `go run ./cmd/moca-vet -fingerprint -update ./internal/sim`.
+func TestRepoFingerprintCurrent(t *testing.T) {
+	pkgs, err := lint.Load(filepath.Join("..", ".."), "./internal/sim")
+	if err != nil {
+		t.Fatalf("loading moca/internal/sim: %v", err)
+	}
+	checked := false
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		if scope.Lookup("Result") == nil || scope.Lookup("BehaviorVersion") == nil {
+			continue
+		}
+		checked = true
+		fp, err := lint.ComputeFingerprint(pkg.Types, pkg.ModulePath)
+		if err != nil {
+			t.Fatalf("fingerprinting %s: %v", pkg.ImportPath, err)
+		}
+		path := filepath.Join(pkg.Dir, lint.FingerprintRelPath)
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("checked-in fingerprint missing: %v", err)
+		}
+		for _, d := range lint.CheckFingerprintFile(fp, path) {
+			t.Errorf("%s: %s\n\tfix: %s", pkg.ImportPath, d.Message, d.Fix)
+		}
+	}
+	if !checked {
+		t.Fatal("no behavior-versioned package found under ./internal/sim")
+	}
+}

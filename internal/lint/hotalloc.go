@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc statically locks in the allocation-free design of functions
+// annotated `//moca:hotpath` (the event queue, controller wakeups, and the
+// page-table/TLB/MSHR paths). The bench smoke gates catch allocation
+// regressions after the fact; this analyzer catches the three idioms that
+// cause them at review time:
+//
+//   - function literals: a closure per event/callback is exactly what the
+//     pooled (op, i64, p) payload API was built to avoid;
+//   - fmt calls: every fmt call allocates (interface boxing of arguments
+//     plus the formatted result);
+//   - interface boxing: implicitly converting a non-pointer-shaped value
+//     (int, struct, string, slice) to an interface allocates; converting a
+//     pointer, func, map, or chan does not, which is why Post's `p any`
+//     payload is free for pointer-shaped values.
+//
+// Code inside a panic(...) argument is exempt — a firing panic is off the
+// hot path by definition. Individual lines are suppressed with
+// `//moca:allowalloc <reason>`.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags closures, fmt calls, and interface boxing in //moca:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !hasDirective(fd.Doc, DirectiveHotPath) {
+				continue
+			}
+			hc := &hotChecker{pass: pass, file: f, fn: fd}
+			ast.Inspect(fd.Body, hc.visit)
+		}
+	}
+	return nil
+}
+
+type hotChecker struct {
+	pass *Pass
+	file *ast.File
+	fn   *ast.FuncDecl
+}
+
+func (hc *hotChecker) report(pos token.Pos, msg, fix string) {
+	if hc.pass.checkSuppressed(hc.file, pos, DirectiveAllowAlloc) {
+		return
+	}
+	hc.pass.Report(Diagnostic{
+		Pos:     pos,
+		Message: msg + " in " + DirectiveHotPath + " function " + hc.fn.Name.Name,
+		Fix:     fix,
+	})
+}
+
+func (hc *hotChecker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		hc.report(n.Pos(),
+			"function literal (closure) allocates",
+			"use the pooled event payload (op, i64, p) or a method value on an "+
+				"existing object; see the event.Handler pattern")
+		return false // the literal's body has its own (cold) life
+
+	case *ast.CallExpr:
+		return hc.visitCall(n)
+
+	case *ast.ReturnStmt:
+		if obj := hc.pass.TypesInfo.Defs[hc.fn.Name]; obj != nil && hc.fn.Type.Results != nil {
+			sig, ok := obj.Type().(*types.Signature)
+			if ok && sig.Results().Len() == len(n.Results) {
+				for i, expr := range n.Results {
+					hc.checkBox(expr, sig.Results().At(i).Type(), "returned")
+				}
+			}
+		}
+
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				lt := hc.pass.TypesInfo.TypeOf(lhs)
+				if lt != nil {
+					hc.checkBox(n.Rhs[i], lt, "assigned")
+				}
+			}
+		}
+
+	case *ast.ValueSpec:
+		if n.Type != nil {
+			dt := hc.pass.TypesInfo.TypeOf(n.Type)
+			if dt != nil {
+				for _, v := range n.Values {
+					hc.checkBox(v, dt, "assigned")
+				}
+			}
+		}
+	}
+	return true
+}
+
+// visitCall handles fmt calls, panic exemption, and argument boxing. It
+// returns false when the subtree should not be descended into.
+func (hc *hotChecker) visitCall(call *ast.CallExpr) bool {
+	info := hc.pass.TypesInfo
+
+	// panic(...) arguments are cold: the box/format only happens when the
+	// simulator is already dying.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return b.Name() != "panic"
+		}
+	}
+
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if pkgPath, name, ok := pkgFuncOf(info, sel); ok && pkgPath == "fmt" {
+			hc.report(call.Pos(),
+				"call to fmt."+name+" allocates",
+				"move formatting off the hot path, or precompute the string; "+
+					"panic(fmt.Sprintf(...)) is already exempt")
+			return true
+		}
+	}
+
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	if tv.IsType() {
+		// Explicit conversion T(x): boxing if T is an interface.
+		if len(call.Args) == 1 {
+			hc.checkBox(call.Args[0], tv.Type, "converted")
+		}
+		return true
+	}
+	if tv.IsBuiltin() {
+		return true
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return true
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through unboxed
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		hc.checkBox(arg, pt, "passed")
+	}
+	return true
+}
+
+// checkBox reports when expr (a concrete, non-pointer-shaped value) is
+// implicitly converted to an interface-typed destination.
+func (hc *hotChecker) checkBox(expr ast.Expr, dst types.Type, how string) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := hc.pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	src := tv.Type
+	if types.IsInterface(src) {
+		return // interface→interface re-uses the existing box
+	}
+	if b, ok := src.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if pointerShaped(src) {
+		return
+	}
+	hc.report(expr.Pos(),
+		how+" value boxes "+src.String()+" into "+dst.String()+", which allocates",
+		"pass a pointer-shaped payload (pointer, func, map, chan) or widen the "+
+			"callee's parameters to concrete types")
+}
+
+// pointerShaped reports whether converting a value of type t to an
+// interface stores the value directly in the interface word without
+// allocating: pointers, unsafe pointers, funcs, maps, and chans.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Signature, *types.Map, *types.Chan:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

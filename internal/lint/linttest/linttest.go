@@ -1,0 +1,159 @@
+// Package linttest is the moca-vet analogue of golang.org/x/tools'
+// analysistest: it runs one analyzer over a testdata package and checks
+// its diagnostics against `// want` comments.
+package linttest
+
+import (
+	"path/filepath"
+
+	"moca/internal/lint"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// AnalysisTest mirrors golang.org/x/tools' analysistest convention: it
+// loads testdata/src/<pkgdir> as one package (the synthetic import path is
+// pkgdir itself, so a directory named ".../sim" lands in the deterministic
+// set) and checks the analyzer's diagnostics against `// want` comments.
+//
+// A `// want "re"` comment expects one diagnostic on its line whose
+// message matches the regexp; several expectations stack as
+// `// want "re1" "re2"`. A `// wantfix "re"` comment additionally
+// requires the matched diagnostic's suggested fix to match. Diagnostics
+// on lines with no expectation, and expectations with no diagnostic, fail
+// the test.
+func AnalysisTest(t *testing.T, a *lint.Analyzer, testdataDir, pkgdir string) {
+	t.Helper()
+	dir := filepath.Join(testdataDir, "src", filepath.FromSlash(pkgdir))
+	pkg, err := lint.LoadDir(dir, pkgdir, pkgdir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	findings, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type expectation struct {
+		file    string
+		line    int
+		re      *regexp.Regexp
+		matched bool
+	}
+	var msgWants, fixWants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				text := c.Text
+				// The fix marker may trail the want marker on the same
+				// comment, so cut each segment at the next marker.
+				wantIdx := strings.Index(text, "// want ")
+				fixIdx := strings.Index(text, "// wantfix ")
+				if wantIdx >= 0 {
+					seg := text[wantIdx+len("// want "):]
+					if fixIdx > wantIdx {
+						seg = text[wantIdx+len("// want ") : fixIdx]
+					}
+					for _, pat := range splitQuoted(t, pos.String(), seg) {
+						msgWants = append(msgWants, &expectation{
+							file: pos.Filename, line: pos.Line, re: mustCompile(t, pos.String(), pat),
+						})
+					}
+				}
+				if fixIdx >= 0 {
+					for _, pat := range splitQuoted(t, pos.String(), text[fixIdx+len("// wantfix "):]) {
+						fixWants = append(fixWants, &expectation{
+							file: pos.Filename, line: pos.Line, re: mustCompile(t, pos.String(), pat),
+						})
+					}
+				}
+			}
+		}
+	}
+
+	// Every diagnostic must consume exactly one message expectation on its
+	// line, and every fix expectation must match some diagnostic's
+	// suggested fix on its line (non-consuming: one diagnostic may satisfy
+	// both a want and a wantfix).
+	for _, f := range findings {
+		matched := false
+		for _, w := range msgWants {
+			if w.matched || w.file != f.Position.Filename || w.line != f.Position.Line {
+				continue
+			}
+			if !w.re.MatchString(f.Message) {
+				continue
+			}
+			w.matched = true
+			matched = true
+			break
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic:\n%s", f)
+		}
+		for _, w := range fixWants {
+			if w.file == f.Position.Filename && w.line == f.Position.Line && w.re.MatchString(f.Fix) {
+				w.matched = true
+			}
+		}
+	}
+	for _, w := range msgWants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+	for _, w := range fixWants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic whose fix matches %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func mustCompile(t *testing.T, pos, pat string) *regexp.Regexp {
+	t.Helper()
+	re, err := regexp.Compile(pat)
+	if err != nil {
+		t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+	}
+	return re
+}
+
+// splitQuoted parses the sequence of Go-quoted strings after a want
+// marker: `"re1" "re2"`.
+func splitQuoted(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			t.Fatalf("%s: malformed want expectation near %q", pos, s)
+		}
+		end := 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			t.Fatalf("%s: unterminated want pattern %q", pos, s)
+		}
+		pat, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, s[:end+1], err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want marker with no patterns", pos)
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	ModulePath string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	Module     *struct{ Path string }
+}
+
+// goList runs `go list -export -json -deps` over the patterns from dir and
+// decodes the JSON stream. -export makes the go tool emit compiler export
+// data for every listed package, which is what lets the loader type-check
+// without golang.org/x/tools: imports resolve through the same export
+// files the compiler itself would read.
+func goList(dir string, patterns []string) ([]*listEntry, error) {
+	args := []string{
+		"list", "-export",
+		"-json=ImportPath,Dir,Standard,DepOnly,Export,GoFiles,Module",
+		"-deps",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %w\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var entries []*listEntry
+	for {
+		e := new(listEntry)
+		if err := dec.Decode(e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// exportLookup adapts a path→export-file map into the lookup function the
+// stdlib gc importer accepts.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// newInfo allocates the types.Info maps the analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// Load parses and type-checks the packages matched by the patterns
+// (relative to dir; empty patterns default to "./..."). Dependencies are
+// imported from export data, so only the matched packages are parsed.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	entries, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		exports[e.ImportPath] = e.Export
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	var pkgs []*Package
+	for _, e := range entries {
+		if e.Standard || e.DepOnly {
+			continue
+		}
+		files := make([]*ast.File, 0, len(e.GoFiles))
+		for _, name := range e.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(e.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", e.ImportPath, err)
+		}
+		p := &Package{
+			ImportPath: e.ImportPath,
+			Dir:        e.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		}
+		if e.Module != nil {
+			p.ModulePath = e.Module.Path
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks a single directory of Go files as one
+// package with the given synthetic import path — the analysistest loader.
+// Imports (stdlib only) resolve through `go list -export`.
+func LoadDir(dir, importPath, modulePath string) (*Package, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := make(map[string]bool)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			importSet[strings.Trim(spec.Path.Value, `"`)] = true
+		}
+	}
+	exports := make(map[string]string)
+	if len(importSet) > 0 {
+		patterns := make([]string, 0, len(importSet))
+		for p := range importSet {
+			patterns = append(patterns, p)
+		}
+		sort.Strings(patterns)
+		entries, err := goList(dir, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		ModulePath: modulePath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// RunAnalyzers applies the analyzers to the packages and returns every
+// diagnostic, sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.Info,
+				Dir:        pkg.Dir,
+				ModulePath: pkg.ModulePath,
+			}
+			pass.Report = func(d Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer:   a.Name,
+					Package:    pkg.ImportPath,
+					Position:   pkg.Fset.Position(d.Pos),
+					Diagnostic: d,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// Finding is a diagnostic tagged with its analyzer, package, and resolved
+// file position.
+type Finding struct {
+	Analyzer string
+	Package  string
+	Position token.Position
+	Diagnostic
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+	if f.Fix != "" {
+		s += "\n\tfix: " + f.Fix
+	}
+	return s
+}

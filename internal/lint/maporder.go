@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `for … range` over a map inside deterministic packages.
+// Go randomizes map iteration order, so any map range whose body is
+// order-sensitive (rendering, accumulation into ordered output, event
+// scheduling) breaks byte-identical golden runs. The fix is to collect and
+// sort the keys first; a genuinely order-independent loop (building
+// another map, a commutative reduction) documents that with
+// `//moca:unordered <reason>` on the range line or the line above.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags nondeterministic map iteration in deterministic packages",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !isDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.checkSuppressed(f, rs.For, DirectiveUnordered) {
+				return true
+			}
+			pass.Report(Diagnostic{
+				Pos: rs.For,
+				Message: "range over map has nondeterministic iteration order " +
+					"in deterministic package " + pass.Pkg.Path(),
+				Fix: "iterate over sorted keys (collect keys, sort, index the map), " +
+					"or annotate the loop with `" + DirectiveUnordered + " <reason>` " +
+					"if its effect is order-independent",
+			})
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"moca/internal/lint"
+	"moca/internal/lint/linttest"
+)
+
+func TestMapOrder(t *testing.T) {
+	linttest.AnalysisTest(t, lint.MapOrder, "testdata", "maporder/event")
+}
+
+// TestMapOrderOutsideDeterministicSet checks the analyzer is scoped: the
+// same raw map range in a package outside the deterministic set produces
+// no findings (the testdata file carries no want comments).
+func TestMapOrderOutsideDeterministicSet(t *testing.T) {
+	linttest.AnalysisTest(t, lint.MapOrder, "testdata", "maporder/other")
+}

@@ -1,0 +1,23 @@
+// Package sim is a miniature behavior-versioned package: a Result schema
+// plus the BehaviorVersion constant that salts the run cache.
+package sim
+
+// BehaviorVersion salts the persistent run cache.
+const BehaviorVersion = 2
+
+// Kind mirrors a small enum reached through a map key.
+type Kind uint8
+
+// Result is the cache-visible schema root.
+type Result struct {
+	Cycles   int64           `json:"cycles"`
+	Pages    map[Kind]int64  `json:"pages"`
+	Channels []ChannelResult `json:"channels"`
+	note     string
+}
+
+// ChannelResult is reachable from Result and expands structurally.
+type ChannelResult struct {
+	Reads  int64
+	Writes int64
+}

@@ -1,0 +1,26 @@
+// Package sim is behaviorversion/simedit done right: the same schema
+// change, but with BehaviorVersion bumped. Against a recording of the old
+// schema the analyzer reports only a stale fingerprint (fix: -update),
+// never a missing bump.
+package sim
+
+// BehaviorVersion WAS bumped alongside the schema change below.
+const BehaviorVersion = 3
+
+// Kind mirrors a small enum reached through a map key.
+type Kind uint8
+
+// Result is the cache-visible schema root.
+type Result struct {
+	Cycles   int64           `json:"cycles"`
+	Pages    map[Kind]int64  `json:"pages"`
+	Channels []ChannelResult `json:"channels"`
+	note     string
+}
+
+// ChannelResult gained a field relative to behaviorversion/sim.
+type ChannelResult struct {
+	Reads   int64
+	Writes  int64
+	EnergyJ float64
+}

@@ -1,0 +1,25 @@
+// Package sim is behaviorversion/sim with a cache-visible schema edit
+// (ChannelResult gained EnergyJ) but the SAME BehaviorVersion — the
+// exact mistake the analyzer exists to catch.
+package sim
+
+// BehaviorVersion was NOT bumped alongside the schema change below.
+const BehaviorVersion = 2
+
+// Kind mirrors a small enum reached through a map key.
+type Kind uint8
+
+// Result is the cache-visible schema root.
+type Result struct {
+	Cycles   int64           `json:"cycles"`
+	Pages    map[Kind]int64  `json:"pages"`
+	Channels []ChannelResult `json:"channels"`
+	note     string
+}
+
+// ChannelResult gained a field relative to behaviorversion/sim.
+type ChannelResult struct {
+	Reads   int64
+	Writes  int64
+	EnergyJ float64
+}

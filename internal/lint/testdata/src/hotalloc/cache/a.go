@@ -1,0 +1,84 @@
+// Package cache seeds hotalloc violations inside //moca:hotpath
+// functions.
+package cache
+
+import "fmt"
+
+type entry struct{ v int }
+
+type sink struct {
+	h    func()
+	last any
+}
+
+func takeAny(a any)         { _ = a }
+func takeVariadic(a ...any) { _ = a }
+
+// Closure captures state per call: flagged.
+//
+//moca:hotpath
+func Closure(s *sink, v int) {
+	s.h = func() { _ = v } // want "function literal .closure. allocates" // wantfix "pooled event payload"
+}
+
+// Format calls fmt on the hot path: the call itself is the diagnostic
+// (its argument boxing is subsumed — the fix is removing the call).
+//
+//moca:hotpath
+func Format(v int) {
+	fmt.Println(v) // want "call to fmt.Println allocates"
+}
+
+// Box converts concrete values to interfaces four ways: flagged each time.
+//
+//moca:hotpath
+func Box(s *sink, e entry) any {
+	s.last = e    // want "assigned value boxes hotalloc/cache.entry into"
+	var a any = 7 // want "assigned value boxes int into"
+	_ = a
+	takeAny(e)   // want "passed value boxes hotalloc/cache.entry into"
+	_ = any(e.v) // want "converted value boxes int into"
+	return e     // want "returned value boxes hotalloc/cache.entry into" // wantfix "pointer-shaped payload"
+}
+
+// PointerShaped payloads ride the interface word without allocating:
+// pointers, funcs, maps, and chans are all clean, as is interface →
+// interface and an explicit s... passthrough.
+//
+//moca:hotpath
+func PointerShaped(s *sink, e *entry, m map[int]int, c chan int, prev any, xs []any) {
+	s.last = e
+	takeAny(e)
+	takeAny(m)
+	takeAny(c)
+	takeAny(prev)
+	s.h = dummy
+	takeVariadic(xs...)
+}
+
+// PanicExempt only formats when the simulator is already dying: the whole
+// panic argument subtree is cold.
+//
+//moca:hotpath
+func PanicExempt(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("negative: %d", v))
+	}
+}
+
+// Suppressed carries //moca:allowalloc with a reason: not flagged.
+//
+//moca:hotpath
+func Suppressed(s *sink, v int) {
+	//moca:allowalloc one-time arming cost outside the steady state
+	s.last = v
+}
+
+// Cold has no annotation, so nothing fires regardless.
+func Cold(s *sink, v int) {
+	s.h = func() { _ = v }
+	fmt.Println(v)
+	s.last = v
+}
+
+func dummy() {}

@@ -1,0 +1,69 @@
+// Package event seeds maporder violations: its import path ends in
+// "event", so it sits in the deterministic set.
+package event
+
+import "sort"
+
+// Unsorted iterates a map directly: flagged.
+func Unsorted(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map has nondeterministic iteration order" // wantfix "sorted keys"
+		total += v
+	}
+	return total
+}
+
+// SortedKeys collects and sorts before iterating: the range is over a
+// slice, so nothing fires.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//moca:unordered keys are collected then sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Annotated carries a suppression with a reason: not flagged.
+func Annotated(m map[string]int) int {
+	n := 0
+	//moca:unordered counting keys is order-independent
+	for range m {
+		n++
+	}
+	return n
+}
+
+// AnnotatedInline suppresses on the same line: not flagged.
+func AnnotatedInline(m map[string]int) int {
+	n := 0
+	for range m { //moca:unordered counting keys is order-independent
+		n++
+	}
+	return n
+}
+
+// MissingReason has the annotation but no reason: flagged for the reason,
+// not for the range.
+func MissingReason(m map[string]int) int {
+	n := 0
+	//moca:unordered
+	for range m { // want "annotation is missing its reason"
+		n++
+	}
+	return n
+}
+
+// Slices never fire.
+func Slices(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

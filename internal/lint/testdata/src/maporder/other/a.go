@@ -1,0 +1,13 @@
+// Package other is NOT in the deterministic set (its import path element
+// "other" matches nothing), so maporder stays silent even over raw map
+// ranges.
+package other
+
+// Unsorted would fire in a deterministic package; here it is fine.
+func Unsorted(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

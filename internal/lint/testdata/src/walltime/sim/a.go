@@ -1,0 +1,60 @@
+// Package sim seeds walltime violations: its import path ends in "sim",
+// so it sits in the simulation core.
+package sim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock: flagged.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// Elapsed uses time.Since: flagged.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+// GlobalRand draws from the shared unseeded generator: flagged.
+func GlobalRand() int {
+	return rand.Intn(10) // want "math/rand.Intn uses the shared, unseeded global generator"
+}
+
+// SeededRand builds an explicitly seeded generator: the constructors are
+// allowed, and methods on the local *rand.Rand are not package-scope uses.
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// TypeRefOnly mentions rand.Rand as a type, which is not a draw from the
+// global source.
+func TypeRefOnly(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+// Env reads the process environment: flagged.
+func Env() string {
+	return os.Getenv("MOCA_DEBUG") // want "os.Getenv reads the process environment"
+}
+
+// Suppressed carries the annotation with a reason: not flagged.
+func Suppressed() int64 {
+	//moca:wallclock progress log outside the measured simulation path
+	return time.Now().UnixNano()
+}
+
+// SuppressedInline suppresses on the same line: not flagged.
+func SuppressedInline() int64 {
+	return time.Now().UnixNano() //moca:wallclock progress log outside the measured simulation path
+}
+
+// MissingReason has the annotation but no reason: flagged for the reason,
+// not for the read itself.
+func MissingReason() int64 {
+	//moca:wallclock
+	return time.Now().UnixNano() // want "annotation is missing its reason"
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTime flags wall-clock reads, unseeded global math/rand use, and
+// environment reads inside the simulation core. Any of these makes a run
+// depend on state outside the (config, trace, seed) tuple, which breaks
+// record/replay and poisons the persistent run cache (whose keys assume a
+// run is a pure function of its inputs). Deliberate uses — e.g. a
+// progress log outside the measured path — carry
+// `//moca:wallclock <reason>`.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "flags wall-clock, global math/rand, and environment reads in the simulation core",
+	Run:  runWallTime,
+}
+
+// wallTimeBanned maps import path → banned selector → explanation.
+// For math/rand the allowlist is inverted: everything at package scope
+// proxies the shared global source except the constructors.
+var wallTimeBanned = map[string]map[string]string{
+	"time": {
+		"Now":   "reads the wall clock",
+		"Since": "reads the wall clock",
+		"Until": "reads the wall clock",
+	},
+	"os": {
+		"Getenv":    "reads the process environment",
+		"LookupEnv": "reads the process environment",
+		"Environ":   "reads the process environment",
+		"ExpandEnv": "reads the process environment",
+	},
+}
+
+// randConstructors are the math/rand names that build explicitly seeded
+// generators and are therefore fine in the simulation core.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runWallTime(pass *Pass) error {
+	if !isDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := pkgFuncOf(pass.TypesInfo, sel)
+			if !ok {
+				return true
+			}
+			var why string
+			switch pkgPath {
+			case "math/rand", "math/rand/v2":
+				if randConstructors[name] {
+					return true
+				}
+				// Only package-scope functions share the global source;
+				// type references (rand.Rand, rand.Source) are fine.
+				if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isFunc {
+					return true
+				}
+				why = "uses the shared, unseeded global generator"
+			default:
+				banned, ok := wallTimeBanned[pkgPath]
+				if !ok {
+					return true
+				}
+				if why, ok = banned[name]; !ok {
+					return true
+				}
+			}
+			if pass.checkSuppressed(f, sel.Pos(), DirectiveWallClock) {
+				return true
+			}
+			pass.Report(Diagnostic{
+				Pos: sel.Pos(),
+				Message: pkgPath + "." + name + " " + why +
+					", breaking record/replay determinism and cache keys in simulation-core package " +
+					pass.Pkg.Path(),
+				Fix: "derive the value from simulation state (event.Queue time, the run's " +
+					"seeded rand.Rand, or Config), or annotate with `" +
+					DirectiveWallClock + " <reason>` if the read is outside the simulated path",
+			})
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"moca/internal/lint"
+	"moca/internal/lint/linttest"
+)
+
+func TestWallTime(t *testing.T) {
+	linttest.AnalysisTest(t, lint.WallTime, "testdata", "walltime/sim")
+}

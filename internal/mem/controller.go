@@ -318,6 +318,7 @@ const (
 
 // Enqueue presents a request to the channel. It reports false when the
 // controller queue is full (backpressure); the caller must retry later.
+//moca:hotpath
 func (c *Controller) Enqueue(r *Request) bool {
 	if c.qLen+c.pendingArrivals >= c.cfg.MaxQueue {
 		if c.obsBackPress != nil {
@@ -333,6 +334,7 @@ func (c *Controller) Enqueue(r *Request) bool {
 // the Request (recycled through a free list) and completion is delivered to
 // sink.MemDone(token, at) instead of a per-request closure. A nil sink
 // (writebacks, copy traffic) completes silently.
+//moca:hotpath
 func (c *Controller) EnqueueLine(addr uint64, write bool, core int, obj uint64, sink DoneSink, token uint64) bool {
 	if c.qLen+c.pendingArrivals >= c.cfg.MaxQueue {
 		if c.obsBackPress != nil {
@@ -353,6 +355,7 @@ func (c *Controller) EnqueueLine(addr uint64, write bool, core int, obj uint64, 
 	return true
 }
 
+//moca:hotpath
 func (c *Controller) enqueue(r *Request) {
 	c.pendingArrivals++
 	r.Arrive = c.q.Now() + c.cfg.FrontendLatency
@@ -363,6 +366,7 @@ func (c *Controller) enqueue(r *Request) {
 	c.q.Post(r.Arrive, c, opArrival, 0, r)
 }
 
+//moca:hotpath
 func (c *Controller) release(r *Request) {
 	if !r.pooled {
 		return
@@ -372,6 +376,7 @@ func (c *Controller) release(r *Request) {
 }
 
 // OnEvent implements event.Handler.
+//moca:hotpath
 func (c *Controller) OnEvent(now event.Time, op int32, i64 int64, p any) {
 	switch op {
 	case opArrival:
@@ -391,6 +396,7 @@ func (c *Controller) OnEvent(now event.Time, op int32, i64 int64, p any) {
 	}
 }
 
+//moca:hotpath
 func (c *Controller) onArrival(now event.Time, r *Request) {
 	c.pendingArrivals--
 	r.qSeq = c.ageSeq
@@ -423,6 +429,7 @@ func (c *Controller) onArrival(now event.Time, r *Request) {
 	}
 }
 
+//moca:hotpath
 func (c *Controller) onPreDone(now event.Time, bankIdx int) {
 	c.banks[bankIdx].preInFlightRow = -1
 	if !c.chainActive {
@@ -442,6 +449,7 @@ func (c *Controller) onPreDone(now event.Time, bankIdx int) {
 // armChain starts a wake chain: the polling model's armTick scheduling an
 // immediate tick. The wake fires at the current time, after every normal
 // event already pending at it, exactly like a zero-delay tick would.
+//moca:hotpath
 func (c *Controller) armChain(now event.Time) {
 	c.chainActive = true
 	c.anchor = now
@@ -453,6 +461,7 @@ func (c *Controller) armChain(now event.Time) {
 // (arrival, precharge completion) and pulls the pending wake earlier if
 // needed. State changes between wakes only ever add options, so the wake
 // never moves later here.
+//moca:hotpath
 func (c *Controller) pullWake(now event.Time) {
 	at, s := c.nextWake(now, now, false)
 	if at < c.wakeAt {
@@ -464,6 +473,7 @@ func (c *Controller) pullWake(now event.Time) {
 // onWake runs one scheduler activation at a clock edge: refresh
 // bookkeeping, then up to CommandsPerTick command issues, then either chain
 // death (queue empty) or a sleep until the next actionable edge.
+//moca:hotpath
 func (c *Controller) onWake(now event.Time) {
 	c.refreshCatchUp(now)
 	issued := 0
@@ -488,6 +498,7 @@ func (c *Controller) onWake(now event.Time) {
 // refreshCatchUp applies refresh intervals that have elapsed: all banks
 // close and stay busy for tRFC. Modeled as a bank-timing update, not a
 // queued command.
+//moca:hotpath
 func (c *Controller) refreshCatchUp(now event.Time) {
 	for now >= c.nextRefreshAt {
 		start := c.nextRefreshAt
@@ -517,6 +528,7 @@ func (c *Controller) refreshCatchUp(now event.Time) {
 // but a late wake would diverge, so candidates are exact lower bounds.
 // cptExhausted marks an activation that used its full command budget: more
 // work may be possible on the very next edge.
+//moca:hotpath
 func (c *Controller) nextWake(now, lower event.Time, cptExhausted bool) (at, s event.Time) {
 	const far = int64(1) << 62
 	best := far
@@ -606,6 +618,7 @@ func (c *Controller) nextWake(now, lower event.Time, cptExhausted bool) (at, s e
 // mapAddress decodes the module-local RoRaBaChCo address interleave: the
 // column bits are the least significant, then the bank bits, then the row.
 // (The Ch bits were consumed when the system routed to this channel.)
+//moca:hotpath
 func (c *Controller) mapAddress(r *Request) {
 	bankBits := uint(log2(uint64(c.cfg.Device.Geometry.Banks)))
 	stripe := c.colBits
@@ -626,6 +639,7 @@ func (c *Controller) mapAddress(r *Request) {
 // issueOne issues the single best command available this cycle, preferring
 // CAS (completes a request) over ACT over PRE so data flows as early as
 // possible. Returns false if no command could issue.
+//moca:hotpath
 func (c *Controller) issueOne(now event.Time) bool {
 	// In-order mode considers only the oldest request: always under FCFS,
 	// and under FR-FCFS once the oldest has been starved past the limit.
@@ -650,6 +664,7 @@ func (c *Controller) issueOne(now event.Time) bool {
 // and whose data burst can claim the bus. Row hits inherently win under
 // FR-FCFS because conflicting requests are not CAS-ready. Per-bank lists
 // make this O(pending-in-bank) for the oldest match in each open bank.
+//moca:hotpath
 func (c *Controller) pickCAS(now event.Time, inOrder bool) *Request {
 	if c.qHead == nil {
 		return nil
@@ -680,6 +695,7 @@ func (c *Controller) pickCAS(now event.Time, inOrder bool) *Request {
 	return best
 }
 
+//moca:hotpath
 func (c *Controller) pickACT(now event.Time, inOrder bool) *Request {
 	if c.qHead == nil {
 		return nil
@@ -710,6 +726,7 @@ func (c *Controller) pickACT(now event.Time, inOrder bool) *Request {
 // (the essence of row-hit priority). In a bank with no request wanting the
 // open row, every pending request conflicts, so the bank's oldest is its
 // candidate.
+//moca:hotpath
 func (c *Controller) pickPRE(now event.Time, inOrder bool) *Request {
 	if c.qHead == nil {
 		return nil
@@ -749,6 +766,7 @@ func (c *Controller) pickPRE(now event.Time, inOrder bool) *Request {
 
 // casDelay returns the CAS-to-data delay for a request: writes on
 // write-asymmetric devices (PCM) take far longer than reads.
+//moca:hotpath
 func (c *Controller) casDelay(r *Request) event.Time {
 	if r.Write && c.httime.TCASWrite > 0 {
 		return c.httime.TCASWrite
@@ -756,6 +774,7 @@ func (c *Controller) casDelay(r *Request) event.Time {
 	return c.httime.TCAS
 }
 
+//moca:hotpath
 func (c *Controller) issueCAS(now event.Time, r *Request) {
 	if r.FirstCmd < 0 {
 		r.FirstCmd = now
@@ -824,6 +843,7 @@ func (c *Controller) issueCAS(now event.Time, r *Request) {
 	}
 }
 
+//moca:hotpath
 func (c *Controller) issueACT(now event.Time, r *Request) {
 	b := &c.banks[r.bank]
 	if r.FirstCmd < 0 {
@@ -840,6 +860,7 @@ func (c *Controller) issueACT(now event.Time, r *Request) {
 	c.stats.Activations++
 }
 
+//moca:hotpath
 func (c *Controller) issuePRE(now event.Time, r *Request) {
 	b := &c.banks[r.bank]
 	if r.FirstCmd < 0 {
@@ -867,6 +888,7 @@ func (c *Controller) issuePRE(now event.Time, r *Request) {
 
 // removeRequest unlinks a served request from the global FIFO and its
 // bank's list in O(1).
+//moca:hotpath
 func (c *Controller) removeRequest(r *Request) {
 	if r.prevQ != nil {
 		r.prevQ.nextQ = r.nextQ

@@ -203,12 +203,15 @@ func (r *Registry) Reset() {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	//moca:unordered resets each instrument in place; order-free
 	for _, c := range r.counters {
 		c.reset()
 	}
+	//moca:unordered resets each instrument in place; order-free
 	for _, g := range r.gauges {
 		g.reset()
 	}
+	//moca:unordered resets each instrument in place; order-free
 	for _, h := range r.histograms {
 		h.reset()
 	}
@@ -240,17 +243,20 @@ func (r *Registry) Snapshot() *Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := &Snapshot{Counters: make(map[string]uint64, len(r.counters))}
+	//moca:unordered map-to-map copy; Snapshot JSON sorts keys on marshal
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
 	}
 	if len(r.gauges) > 0 {
 		s.Gauges = make(map[string]int64, len(r.gauges))
+		//moca:unordered map-to-map copy; Snapshot JSON sorts keys on marshal
 		for name, g := range r.gauges {
 			s.Gauges[name] = g.Value()
 		}
 	}
 	if len(r.histograms) > 0 {
 		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		//moca:unordered map-to-map copy; Snapshot JSON sorts keys on marshal
 		for name, h := range r.histograms {
 			hs := HistogramSnapshot{
 				Bounds: append([]uint64(nil), h.bounds...),
@@ -277,16 +283,19 @@ func (s *Snapshot) Equal(o *Snapshot) bool {
 		len(s.Histograms) != len(o.Histograms) {
 		return false
 	}
+	//moca:unordered membership/value comparison; order-free
 	for k, v := range s.Counters {
 		if ov, ok := o.Counters[k]; !ok || ov != v {
 			return false
 		}
 	}
+	//moca:unordered membership/value comparison; order-free
 	for k, v := range s.Gauges {
 		if ov, ok := o.Gauges[k]; !ok || ov != v {
 			return false
 		}
 	}
+	//moca:unordered membership/value comparison; order-free
 	for k, v := range s.Histograms {
 		ov, ok := o.Histograms[k]
 		if !ok || !v.equal(ov) {
@@ -332,9 +341,11 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 		if out == nil {
 			out = &Snapshot{Counters: map[string]uint64{}}
 		}
+		//moca:unordered commutative per-key fold into the aggregate; order-free
 		for k, v := range s.Counters {
 			out.Counters[k] += v
 		}
+		//moca:unordered commutative per-key fold into the aggregate; order-free
 		for k, v := range s.Gauges {
 			if out.Gauges == nil {
 				out.Gauges = map[string]int64{}
@@ -343,6 +354,7 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 				out.Gauges[k] = v
 			}
 		}
+		//moca:unordered commutative per-key fold into the aggregate; order-free
 		for k, v := range s.Histograms {
 			if out.Histograms == nil {
 				out.Histograms = map[string]HistogramSnapshot{}
@@ -376,6 +388,7 @@ func (s *Snapshot) CounterNames() []string {
 		return nil
 	}
 	names := make([]string, 0, len(s.Counters))
+	//moca:unordered keys are collected then sorted before use
 	for name := range s.Counters {
 		names = append(names, name)
 	}

@@ -34,6 +34,7 @@ func (s *Snapshot) Table(title string) *stats.Table {
 
 func sortedKeys[V any](m map[string]V) []string {
 	names := make([]string, 0, len(m))
+	//moca:unordered keys are collected then sorted before use
 	for name := range m {
 		names = append(names, name)
 	}

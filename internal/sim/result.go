@@ -177,6 +177,7 @@ func (r *Result) AggregateIPC() float64 {
 func (r *Result) PagesOnKind() map[mem.Kind]int {
 	out := map[mem.Kind]int{}
 	for _, c := range r.Cores {
+		//moca:unordered commutative per-kind sums; each key folds independently
 		for id, n := range c.PagesByModule {
 			if id >= 0 && id < len(r.ModuleKinds) {
 				out[r.ModuleKinds[id]] += n
