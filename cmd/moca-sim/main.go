@@ -43,6 +43,7 @@ func run() (code int) {
 	appName := flag.String("app", "", "single application to run")
 	mixName := flag.String("mix", "", "4-application workload set to run")
 	measure := flag.Uint64("measure", 300_000, "measured instructions per core")
+	shards := flag.Int("shards", 0, "worker goroutines for the run (<= 1: serial; results are identical across shard counts)")
 	window := flag.Uint64("profile-window", 300_000, "auto-profiling window (instructions)")
 	profiles := flag.String("profiles", "", "directory of <app>.profile.json files (skips auto-profiling)")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of tables")
@@ -100,6 +101,7 @@ func run() (code int) {
 		}()
 	}
 	cfg.Obs = moca.ObsOptions{Metrics: *metrics, Trace: runTrace}
+	cfg.Shards = *shards
 
 	var cache *exp.RunCache
 	if *cacheDir != "" {

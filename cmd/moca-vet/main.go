@@ -15,6 +15,7 @@
 //	walltime         no wall-clock/global-rand/env reads in the sim core
 //	hotalloc         no closures, fmt, or boxing in //moca:hotpath funcs
 //	behaviorversion  cache-visible schema changes bump sim.BehaviorVersion
+//	shardsafe        no cross-//moca:shard-domain access outside //moca:barrier funcs
 //
 // Exit status is 1 when any analyzer reports a finding.
 package main

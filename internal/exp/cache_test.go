@@ -231,6 +231,12 @@ func TestResultCacheKeyCanonical(t *testing.T) {
 		t.Error("placement policy does not affect the key")
 	}
 
+	sharded := cfg
+	sharded.Shards = 4
+	if k, _ := ResultCacheKey(sharded, procs, 100, 200); k != base {
+		t.Error("Config.Shards leaked into the key: an execution strategy must not fragment the cache")
+	}
+
 	if !strings.Contains(base, `"kind":"result"`) {
 		t.Errorf("key is not self-describing: %s", base[:60])
 	}

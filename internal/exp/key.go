@@ -45,6 +45,10 @@ func ResultCacheKey(cfg sim.Config, procs []sim.ProcSpec, measure, profileWindow
 	kc := cfg
 	kc.Name = ""
 	kc.Obs = obs.Options{}
+	// Shards is an execution strategy, not a model parameter: results are
+	// byte-identical across shard counts (internal/sim/difftest proves it),
+	// so a run cached at one shard count serves every other.
+	kc.Shards = 0
 	kps := make([]sim.ProcSpec, len(procs))
 	for i, p := range procs {
 		p.Stream = nil

@@ -104,8 +104,14 @@ type Runner struct {
 	FW *core.Framework
 	// Measure is the measured instruction quota per core per run.
 	Measure uint64
-	// Parallelism bounds concurrent simulations (default: NumCPU).
+	// Parallelism bounds concurrent simulations. Zero derives a default
+	// from NumCPU and Shards so runs x shards never oversubscribes the
+	// machine (see effectiveParallelism).
 	Parallelism int
+	// Shards is the worker-goroutine count of each simulation (sim.Config
+	// Shards; <= 1: serial). Excluded from cache keys: results are
+	// byte-identical across shard counts.
+	Shards int
 	// Obs selects per-run observability. Each simulation builds its own
 	// metrics registry, so concurrent runs never share instruments; a
 	// Trace sink, if set, is shared and concurrency-safe.
@@ -310,6 +316,7 @@ func (r *Runner) simulate(ctx context.Context, def SystemDef, memoKey string, ap
 	cfg := sim.DefaultConfig(def.Name, def.Modules, def.Policy)
 	cfg.Chains = def.Chains
 	cfg.Obs = r.Obs
+	cfg.Shards = r.Shards
 
 	var cacheKey string
 	if r.Cache != nil {
@@ -354,6 +361,26 @@ func (r *Runner) Results() map[string]*sim.Result {
 	return out
 }
 
+// effectiveParallelism resolves the concurrent-simulation bound. An
+// explicit Parallelism wins unchanged (the caller opted in, possibly to
+// oversubscription). The default divides the machine by the per-run shard
+// count, so concurrent runs x worker goroutines stays at NumCPU instead of
+// multiplying into NumCPU^2-style thrash when both knobs derive from the
+// core count.
+func effectiveParallelism(parallelism, shards, numCPU int) int {
+	if parallelism > 0 {
+		return parallelism
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	limit := numCPU / shards
+	if limit < 1 {
+		limit = 1
+	}
+	return limit
+}
+
 // parallel runs the tasks with bounded concurrency. After all tasks
 // complete it returns the error of the first failing task in submission
 // order (not completion order), so a run that fails reports the same error
@@ -361,10 +388,7 @@ func (r *Runner) Results() map[string]*sim.Result {
 // have not started; a panicking task becomes that task's error instead of
 // killing the process.
 func (r *Runner) parallel(ctx context.Context, tasks []func() error) error {
-	limit := r.Parallelism
-	if limit <= 0 {
-		limit = runtime.NumCPU()
-	}
+	limit := effectiveParallelism(r.Parallelism, r.Shards, runtime.NumCPU())
 	if limit > len(tasks) {
 		limit = len(tasks)
 	}

@@ -18,7 +18,10 @@
 //     `//moca:allowalloc <reason>`);
 //   - behaviorversion: the cache-visible sim.Result schema must match the
 //     checked-in fingerprint, and schema changes must bump
-//     sim.BehaviorVersion.
+//     sim.BehaviorVersion;
+//   - shardsafe: code reaching state of two or more `//moca:shard`
+//     domains must be annotated `//moca:barrier <reason>` (suppress one
+//     access with `//moca:allowshared <reason>`).
 package lint
 
 import (
@@ -200,5 +203,5 @@ func pkgFuncOf(info *types.Info, sel *ast.SelectorExpr) (pkgPath, name string, o
 
 // Analyzers returns the full moca-vet suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, WallTime, HotAlloc, BehaviorVersion}
+	return []*Analyzer{MapOrder, WallTime, HotAlloc, BehaviorVersion, ShardSafe}
 }

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ShardSafe machine-checks the sharded engine's isolation invariant
+// (internal/sim/shard.go): state owned by one shard domain must never be
+// touched from code that also touches another domain, except at window
+// barriers where the coordinator owns every shard.
+//
+// Types are assigned to a domain with `//moca:shard <domain>` on their
+// declaration (e.g. `//moca:shard core`, `//moca:shard channel`). A
+// function whose receiver or selector expressions reach two or more
+// distinct domains is flagged, unless:
+//
+//   - the function is annotated `//moca:barrier <reason>` — it runs only
+//     between phase dispatches, when no worker is live; or
+//   - the individual access carries `//moca:allowshared <reason>`.
+//
+// Both annotations require a free-text reason; a bare directive reports
+// the missing reason. The analyzer runs wherever shard-annotated types
+// are declared, so packages without shards pay nothing.
+var ShardSafe = &Analyzer{
+	Name: "shardsafe",
+	Doc:  "flags cross-shard state access outside //moca:barrier functions",
+	Run:  runShardSafe,
+}
+
+// Shard-isolation directives. DirectiveShard assigns a type to a shard
+// domain; DirectiveBarrier marks a function as barrier-only code;
+// DirectiveAllowShared suppresses one access.
+const (
+	DirectiveShard       = "//moca:shard"
+	DirectiveBarrier     = "//moca:barrier"
+	DirectiveAllowShared = "//moca:allowshared"
+)
+
+func runShardSafe(pass *Pass) error {
+	domains := collectShardDomains(pass)
+	if len(domains) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasDirective(fd.Doc, DirectiveBarrier) {
+				if reason := directiveArg(fd.Doc, DirectiveBarrier); strings.TrimSpace(reason) == "" {
+					pass.Reportf(fd.Pos(), "%s annotation is missing its reason", DirectiveBarrier)
+				}
+				continue
+			}
+			checkShardFunc(pass, f, fd, domains)
+		}
+	}
+	return nil
+}
+
+// collectShardDomains indexes the package's `//moca:shard <domain>` type
+// annotations. A bare directive (no domain word) is itself a finding.
+func collectShardDomains(pass *Pass) map[*types.TypeName]string {
+	domains := make(map[*types.TypeName]string)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				if !hasDirective(doc, DirectiveShard) {
+					continue
+				}
+				domain := strings.TrimSpace(directiveArg(doc, DirectiveShard))
+				if domain == "" {
+					pass.Reportf(ts.Pos(), "%s annotation is missing its domain", DirectiveShard)
+					continue
+				}
+				if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					domains[tn] = domain
+				}
+			}
+		}
+	}
+	return domains
+}
+
+// directiveArg returns the text following the directive word in the
+// comment group ("" when the directive is absent or bare).
+func directiveArg(doc *ast.CommentGroup, directive string) string {
+	if doc == nil {
+		return ""
+	}
+	for _, c := range doc.List {
+		if rest, ok := directiveText(c.Text, directive); ok {
+			return rest
+		}
+	}
+	return ""
+}
+
+// checkShardFunc flags fd if its receiver and selector accesses together
+// reach two or more shard domains. The diagnostic lands on the access
+// that first widened the set to a second domain, so the `// want` marker
+// (and the human) sees the exact crossing line.
+func checkShardFunc(pass *Pass, f *ast.File, fd *ast.FuncDecl, domains map[*types.TypeName]string) {
+	seen := map[string]bool{}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		if d, ok := domainOfExprType(pass, fd.Recv.List[0].Type, domains); ok {
+			seen[d] = true
+		}
+	}
+	reported := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		d, ok := domainOfExprType(pass, sel.X, domains)
+		if !ok || seen[d] {
+			return true
+		}
+		if len(seen) > 0 {
+			if pass.checkSuppressed(f, sel.Pos(), DirectiveAllowShared) {
+				return true
+			}
+			prior := make([]string, 0, len(seen))
+			for p := range seen {
+				prior = append(prior, p)
+			}
+			sort.Strings(prior)
+			pass.Report(Diagnostic{
+				Pos: sel.Pos(),
+				Message: "function " + fd.Name.Name + " touches shard domain \"" + d +
+					"\" after \"" + strings.Join(prior, "\", \"") + "\": cross-shard access outside a barrier",
+				Fix: "run this code only between phase dispatches and annotate the function " +
+					"`" + DirectiveBarrier + " <reason>`, or split it per domain; a single " +
+					"access can be waived with `" + DirectiveAllowShared + " <reason>`",
+			})
+			reported = true
+			return false
+		}
+		seen[d] = true
+		return true
+	})
+}
+
+// domainOfExprType resolves the shard domain of an expression (or receiver
+// type node) by its named type, looking through pointers.
+func domainOfExprType(pass *Pass, e ast.Expr, domains map[*types.TypeName]string) (string, bool) {
+	t := pass.TypesInfo.TypeOf(e)
+	for t != nil {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	d, ok := domains[named.Obj()]
+	return d, ok
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"moca/internal/lint"
+	"moca/internal/lint/linttest"
+)
+
+func TestShardSafe(t *testing.T) {
+	linttest.AnalysisTest(t, lint.ShardSafe, "testdata", "shardsafe/sim")
+}
+
+func TestShardSafeBareDomain(t *testing.T) {
+	linttest.AnalysisTest(t, lint.ShardSafe, "testdata", "shardsafe/baredomain")
+}

@@ -1,0 +1,9 @@
+// Package baredomain seeds a //moca:shard directive with no domain word.
+package baredomain
+
+// state is annotated but not assigned to any domain.
+//
+//moca:shard
+type state struct { // want "//moca:shard annotation is missing its domain"
+	n int
+}

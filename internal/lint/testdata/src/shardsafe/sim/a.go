@@ -1,0 +1,83 @@
+// Package sim seeds shardsafe violations: cross-domain access outside a
+// barrier, suppressed accesses, and incomplete annotations.
+package sim
+
+// coreState is core-shard-owned.
+//
+//moca:shard core
+type coreState struct {
+	cycles int
+	link   *linkState
+}
+
+// linkState shares the core's domain.
+//
+//moca:shard core
+type linkState struct {
+	staged int
+}
+
+// chanState is channel-shard-owned.
+//
+//moca:shard channel
+type chanState struct {
+	pending int
+}
+
+// unmarked has no domain: touching it is free from anywhere.
+type unmarked struct {
+	n int
+}
+
+// CrossesDomains reads a channel shard from core-shard code mid-window:
+// the access that widens the domain set is the diagnostic.
+func CrossesDomains(c *coreState, ch *chanState) {
+	c.cycles++
+	ch.pending++ // want "function CrossesDomains touches shard domain .channel. after .core."
+}
+
+// MethodCrosses shows the receiver counting as the first domain.
+func (ch *chanState) MethodCrosses(c *coreState) {
+	_ = c.cycles // want "function MethodCrosses touches shard domain .core. after .channel."
+}
+
+// SameDomainOnly touches two types of one domain: no finding.
+func SameDomainOnly(c *coreState) {
+	c.cycles++
+	c.link.staged++
+}
+
+// UnmarkedOnly touches only undomained state: no finding.
+func UnmarkedOnly(u *unmarked, c *coreState) {
+	u.n++
+	c.cycles++
+}
+
+// AtBarrier crosses domains legally: it only runs between phases.
+//
+//moca:barrier coordinator applies staged traffic while workers are parked
+func AtBarrier(c *coreState, ch *chanState) {
+	ch.pending += c.link.staged
+	c.link.staged = 0
+}
+
+// BareBarrier is annotated but gives no justification.
+//
+//moca:barrier
+func BareBarrier(c *coreState, ch *chanState) { // want "//moca:barrier annotation is missing its reason"
+	ch.pending += c.cycles
+}
+
+// Waived crosses domains on one audited line.
+func Waived(c *coreState, ch *chanState) {
+	c.cycles++
+	//moca:allowshared monotonic counter, torn reads acceptable
+	_ = ch.pending
+}
+
+// WaivedNoReason suppresses the finding but owes an explanation.
+func WaivedNoReason(c *coreState, ch *chanState) {
+	c.cycles++
+	//moca:allowshared
+	_ = ch.pending // want "//moca:allowshared annotation is missing its reason"
+}

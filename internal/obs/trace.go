@@ -126,6 +126,36 @@ func (t *Trace) Len() int {
 	return len(t.events)
 }
 
+// Cap returns the retention cap.
+func (t *Trace) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return t.max
+}
+
+// AddDropped folds n externally-discarded events into the drop count —
+// used when merging staged sub-traces whose own caps fired.
+func (t *Trace) AddDropped(n uint64) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.dropped += n
+	t.mu.Unlock()
+}
+
+// Reset discards all retained events and the drop count.
+func (t *Trace) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = t.events[:0]
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
 // Dropped returns the number of events discarded past the cap.
 func (t *Trace) Dropped() uint64 {
 	if t == nil {

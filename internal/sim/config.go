@@ -99,6 +99,11 @@ type Config struct {
 	// Obs selects runtime observability (metrics registry and/or run-trace
 	// sink). Zero value: disabled — the hot path pays only nil checks.
 	Obs obs.Options
+	// Shards is the number of worker goroutines the run executes on
+	// (<= 1: serial). An execution strategy, not a model parameter:
+	// results are byte-identical across shard counts (see shard.go), so
+	// the experiment cache excludes it from its keys.
+	Shards int
 }
 
 // ProcSpec binds an application to a core.
@@ -221,6 +226,9 @@ func (c Config) Validate() error {
 	}
 	if err := c.Thresholds.Validate(); err != nil {
 		return err
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("sim: negative shard count %d", c.Shards)
 	}
 	return nil
 }

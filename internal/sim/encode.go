@@ -12,7 +12,10 @@ import (
 // instead of silently reused.
 // v2: hashed set-associative TLB (hit/miss counts differ from the old
 // fully-associative LRU) and bounded prefetch usefulness filter.
-const BehaviorVersion = 2
+// v3: sharded execution engine — every core->channel submission pays a
+// fixed one-window link latency (windowCycles cycles), so memory timing
+// shifts uniformly relative to v2. Identical across all -shards values.
+const BehaviorVersion = 3
 
 // resultWire adds the unexported energy accumulators to the wire format so
 // a Result survives a disk round-trip with MemEnergyJ/SystemEDP intact.

@@ -93,9 +93,9 @@ func (d *migDriver) runEpoch() {
 	moves := d.mig.Epoch()
 	if len(moves) > 0 {
 		d.migrations.Add(uint64(len(moves)))
-		if s.runTrace != nil {
+		if s.coordTrace != nil {
 			for _, mv := range moves {
-				s.runTrace.Emit(obs.Event{
+				s.coordTrace.Emit(obs.Event{
 					At:   int64(s.q.Now()),
 					Kind: obs.MigrationTriggered,
 					Unit: "migrate",
@@ -126,15 +126,19 @@ func (d *migDriver) startPage(job *copyJob) {
 
 // copyLine applies the costs of copying one line: shoot it out of every
 // cache (dirty copies must travel with the page) and issue a read of the
-// old frame's line plus a write to the new one. Copy requests are
-// best-effort under controller backpressure.
+// old frame's line plus a write to the new one. The coordinator queue only
+// runs at window barriers, so the shootdowns have exclusive access to the
+// core shards; the copy traffic crosses to the channel shards through the
+// migration link and stays best-effort under controller backpressure.
+//
+//moca:barrier migration events run on the coordinator queue at barriers
 func (d *migDriver) copyLine(job *copyJob, off uint64) {
 	s := d.s
 	for _, c := range s.cores {
 		c.hier.InvalidateLine(job.oldBase + off)
 	}
-	s.route.Submit(job.oldBase+off, false, -1, 0, nil, 0)
-	s.route.Submit(job.newBase+off, true, -1, 0, nil, 0)
+	s.migLink.Submit(job.oldBase+off, false, -1, 0, nil, 0)
+	s.migLink.Submit(job.newBase+off, true, -1, 0, nil, 0)
 }
 
 // MigrationStats returns the migration engine's counters (zero value when

@@ -1,0 +1,730 @@
+package sim
+
+// Sharded execution (DESIGN.md "Sharded execution").
+//
+// The system is partitioned into shards that each own a private event
+// queue: one shard per core (cpu, L1/L2, private TLB state) and one per
+// memory channel (controller + banks). Time advances in fixed windows of
+// windowCycles CPU cycles. Within a window every shard runs alone on its
+// own queue; all cross-shard traffic is staged as timestamped messages and
+// exchanged only at the window boundary, merged in a fixed deterministic
+// order (at, source shard, per-source sequence). Serial mode (Shards <= 1)
+// and parallel mode (Shards > 1) execute the exact same phase code — the
+// only difference is whether shard work runs inline or on worker
+// goroutines — which is why golden output is byte-identical across -shards
+// values (proven by internal/sim/difftest).
+//
+// The window invariant that makes conservative lookahead work: every
+// core->channel submission traverses a link with a fixed latency of one
+// window, so a message staged at local time t carries effect time
+// t+window >= windowEnd and always lands in a strictly later channel
+// window. Channel->core completions need no added latency because channel
+// shards run their half of window k before core shards do: a fill
+// completed at time t in [T, T+W) is posted into the owning core's queue
+// before that core executes cycle t.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"moca/internal/event"
+	"moca/internal/mem"
+	"moca/internal/obs"
+)
+
+// windowCycles is the conservative time-window length in CPU cycles. It is
+// also the modeled interconnect latency of the core->channel link, so it
+// must be identical across shard counts (it shapes timing, not just
+// scheduling).
+const windowCycles = 8
+
+// chanRetryGap is the backoff, in CPU cycles, before a channel shard
+// retries submissions the controller rejected (mirrors the retry pacing
+// the cache hierarchy used when it faced the controller directly).
+const chanRetryGap = 8
+
+// linkMsg is one submission crossing from a core (or the migration engine)
+// to a memory channel at a window barrier.
+type linkMsg struct {
+	at    event.Time // effect time: staging time + one window
+	line  uint64     // global physical line address (migration monitor)
+	local uint64     // channel-local address
+	write bool
+	sink  bool // deliver the completion back to the owning core
+	core  int
+	obj   uint64
+	token uint64
+	src   int    // source shard: core index, len(cores) for migration
+	seq   uint64 // per-source staging order
+}
+
+// shardLink is the cache.Backend a core shard submits misses, writebacks,
+// and (for the migration engine) copy traffic through. It never exerts
+// backpressure: rejection and retry live channel-side, after the message
+// has paid the link latency.
+//
+//moca:shard core
+type shardLink struct {
+	q     *event.Queue
+	route *router
+	delay event.Time
+	src   int
+	seq   uint64
+	out   [][]linkMsg // staged messages, per channel
+}
+
+// Submit implements cache.Backend. The concrete sink is dropped: a
+// completion is routed back to msg.core's hierarchy by the channel shard.
+func (l *shardLink) Submit(lineAddr uint64, write bool, core int, obj uint64, sink mem.DoneSink, token uint64) bool {
+	ch, local := l.route.locate(lineAddr)
+	l.out[ch] = append(l.out[ch], linkMsg{
+		at: l.q.Now() + l.delay, line: lineAddr, local: local,
+		write: write, sink: sink != nil, core: core, obj: obj, token: token,
+		src: l.src, seq: l.seq,
+	})
+	l.seq++
+	return true
+}
+
+// fillMsg is one completed memory request waiting to be delivered into its
+// core's queue at the next barrier.
+type fillMsg struct {
+	at    event.Time
+	core  int
+	token uint64
+}
+
+// Channel-shard event opcodes.
+const (
+	chopDeliver int32 = iota // i64 = inbox index of the arriving linkMsg
+	chopRetry                // retry backpressured submissions
+)
+
+// chanShard owns one memory controller and its private event queue. It
+// applies barrier-merged submissions at their exact effect times, holds
+// rejected ones in an arrival-ordered pending queue with paced retries,
+// and stages completions for the coordinator to post back to core queues.
+//
+//moca:shard channel
+type chanShard struct {
+	idx   int
+	q     *event.Queue
+	ctrl  *mem.Controller
+	cycle event.Time
+
+	inbox      []linkMsg // this window's deliveries, indexed by chopDeliver i64
+	pending    []linkMsg // rejected submissions, retried in arrival order
+	pendHead   int
+	retryArmed bool
+
+	fills []fillMsg      // completions staged for the coordinator
+	sinks []mem.DoneSink // pre-boxed per-core completion sinks
+	bp    []uint64       // per-core rejected-submission counts
+
+	err error // shard panic, keyed by the coordinator
+}
+
+// chanSink stages one core's completions on its channel shard.
+type chanSink struct {
+	cs   *chanShard
+	core int
+}
+
+// MemDone implements mem.DoneSink.
+func (s *chanSink) MemDone(token uint64, at event.Time) {
+	s.cs.fills = append(s.cs.fills, fillMsg{at: at, core: s.core, token: token})
+}
+
+func newChanShard(idx int, ctrlBuild func(q *event.Queue) (*mem.Controller, error), cores int, cycle event.Time) (*chanShard, error) {
+	cs := &chanShard{idx: idx, q: event.NewQueue(), cycle: cycle, bp: make([]uint64, cores)}
+	ctrl, err := ctrlBuild(cs.q)
+	if err != nil {
+		return nil, err
+	}
+	cs.ctrl = ctrl
+	for c := 0; c < cores; c++ {
+		cs.sinks = append(cs.sinks, &chanSink{cs: cs, core: c})
+	}
+	return cs, nil
+}
+
+// OnEvent implements event.Handler.
+func (cs *chanShard) OnEvent(now event.Time, op int32, i64 int64, _ any) {
+	switch op {
+	case chopDeliver:
+		cs.deliver(now, cs.inbox[i64])
+	case chopRetry:
+		cs.retryArmed = false
+		cs.drainPending(now)
+	}
+}
+
+func (cs *chanShard) deliver(now event.Time, m linkMsg) {
+	if cs.pendHead < len(cs.pending) {
+		// Preserve per-channel arrival order behind earlier rejections.
+		cs.pending = append(cs.pending, m)
+		cs.armRetry(now)
+		return
+	}
+	cs.try(now, m)
+}
+
+func (cs *chanShard) try(now event.Time, m linkMsg) {
+	var sink mem.DoneSink
+	if m.sink {
+		sink = cs.sinks[m.core]
+	}
+	if cs.ctrl.EnqueueLine(m.local, m.write, m.core, m.obj, sink, m.token) {
+		return
+	}
+	if m.core < 0 {
+		// Migration copy traffic is best-effort under backpressure.
+		return
+	}
+	cs.bp[m.core]++
+	cs.pending = append(cs.pending, m)
+	cs.armRetry(now)
+}
+
+func (cs *chanShard) drainPending(now event.Time) {
+	for cs.pendHead < len(cs.pending) {
+		m := cs.pending[cs.pendHead]
+		var sink mem.DoneSink
+		if m.sink {
+			sink = cs.sinks[m.core]
+		}
+		if !cs.ctrl.EnqueueLine(m.local, m.write, m.core, m.obj, sink, m.token) {
+			if m.core < 0 {
+				// Queued migration copies stay best-effort: drop instead
+				// of blocking demand traffic behind them.
+				cs.pendHead++
+				continue
+			}
+			cs.bp[m.core]++
+			cs.armRetry(now)
+			return
+		}
+		cs.pendHead++
+	}
+	cs.pending = cs.pending[:0]
+	cs.pendHead = 0
+}
+
+func (cs *chanShard) armRetry(now event.Time) {
+	if cs.retryArmed {
+		return
+	}
+	cs.retryArmed = true
+	cs.q.PostAfter(chanRetryGap*cs.cycle, cs, chopRetry, 0, nil)
+}
+
+// Core-shard event opcodes (coreCtx is the handler).
+const (
+	copFill int32 = iota // i64 = token: a barrier-delivered memory completion
+)
+
+// OnEvent implements event.Handler: barrier-delivered completions enter
+// the hierarchy at their exact completion times.
+func (c *coreCtx) OnEvent(now event.Time, op int32, i64 int64, _ any) {
+	if op == copFill {
+		c.hier.MemDone(uint64(i64), now)
+	}
+}
+
+// faultGate serializes page faults — the only mid-window cross-shard
+// operation — into ascending (cycle, core) order, the same order the
+// serial lockstep loop produces naturally. clocks[i] holds the first cycle
+// core i has NOT yet completed; a core about to fault at cycle t spins
+// until every lower-indexed core has finished cycle t and every
+// higher-indexed core has at least finished cycle t-1, which makes it the
+// unique minimum of the (cycle, core) fault order and implies exclusive
+// access. Deadlock-free by induction on that order: the minimal pending
+// fault's condition only waits on cores that fault later or not at all.
+type faultGate struct {
+	on     bool
+	clocks []atomic.Int64
+}
+
+func newFaultGate(cores int, on bool) *faultGate {
+	return &faultGate{on: on, clocks: make([]atomic.Int64, cores)}
+}
+
+// wait blocks until core's page fault at its current cycle is ordered
+// first among all outstanding work. No-op in serial mode.
+func (g *faultGate) wait(core int) {
+	if !g.on {
+		return
+	}
+	t := g.clocks[core].Load()
+	for j := range g.clocks {
+		if j == core {
+			continue
+		}
+		need := t
+		if j < core {
+			need = t + 1 // lower-indexed cores must have completed cycle t
+		}
+		cj := &g.clocks[j]
+		spinWait(func() bool { return cj.Load() >= need })
+	}
+}
+
+// spinWait spins until cond holds: a short tight spin first (barriers open
+// within nanoseconds when every shard has a hardware thread), then yielding
+// to the scheduler so oversubscribed machines make progress instead of
+// burning whole quanta.
+func spinWait(cond func() bool) {
+	for i := 0; i < 64; i++ {
+		if cond() {
+			return
+		}
+	}
+	for !cond() {
+		runtime.Gosched()
+	}
+}
+
+// shardPool runs phase jobs on persistent worker goroutines synchronized
+// by a generation-counted spin barrier: one atomic bump dispatches a
+// phase, one per-worker increment reports completion. Workers spin-wait
+// between phases, so dispatch latency is a cache-miss, not a scheduler
+// wakeup.
+type shardPool struct {
+	workers int
+	gen     atomic.Int64
+	done    atomic.Int64
+	job     func(w int)
+	panics  []error
+	wg      sync.WaitGroup
+}
+
+func newShardPool(workers int) *shardPool {
+	p := &shardPool{workers: workers, panics: make([]error, workers)}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.loop(w)
+	}
+	return p
+}
+
+func (p *shardPool) loop(w int) {
+	defer p.wg.Done()
+	seen := int64(0)
+	for {
+		spinWait(func() bool { return p.gen.Load() != seen })
+		seen++
+		job := p.job
+		if job == nil {
+			return
+		}
+		p.runJob(w, job)
+		p.done.Add(1)
+	}
+}
+
+// runJob is the backstop recovery: shard jobs recover their own panics
+// into keyed per-shard errors, so anything landing here is a harness bug —
+// but it must still count the worker done or the barrier would deadlock.
+func (p *shardPool) runJob(w int, job func(int)) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics[w] = fmt.Errorf("sim: shard worker %d: panic: %v", w, r)
+		}
+	}()
+	job(w)
+}
+
+// run dispatches job to every worker and blocks until all complete. It
+// returns the lowest-indexed worker's escaped panic, if any.
+func (p *shardPool) run(job func(w int)) error {
+	p.job = job
+	g := p.gen.Add(1)
+	spinWait(func() bool { return p.done.Load() >= g*int64(p.workers) })
+	var err error
+	for w, pe := range p.panics {
+		if pe != nil {
+			if err == nil {
+				err = pe
+			}
+			p.panics[w] = nil
+		}
+	}
+	return err
+}
+
+func (p *shardPool) stop() {
+	if p == nil {
+		return
+	}
+	p.job = nil
+	p.gen.Add(1)
+	p.wg.Wait()
+}
+
+// setWindow overrides the window length (tests only: barrier-storm stress
+// uses single-cycle windows). The link latency tracks the window, so
+// serial/sharded comparisons must use the same value on both systems.
+func (s *System) setWindow(w event.Time) {
+	s.window = w
+	for _, l := range s.links {
+		l.delay = w
+	}
+}
+
+// runPhase advances the system in windows until every core has retired
+// target instructions beyond its current count, calling onCross(core, at)
+// once per core at its exact crossing cycle.
+//
+//moca:barrier coordinator loop: owns every shard between phase dispatches
+func (s *System) runPhase(ctx context.Context, target uint64, onCross func(*coreCtx, event.Time)) error {
+	if target == 0 {
+		return nil
+	}
+	for _, c := range s.cores {
+		c.base = c.core.Stats().Instructions
+		c.crossed = false
+		c.counted = false
+		c.frozen = false
+	}
+	remaining := len(s.cores)
+	done := ctx.Done()
+	// Watchdog: generous IPC floor of 1/400 plus fixed slack.
+	maxCycles := target*400 + 50_000_000
+	var cycles uint64
+	start := s.simNow
+	for remaining > 0 {
+		if cycles > maxCycles {
+			crossed := 0
+			for _, c := range s.cores {
+				if c.crossed {
+					crossed++
+				}
+			}
+			return fmt.Errorf("sim: %s: watchdog expired after %d cycles (%d/%d cores finished %d instructions)",
+				s.cfg.Name, cycles, crossed, len(s.cores), target)
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return fmt.Errorf("sim: %s: canceled after %d cycles: %w", s.cfg.Name, cycles, ctx.Err())
+			default:
+			}
+		}
+		windowEnd := s.simNow + s.window
+
+		// Phase A: channel shards run their half of the window.
+		if err := s.runChannelPhase(windowEnd); err != nil {
+			return err
+		}
+		// Phase B: completed requests enter core queues at exact times.
+		s.distributeFills()
+		// Phase C: core shards run the window cycle by cycle.
+		if err := s.runCorePhase(windowEnd, target, onCross, start); err != nil {
+			return err
+		}
+		// Phase D: barrier. The coordinator queue (migration epochs and
+		// copy pacing) runs first so its staged traffic joins this merge.
+		s.q.RunUntil(windowEnd - 1)
+		s.mergeCrossings()
+		for _, c := range s.cores {
+			if c.runErr != nil {
+				return c.runErr
+			}
+			if c.crossed && !c.counted {
+				c.counted = true
+				remaining--
+				if c.frozen {
+					// Backpressure now accrues channel-side; fold the
+					// rejected-submission count into the frozen snapshot.
+					c.snapshot.Hier.BackPressure += s.bpFor(c.proc)
+				}
+			}
+		}
+		s.simNow = windowEnd
+		cycles += uint64(s.window / s.cycle)
+	}
+	return nil
+}
+
+// runChannelPhase drains every channel shard's queue up to the window
+// horizon, in parallel when a pool is attached.
+func (s *System) runChannelPhase(windowEnd event.Time) error {
+	job := func(w, stride int) {
+		for ci := w; ci < len(s.chans); ci += stride {
+			s.runChanShard(s.chans[ci], windowEnd)
+		}
+	}
+	if s.pool == nil {
+		job(0, 1)
+	} else if err := s.pool.run(func(w int) { job(w, s.pool.workers) }); err != nil {
+		return err
+	}
+	for _, cs := range s.chans {
+		if cs.err != nil {
+			return cs.err
+		}
+	}
+	return nil
+}
+
+func (s *System) runChanShard(cs *chanShard, windowEnd event.Time) {
+	defer func() {
+		if r := recover(); r != nil {
+			cs.err = fmt.Errorf("sim: %s: channel shard %s: panic: %v", s.cfg.Name, cs.ctrl.Name, r)
+		}
+	}()
+	cs.q.RunUntil(windowEnd - 1)
+}
+
+// runCorePhase runs every core shard through the window. Each worker
+// advances its owned cores in lockstep, one cycle at a time in ascending
+// core order, so page faults occur in (cycle, core) order on every worker
+// layout — including the serial single-worker one — and the fault gate's
+// spin condition can always be satisfied.
+//
+//moca:barrier dispatches core shards and reaps their per-core errors
+func (s *System) runCorePhase(windowEnd event.Time, target uint64, onCross func(*coreCtx, event.Time), start event.Time) error {
+	job := func(w, stride int) { s.coreWindow(w, stride, windowEnd, target, onCross, start) }
+	if s.pool == nil {
+		job(0, 1)
+	} else if err := s.pool.run(func(w int) { job(w, s.pool.workers) }); err != nil {
+		return err
+	}
+	return nil
+}
+
+// coreWindow advances the cores owned by worker w (core indices congruent
+// to w modulo stride) through one window. A panicking core shard is
+// recovered into a keyed error on that core; the worker's remaining cores
+// skip the rest of the window and every owned clock is released so no
+// other shard's fault gate can deadlock on the dying worker.
+func (s *System) coreWindow(w, stride int, windowEnd event.Time, target uint64, onCross func(*coreCtx, event.Time), start event.Time) {
+	cur := -1
+	defer func() {
+		if r := recover(); r != nil {
+			c := s.cores[cur]
+			c.runErr = fmt.Errorf("sim: %s: core shard %d (%s): panic: %v", s.cfg.Name, cur, c.app.Spec.Name, r)
+			c.dead = true
+			for i := w; i < len(s.cores); i += stride {
+				s.gate.clocks[i].Store(math.MaxInt64)
+			}
+		}
+	}()
+	for t := windowEnd - s.window; t < windowEnd; t += s.cycle {
+		for i := w; i < len(s.cores); i += stride {
+			c := s.cores[i]
+			if c.dead {
+				continue
+			}
+			cur = i
+			c.q.RunUntil(t)
+			c.core.Tick()
+			s.gate.clocks[i].Store(int64(t + s.cycle))
+			if err := c.core.Err(); err != nil {
+				c.fail(s, i, err)
+				continue
+			}
+			if c.crossed {
+				continue
+			}
+			if c.core.Stats().Instructions-c.base >= target {
+				c.crossed = true
+				if onCross != nil {
+					onCross(c, t+s.cycle)
+				}
+			} else if c.core.Done() {
+				// The stream ran dry before the quota: this core can never
+				// cross, so fail now instead of spinning into the watchdog.
+				// A replayed trace that ended on a decode error reports
+				// that error, not a bare end-of-stream.
+				short := target - (c.core.Stats().Instructions - c.base)
+				if serr := streamErr(c.stream); serr != nil {
+					c.fail(s, i, fmt.Errorf("trace decode: %w", serr))
+				} else {
+					c.fail(s, i, fmt.Errorf("instruction stream ended %d instructions short of its %d quota", short, target))
+				}
+			}
+		}
+	}
+	for i := w; i < len(s.cores); i += stride {
+		c := s.cores[i]
+		if c.dead {
+			continue
+		}
+		// Drain the sub-cycle remainder: controller completion times are
+		// not cycle-aligned, so fills can spawn hierarchy events that land
+		// between the last tick (windowEnd-cycle) and the window end. They
+		// belong to this window — running them now keeps every link
+		// submission's staging time inside the window that merges it.
+		cur = i
+		c.q.RunUntil(windowEnd - 1)
+		s.gate.clocks[i].Store(int64(windowEnd))
+	}
+}
+
+// fail marks the core dead with a keyed error and releases its gate clock.
+func (c *coreCtx) fail(s *System, i int, err error) {
+	c.runErr = fmt.Errorf("sim: %s core %d (%s): %w", s.cfg.Name, i, c.app.Spec.Name, err)
+	c.dead = true
+	s.gate.clocks[i].Store(math.MaxInt64)
+}
+
+// distributeFills posts every completion the channel shards staged into
+// the owning cores' queues, merged across channels by (at, channel, seq)
+// so insertion order — and therefore same-timestamp execution order — is
+// deterministic.
+//
+//moca:barrier merges channel-shard completions into core-shard queues
+func (s *System) distributeFills() {
+	buf := s.fillScratch[:0]
+	for ci, cs := range s.chans {
+		for _, f := range cs.fills {
+			buf = append(buf, chanFill{fillMsg: f, ch: ci, seq: len(buf)})
+		}
+		cs.fills = cs.fills[:0]
+	}
+	sort.Slice(buf, func(i, j int) bool {
+		if buf[i].at != buf[j].at {
+			return buf[i].at < buf[j].at
+		}
+		if buf[i].ch != buf[j].ch {
+			return buf[i].ch < buf[j].ch
+		}
+		return buf[i].seq < buf[j].seq
+	})
+	for _, f := range buf {
+		c := s.cores[f.core]
+		c.q.Post(f.at, c, copFill, int64(f.token), nil)
+	}
+	s.fillScratch = buf[:0]
+}
+
+// chanFill tags a staged fill with its merge key.
+type chanFill struct {
+	fillMsg
+	ch  int
+	seq int
+}
+
+// mergeCrossings applies every staged core->channel (and migration)
+// submission to its channel shard in (at, source shard, seq) order: the
+// window-merge contract the fuzz target locks down. The migration
+// monitor's access counter fires here too, in merged order, so epoch
+// decisions are identical across shard counts.
+//
+//moca:barrier merges core-shard link traffic into channel-shard queues
+func (s *System) mergeCrossings() {
+	for ci, cs := range s.chans {
+		m := mergeWindow(s.linkScratch[:0], s.links, ci)
+		s.linkScratch = m
+		cs.inbox = cs.inbox[:0]
+		for _, msg := range m {
+			if s.route.onAccess != nil {
+				s.route.onAccess(msg.line)
+			}
+			cs.inbox = append(cs.inbox, msg)
+			cs.q.Post(msg.at, cs, chopDeliver, int64(len(cs.inbox)-1), nil)
+		}
+	}
+}
+
+// mergeWindow collects channel ci's staged messages from every link,
+// clears the stages, and returns them sorted by (at, src, seq). The result
+// is a pure function of the per-link message sets: worker completion order
+// cannot influence it (FuzzWindowMerge).
+func mergeWindow(dst []linkMsg, links []*shardLink, ci int) []linkMsg {
+	for _, l := range links {
+		dst = append(dst, l.out[ci]...)
+		l.out[ci] = l.out[ci][:0]
+	}
+	sortLinkMsgs(dst)
+	return dst
+}
+
+// sortLinkMsgs orders messages by (at, src, seq). Insertion sort: window
+// batches are small (a handful of LLC misses), and this avoids the
+// per-call closure allocation of sort.Slice on a hot barrier path.
+func sortLinkMsgs(m []linkMsg) {
+	for i := 1; i < len(m); i++ {
+		for j := i; j > 0 && linkMsgLess(m[j], m[j-1]); j-- {
+			m[j], m[j-1] = m[j-1], m[j]
+		}
+	}
+}
+
+func linkMsgLess(a, b linkMsg) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// bpFor sums core's channel-side rejected submissions across channels.
+//
+//moca:barrier reads channel-shard counters; runs only between phases
+func (s *System) bpFor(core int) uint64 {
+	var n uint64
+	for _, cs := range s.chans {
+		n += cs.bp[core]
+	}
+	return n
+}
+
+// resetShardStats clears the window-accounting the shards accumulate on
+// behalf of core statistics (the warmup/measure boundary).
+//
+//moca:barrier resets channel-shard counters between phases
+func (s *System) resetShardStats() {
+	for _, cs := range s.chans {
+		for i := range cs.bp {
+			cs.bp[i] = 0
+		}
+	}
+}
+
+// flushTrace merges the per-shard run-trace stages into the user's sink in
+// (timestamp, stage, staging order) order. Stage IDs are fixed (0 =
+// OS/coordinator, then cores, then channels), so the merged stream is a
+// pure function of per-stage content — identical across shard counts.
+//
+//moca:barrier merges per-shard trace stages after the run completes
+func (s *System) flushTrace() {
+	if s.runTrace == nil || len(s.traceStages) == 0 {
+		return
+	}
+	type staged struct {
+		ev    obs.Event
+		stage int
+		seq   int
+	}
+	var all []staged
+	var dropped uint64
+	for si, st := range s.traceStages {
+		for i, ev := range st.Events() {
+			all = append(all, staged{ev: ev, stage: si, seq: i})
+		}
+		dropped += st.Dropped()
+		st.Reset()
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].ev.At != all[j].ev.At {
+			return all[i].ev.At < all[j].ev.At
+		}
+		if all[i].stage != all[j].stage {
+			return all[i].stage < all[j].stage
+		}
+		return all[i].seq < all[j].seq
+	})
+	for _, e := range all {
+		s.runTrace.Emit(e.ev)
+	}
+	s.runTrace.AddDropped(dropped)
+}

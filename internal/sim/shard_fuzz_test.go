@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"moca/internal/event"
+)
+
+// FuzzWindowMerge feeds random per-shard message batches into the barrier
+// merge, staged once sequentially and once by concurrently running shard
+// goroutines: the merged sequence must be identical — worker completion
+// order can never leak into the deterministic (at, src, seq) order — and
+// per-shard staging order must be preserved within equal timestamps.
+func FuzzWindowMerge(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(3))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0x42}, uint8(5))
+	f.Fuzz(func(t *testing.T, raw []byte, nshards uint8) {
+		shards := int(nshards%8) + 1
+
+		// Decode the fuzz bytes into per-shard batches. Timestamps are
+		// drawn from a tiny range so collisions across shards are common —
+		// ties are where ordering bugs hide.
+		batches := make([][]linkMsg, shards)
+		for i, b := range raw {
+			src := (i + int(b)) % shards
+			msg := linkMsg{
+				at:   event.Time(b % 7),
+				line: uint64(b) << 3,
+				src:  src,
+				seq:  uint64(len(batches[src])),
+			}
+			batches[src] = append(batches[src], msg)
+		}
+
+		stage := func(concurrent bool) []linkMsg {
+			links := make([]*shardLink, shards)
+			for s := range links {
+				links[s] = &shardLink{src: s, out: make([][]linkMsg, 1)}
+			}
+			if concurrent {
+				var wg sync.WaitGroup
+				for s := range links {
+					s := s
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						links[s].out[0] = append(links[s].out[0], batches[s]...)
+					}()
+				}
+				wg.Wait()
+			} else {
+				for s := range links {
+					links[s].out[0] = append(links[s].out[0], batches[s]...)
+				}
+			}
+			return mergeWindow(nil, links, 0)
+		}
+
+		seq := stage(false)
+		conc := stage(true)
+
+		if len(seq) != len(conc) {
+			t.Fatalf("merge length diverged: sequential %d, concurrent %d", len(seq), len(conc))
+		}
+		for i := range seq {
+			if seq[i] != conc[i] {
+				t.Fatalf("merge[%d] diverged:\nsequential %+v\nconcurrent %+v", i, seq[i], conc[i])
+			}
+		}
+
+		// The merge must be totally ordered by (at, src, seq) ...
+		for i := 1; i < len(seq); i++ {
+			if linkMsgLess(seq[i], seq[i-1]) {
+				t.Fatalf("merge not sorted at %d: %+v before %+v", i, seq[i-1], seq[i])
+			}
+		}
+		// ... and lossless: per-shard counts must round-trip.
+		perShard := make([]int, shards)
+		for _, m := range seq {
+			perShard[m.src]++
+		}
+		for s := range batches {
+			if perShard[s] != len(batches[s]) {
+				t.Fatalf("shard %d: staged %d messages, merged %d", s, len(batches[s]), perShard[s])
+			}
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"moca/internal/cpu"
+	"moca/internal/event"
+	"moca/internal/mem"
+	"moca/internal/workload"
+)
+
+// stormProcs is a 4-core mix small enough to run thousands of windows
+// quickly.
+func stormProcs() []ProcSpec {
+	return []ProcSpec{
+		{App: workload.MCF(), Input: workload.Ref},
+		{App: workload.Milc(), Input: workload.Ref},
+		{App: workload.GCC(), Input: workload.Ref},
+		{App: workload.LBM(), Input: workload.Ref},
+	}
+}
+
+// TestBarrierStorm shrinks the window to a single cycle so a short run
+// crosses thousands of barriers, hammering the pool's dispatch path and
+// the fault gate under the race detector — and still demands bit-identical
+// results between serial and 4-shard execution at that window.
+func TestBarrierStorm(t *testing.T) {
+	run := func(shards int) *Result {
+		cfg := DefaultConfig("homogen-ddr3", Homogeneous(mem.DDR3), PolicyFixed)
+		cfg.Obs.Metrics = true
+		cfg.Shards = shards
+		sys, err := New(cfg, stormProcs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.setWindow(sys.cycle) // one barrier per cycle
+		res, err := sys.Run(500, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, sharded := run(1), run(4)
+	if serial.Elapsed != sharded.Elapsed {
+		t.Errorf("elapsed diverged: serial %d, sharded %d", serial.Elapsed, sharded.Elapsed)
+	}
+	for i := range serial.Cores {
+		if serial.Cores[i].CPU != sharded.Cores[i].CPU {
+			t.Errorf("core %d stats diverged:\nserial  %+v\nsharded %+v", i, serial.Cores[i].CPU, sharded.Cores[i].CPU)
+		}
+	}
+	if a, b := mustJSON(serial.Obs), mustJSON(sharded.Obs); a != b {
+		t.Errorf("obs snapshots diverged:\nserial  %s\nsharded %s", a, b)
+	}
+}
+
+// TestCancelMidWindow cancels the context while a 4-shard run is deep in
+// its measurement phase: the run must surface the cancellation as an error
+// promptly instead of deadlocking a barrier with parked workers.
+func TestCancelMidWindow(t *testing.T) {
+	cfg := DefaultConfig("homogen-ddr3", Homogeneous(mem.DDR3), PolicyFixed)
+	cfg.Shards = 4
+	sys, err := New(cfg, stormProcs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		// A quota far beyond what 30 ms of wall clock can simulate: the
+		// only way out is the cancellation.
+		_, err := sys.RunContext(ctx, 0, 50_000_000)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("run completed despite cancellation")
+		}
+		if !strings.Contains(err.Error(), "canceled") {
+			t.Fatalf("error %q does not report the cancellation", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled run did not return: barrier deadlock")
+	}
+}
+
+// panicStream explodes after feeding n instructions.
+type panicStream struct {
+	n int
+}
+
+func (p *panicStream) Next() (cpu.Instr, bool) {
+	if p.n <= 0 {
+		panic("panicStream: injected shard failure")
+	}
+	p.n--
+	return cpu.Instr{Kind: cpu.Compute, N: 1}, true
+}
+
+// TestPanickingShard injects a panic into one core of a 4-shard run: the
+// run must recover it into an error keyed with the failing core and
+// release every barrier instead of deadlocking the surviving workers.
+func TestPanickingShard(t *testing.T) {
+	const victim = 2
+	procs := stormProcs()
+	procs[victim].Stream = &panicStream{n: 400}
+	cfg := DefaultConfig("homogen-ddr3", Homogeneous(mem.DDR3), PolicyFixed)
+	cfg.Shards = 4
+	sys, err := New(cfg, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := sys.Run(0, 10_000)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("run succeeded despite a panicking shard")
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, fmt.Sprintf("core shard %d", victim)) {
+			t.Errorf("error %q is not keyed to core shard %d", msg, victim)
+		}
+		if !strings.Contains(msg, "panic") || !strings.Contains(msg, "injected shard failure") {
+			t.Errorf("error %q does not carry the recovered panic", msg)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("panicking shard deadlocked the run")
+	}
+}
+
+// TestShardsMatchAcrossWorkerCounts locks the clamp: worker counts beyond
+// the shard population (here 16 workers for 4 cores + 4 channels) must not
+// change scheduling order.
+func TestShardsMatchAcrossWorkerCounts(t *testing.T) {
+	run := func(shards int) event.Time {
+		cfg := DefaultConfig("homogen-ddr3", Homogeneous(mem.DDR3), PolicyFixed)
+		cfg.Shards = shards
+		sys, err := New(cfg, stormProcs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(0, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	base := run(2)
+	for _, shards := range []int{3, 16} {
+		if got := run(shards); got != base {
+			t.Errorf("shards=%d elapsed %d != shards=2 elapsed %d", shards, got, base)
+		}
+	}
+}

@@ -21,48 +21,53 @@ import (
 // their channels at row-buffer granularity (RoRaBaChCo: the Ch bits sit
 // just above the column bits, Table I).
 type router struct {
-	groups [][]*mem.Controller // per module
-	gran   []uint64            // interleave granularity per module
-	// onAccess, if set, observes every submitted request (the migration
-	// monitor's per-page access counter).
+	base  []int    // per module: first global channel index
+	nchan []int    // per module: channel count
+	gran  []uint64 // per module: interleave granularity
+	// onAccess, if set, observes every merged request at the window
+	// barrier (the migration monitor's per-page access counter).
 	onAccess func(paddr uint64)
 }
 
-// Submit implements cache.Backend. The sink and token pass through to the
-// selected controller, which owns a pool of request records — no per-access
-// allocation happens on this path.
-func (r *router) Submit(lineAddr uint64, write bool, core int, obj uint64, sink mem.DoneSink, token uint64) bool {
-	if r.onAccess != nil {
-		r.onAccess(lineAddr)
-	}
+// locate resolves a line address to its global channel index and the
+// channel-local address. Pure: safe from any shard.
+func (r *router) locate(lineAddr uint64) (ch int, local uint64) {
 	module := vm.ModuleOf(lineAddr)
-	if module < 0 || module >= len(r.groups) {
+	if module < 0 || module >= len(r.base) {
 		panic(fmt.Sprintf("sim: line address %#x maps to unknown module %d", lineAddr, module))
 	}
 	off := vm.ModuleOffset(lineAddr)
-	chans := r.groups[module]
-	var ctrl *mem.Controller
-	var local uint64
-	if len(chans) == 1 {
-		ctrl, local = chans[0], off
-	} else {
-		g := r.gran[module]
-		n := uint64(len(chans))
-		ch := (off / g) % n
-		ctrl = chans[ch]
-		local = (off/(g*n))*g + off%g
+	n := uint64(r.nchan[module])
+	if n == 1 {
+		return r.base[module], off
 	}
-	return ctrl.EnqueueLine(local, write, core, obj, sink, token)
+	g := r.gran[module]
+	c := (off / g) % n
+	return r.base[module] + int(c), (off/(g*n))*g + off%g
 }
 
+// coreCtx is one core shard: the cpu, its private cache hierarchy, heap,
+// and stream, all driven by the shard's own event queue.
+//
+//moca:shard core
 type coreCtx struct {
 	proc      int
+	q         *event.Queue
+	link      *shardLink
 	app       *workload.App
 	core      *cpu.Core
 	hier      *cache.Hierarchy
 	allocator *heap.Allocator
 	profiler  *profile.Profiler
 	stream    cpu.Stream
+
+	// Phase bookkeeping, owned by the shard's worker during a window and
+	// by the coordinator at barriers.
+	base    uint64
+	crossed bool
+	counted bool
+	dead    bool
+	runErr  error
 
 	frozen   bool
 	snapshot CoreResult
@@ -71,9 +76,16 @@ type coreCtx struct {
 
 // System is one fully assembled simulated machine.
 type System struct {
-	cfg   Config
-	q     *event.Queue
+	cfg    Config
+	q      *event.Queue // coordinator queue: migration epochs and copy pacing
+	cycle  event.Time
+	window event.Time
+	shards int
+	simNow event.Time // start of the next window
+
 	cores []*coreCtx
+	chans []*chanShard
+	links []*shardLink // per core, plus the migration link last
 
 	modules  []*vm.Module
 	os       *alloc.OS
@@ -81,14 +93,27 @@ type System struct {
 	chanCaps []uint64
 	route    *router
 	migrator *alloc.Migrator // nil unless PolicyMigrate
+	migLink  *shardLink
 
-	// Observability (nil unless cfg.Obs requests it).
-	reg      *obs.Registry
-	runTrace *obs.Trace
+	gate *faultGate
+	pool *shardPool // non-nil only while a parallel RunContext is active
+
+	// Observability (nil unless cfg.Obs requests it). runTrace is the
+	// caller's sink; shards emit into traceStages (0 = OS/coordinator,
+	// then cores, then channels), merged by flushTrace.
+	reg         *obs.Registry
+	runTrace    *obs.Trace
+	traceStages []*obs.Trace
+	coordTrace  *obs.Trace
+
+	linkScratch []linkMsg
+	fillScratch []chanFill
 }
 
 // New assembles a system running one process per entry of procs (the
 // process index is the core index).
+//
+//moca:barrier construction happens before any worker goroutine exists
 func New(cfg Config, procs []ProcSpec) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -97,20 +122,51 @@ func New(cfg Config, procs []ProcSpec) (*System, error) {
 		return nil, fmt.Errorf("sim: no processes")
 	}
 
-	s := &System{cfg: cfg, q: event.NewQueue()}
+	s := &System{
+		cfg:    cfg,
+		q:      event.NewQueue(),
+		cycle:  cfg.Core.Cycle,
+		shards: cfg.Shards,
+	}
+	s.window = windowCycles * s.cycle
+
+	totalChannels := 0
+	for _, spec := range cfg.Modules {
+		totalChannels += spec.Channels
+	}
 
 	// Observability: a per-system registry (concurrent runs never share
 	// one) and the caller's trace sink. Both stay nil when disabled, so
-	// every component hook below degrades to a nil check.
+	// every component hook below degrades to a nil check. Trace emissions
+	// go to per-shard stages so shard workers never contend on — or
+	// reorder — the caller's sink; flushTrace merges deterministically.
 	if cfg.Obs.Metrics {
 		s.reg = obs.NewRegistry()
 	}
 	s.runTrace = cfg.Obs.Trace
+	if s.runTrace != nil {
+		for i := 0; i < 1+len(procs)+totalChannels; i++ {
+			s.traceStages = append(s.traceStages, obs.NewTrace(s.runTrace.Cap()))
+		}
+		s.coordTrace = s.traceStages[0]
+	}
 	if cfg.Obs.Enabled() {
 		s.q.AttachObs(s.reg)
 	}
+	coreStage := func(i int) *obs.Trace {
+		if s.traceStages == nil {
+			return nil
+		}
+		return s.traceStages[1+i]
+	}
+	chanStage := func(ci int) *obs.Trace {
+		if s.traceStages == nil {
+			return nil
+		}
+		return s.traceStages[1+len(procs)+ci]
+	}
 
-	// Memory modules, channels, and the router.
+	// Memory modules, channel shards, and the router.
 	s.route = &router{}
 	var infos []alloc.ModuleInfo
 	for i, spec := range cfg.Modules {
@@ -123,28 +179,29 @@ func New(cfg Config, procs []ProcSpec) (*System, error) {
 
 		dev := mem.Preset(spec.Kind)
 		perChan := spec.CapacityBytes / uint64(spec.Channels)
-		var group []*mem.Controller
+		s.route.base = append(s.route.base, len(s.channels))
+		s.route.nchan = append(s.route.nchan, spec.Channels)
+		s.route.gran = append(s.route.gran, uint64(dev.Geometry.RowBufferBytes))
 		for ch := 0; ch < spec.Channels; ch++ {
-			ctrl, err := mem.NewController(
-				fmt.Sprintf("%s-m%d-ch%d", spec.Kind, i, ch),
-				s.q,
-				mem.ChannelConfig{
+			name := fmt.Sprintf("%s-m%d-ch%d", spec.Kind, i, ch)
+			ci := len(s.chans)
+			cs, err := newChanShard(ci, func(q *event.Queue) (*mem.Controller, error) {
+				return mem.NewController(name, q, mem.ChannelConfig{
 					Device: dev, CapacityBytes: perChan, Scheduler: cfg.Scheduler,
 					RowPolicy: cfg.RowPolicy, BankStripe: cfg.BankStripe,
-				},
-			)
+				})
+			}, len(procs), s.cycle)
 			if err != nil {
 				return nil, err
 			}
 			if cfg.Obs.Enabled() {
-				ctrl.AttachObs(s.reg, s.runTrace)
+				cs.q.AttachObs(s.reg)
+				cs.ctrl.AttachObs(s.reg, chanStage(ci))
 			}
-			group = append(group, ctrl)
-			s.channels = append(s.channels, ctrl)
+			s.chans = append(s.chans, cs)
+			s.channels = append(s.channels, cs.ctrl)
 			s.chanCaps = append(s.chanCaps, perChan)
 		}
-		s.route.groups = append(s.route.groups, group)
-		s.route.gran = append(s.route.gran, uint64(dev.Geometry.RowBufferBytes))
 	}
 
 	// Placement policy and OS.
@@ -173,17 +230,15 @@ func New(cfg Config, procs []ProcSpec) (*System, error) {
 		return nil, err
 	}
 	s.os = osys
+	s.gate = newFaultGate(len(procs), cfg.Shards > 1)
+	osys.SetFaultGate(s.gate.wait)
 	if cfg.Obs.Enabled() {
-		osys.AttachObs(s.reg, s.runTrace, s.q.Now)
+		osys.AttachObs(s.reg, s.coordTrace, func(proc int) int64 {
+			return int64(s.cores[proc].q.Now())
+		})
 	}
 
-	if cfg.Policy == PolicyMigrate {
-		if err := s.setupMigration(cfg, infos); err != nil {
-			return nil, err
-		}
-	}
-
-	// Cores: heap, app, hierarchy, core, profiler.
+	// Cores: heap, app, hierarchy, core, profiler — one shard each.
 	for i, p := range procs {
 		spec := p.App.ForInput(p.Input)
 		allocator := heap.New(heap.Config{NamingDepth: p.NamingDepth, Classes: p.Classes})
@@ -193,13 +248,18 @@ func New(cfg Config, procs []ProcSpec) (*System, error) {
 		}
 		osys.AddProcess(i, p.AppClass)
 
+		cq := event.NewQueue()
+		if cfg.Obs.Enabled() {
+			cq.AttachObs(s.reg)
+		}
+		link := &shardLink{q: cq, route: s.route, delay: s.window, src: i, out: make([][]linkMsg, totalChannels)}
 		hcfg := cache.HierarchyConfig{L1: cfg.CacheL1, L2: cfg.CacheL2, CPUCycle: cfg.Core.Cycle, Core: i, Prefetch: cfg.Prefetch}
-		hier, err := cache.NewHierarchy(s.q, s.route, hcfg)
+		hier, err := cache.NewHierarchy(cq, link, hcfg)
 		if err != nil {
 			return nil, err
 		}
 		if cfg.Obs.Enabled() {
-			hier.AttachObs(s.reg, s.runTrace)
+			hier.AttachObs(s.reg, coreStage(i))
 		}
 		stream := cpu.Stream(app.Stream())
 		if p.Stream != nil {
@@ -210,7 +270,7 @@ func New(cfg Config, procs []ProcSpec) (*System, error) {
 			return nil, err
 		}
 
-		ctx := &coreCtx{proc: i, app: app, core: core, hier: hier, allocator: allocator, stream: stream}
+		ctx := &coreCtx{proc: i, q: cq, link: link, app: app, core: core, hier: hier, allocator: allocator, stream: stream}
 		if cfg.Profile {
 			prof := profile.New()
 			ctx.profiler = prof
@@ -221,6 +281,18 @@ func New(cfg Config, procs []ProcSpec) (*System, error) {
 			hier.OnLoad = prof.OnLoad
 		}
 		s.cores = append(s.cores, ctx)
+		s.links = append(s.links, link)
+	}
+
+	// The migration engine's copy traffic crosses barriers like any core's
+	// demand traffic, through its own link on the coordinator queue.
+	s.migLink = &shardLink{q: s.q, route: s.route, delay: s.window, src: len(procs), out: make([][]linkMsg, totalChannels)}
+	s.links = append(s.links, s.migLink)
+
+	if cfg.Policy == PolicyMigrate {
+		if err := s.setupMigration(cfg, infos); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -255,22 +327,36 @@ func (s *System) SuggestedWarmup() uint64 {
 // Per-core statistics freeze as each core crosses its quota; cores keep
 // executing so memory contention persists until the last core finishes,
 // as in standard multi-program methodology.
+//
+// With cfg.Shards > 1 the shards execute on worker goroutines; results are
+// byte-identical to serial mode (see shard.go).
 func (s *System) Run(warmup, measure uint64) (*Result, error) {
 	return s.RunContext(context.Background(), warmup, measure)
 }
 
-// RunContext is Run with cancellation: the simulation loop polls ctx
-// between cycle batches and returns ctx.Err() promptly when it fires, so
+// RunContext is Run with cancellation: the simulation loop polls ctx at
+// every window barrier and returns ctx.Err() promptly when it fires, so
 // an in-flight run can be abandoned cleanly (Ctrl-C in the commands).
 // Cancellation never perturbs a run that completes: the poll is a
-// read-only check between deterministic cycles.
+// read-only check between deterministic windows.
+//
+//moca:barrier assembles per-shard results after the phases complete
 func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (*Result, error) {
 	if measure == 0 {
 		return nil, fmt.Errorf("sim: zero measurement window")
 	}
-	cycle := s.cfg.Core.Cycle
+	if s.shards > 1 {
+		workers := s.shards
+		if m := max(len(s.cores), len(s.chans)); workers > m {
+			workers = m
+		}
+		if workers > 1 {
+			s.pool = newShardPool(workers)
+			defer func() { s.pool.stop(); s.pool = nil }()
+		}
+	}
 
-	if err := s.runPhase(ctx, warmup, cycle, nil); err != nil {
+	if err := s.runPhase(ctx, warmup, nil); err != nil {
 		return nil, err
 	}
 	for _, c := range s.cores {
@@ -280,6 +366,7 @@ func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (*Resul
 	for _, ch := range s.channels {
 		ch.ResetStats()
 	}
+	s.resetShardStats()
 	// The observability snapshot covers the same measured window as the
 	// component stats (nil-safe when metrics are disabled). Controllers
 	// first flush their virtual-tick accounts so the event counters read
@@ -288,20 +375,21 @@ func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (*Resul
 		ch.SyncObs()
 	}
 	s.reg.Reset()
-	start := s.q.Now()
+	start := s.simNow
 
-	snap := func(c *coreCtx) {
+	snap := func(c *coreCtx, at event.Time) {
 		c.frozen = true
-		c.snapAt = s.q.Now()
-		c.snapshot = s.coreResult(c, s.q.Now()-start)
+		c.snapAt = at
+		c.snapshot = s.coreResult(c, at-start)
 	}
-	if err := s.runPhase(ctx, measure, cycle, snap); err != nil {
+	if err := s.runPhase(ctx, measure, snap); err != nil {
 		return nil, err
 	}
-	end := s.q.Now()
+	end := s.simNow
 	for _, ch := range s.channels {
 		ch.SyncObs()
 	}
+	s.flushTrace()
 
 	res := &Result{
 		Name:      s.cfg.Name,
@@ -314,10 +402,11 @@ func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (*Resul
 	for _, m := range s.cfg.Modules {
 		res.ModuleKinds = append(res.ModuleKinds, m.Kind)
 	}
-	for _, c := range s.cores {
+	for i, c := range s.cores {
 		cr := c.snapshot
 		if !c.frozen {
 			cr = s.coreResult(c, end-start)
+			cr.Hier.BackPressure += s.bpFor(i)
 		}
 		res.Cores = append(res.Cores, cr)
 	}
@@ -331,67 +420,6 @@ func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (*Resul
 	}
 	res.computeEnergy(s.cfg, end-start)
 	return res, nil
-}
-
-// runPhase ticks all cores until each has retired `target` instructions
-// beyond its current count. onCross, if non-nil, fires once per core when
-// it crosses (used to freeze measurement snapshots).
-func (s *System) runPhase(ctx context.Context, target uint64, cycle event.Time, onCross func(*coreCtx)) error {
-	if target == 0 {
-		return nil
-	}
-	base := make([]uint64, len(s.cores))
-	crossed := make([]bool, len(s.cores))
-	for i, c := range s.cores {
-		base[i] = c.core.Stats().Instructions
-		c.frozen = false
-	}
-	remaining := len(s.cores)
-	now := s.q.Now()
-	done := ctx.Done()
-	// Watchdog: generous IPC floor of 1/400 plus fixed slack.
-	maxCycles := target*400 + 50_000_000
-	for cyc := uint64(0); remaining > 0; cyc++ {
-		if cyc > maxCycles {
-			return fmt.Errorf("sim: %s: watchdog expired after %d cycles (%d/%d cores finished %d instructions)",
-				s.cfg.Name, cyc, len(s.cores)-remaining, len(s.cores), target)
-		}
-		if done != nil && cyc&4095 == 0 {
-			select {
-			case <-done:
-				return fmt.Errorf("sim: %s: canceled after %d cycles: %w", s.cfg.Name, cyc, ctx.Err())
-			default:
-			}
-		}
-		s.q.RunUntil(now)
-		for i, c := range s.cores {
-			c.core.Tick()
-			if err := c.core.Err(); err != nil {
-				return fmt.Errorf("sim: %s core %d (%s): %w", s.cfg.Name, i, c.app.Spec.Name, err)
-			}
-			if !crossed[i] && c.core.Stats().Instructions-base[i] >= target {
-				crossed[i] = true
-				remaining--
-				if onCross != nil {
-					onCross(c)
-				}
-			}
-			if !crossed[i] && c.core.Done() {
-				// The stream ran dry before the quota: this core can never
-				// cross, so fail now instead of spinning into the watchdog.
-				// A replayed trace that ended on a decode error reports
-				// that error, not a bare end-of-stream.
-				short := target - (c.core.Stats().Instructions - base[i])
-				if serr := streamErr(c.stream); serr != nil {
-					return fmt.Errorf("sim: %s core %d (%s): trace decode: %w", s.cfg.Name, i, c.app.Spec.Name, serr)
-				}
-				return fmt.Errorf("sim: %s core %d (%s): instruction stream ended %d instructions short of its %d quota",
-					s.cfg.Name, i, c.app.Spec.Name, short, target)
-			}
-		}
-		now += cycle
-	}
-	return nil
 }
 
 // streamErr extracts a terminal decode error from streams that expose one
