@@ -42,6 +42,7 @@ func run() (code int) {
 	window := flag.Uint64("profile-window", 300_000, "profiling run window (instructions)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU divided by -shards)")
 	shards := flag.Int("shards", 0, "worker goroutines per simulation (<= 1: serial; results are identical across shard counts)")
+	fastpath := flag.Bool("fastpath", envOr("MOCA_FASTPATH", "1") != "0", "inline-hit and compute-batch fast path (byte-identical either way; default $MOCA_FASTPATH or on)")
 	format := flag.String("format", "text", "output format: text, md (markdown), csv (grids only)")
 	metrics := flag.Bool("metrics", false, "collect per-run metrics and print per-system aggregate tables at the end")
 	traceOut := flag.String("trace-out", "", "write the structured run trace (JSON lines) to this file")
@@ -107,6 +108,7 @@ func run() (code int) {
 	r.FW.ProfileWindow = *window
 	r.Parallelism = *parallel
 	r.Shards = *shards
+	r.NoFastpath = !*fastpath
 	r.Ctx = ctx
 	var runTrace *obs.Trace
 	if *traceOut != "" {

@@ -8,6 +8,8 @@ import (
 	"encoding/json"
 	"os"
 	"testing"
+
+	"moca/internal/event"
 )
 
 // BenchmarkMSHRIndex churns the index with the hierarchy's miss-path
@@ -66,5 +68,76 @@ func TestMSHRIndexAllocBudget(t *testing.T) {
 	if allocs > budget {
 		t.Fatalf("BenchmarkMSHRIndex allocation regression: %d allocs/op exceeds budget %d; if intentional, update the micro entry in BENCH_throughput.json",
 			allocs, budget)
+	}
+}
+
+// BenchmarkHitProbe measures the inline-hit probe path the per-core fast
+// path rides: AccessLoad on a warm L1 line services the hit arithmetically
+// and reserves its event-order slot with a virtual event, then the drain
+// (RunUntil past the completion) expires the reservation. The whole
+// round-trip must stay at 0 allocs/op — an allocation here would be one
+// per memory access on the common path.
+func BenchmarkHitProbe(b *testing.B) {
+	q := event.NewQueue()
+	be := &fakeBackend{q: q, latency: 100 * event.Nanosecond}
+	cfg := HierarchyConfig{
+		L1:       Config{SizeBytes: 1024, Ways: 2, LatencyCycles: 2, MSHRs: 4},
+		L2:       Config{SizeBytes: 8192, Ways: 4, LatencyCycles: 20, MSHRs: 4},
+		CPUCycle: event.Nanosecond,
+	}
+	h, err := NewHierarchy(q, be, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var lines [8]uint64
+	for i := range lines {
+		lines[i] = uint64(i+1) * LineBytes
+		h.fillL1(lines[i], false)
+	}
+	var sink funcSink = func(event.Time, Level) {}
+	// One warm round grows the queue's virtual-event buffer to steady state.
+	if at, _, _, inline := h.AccessLoad(lines[0], 0, sink, 0); inline {
+		q.RunUntil(at)
+	} else {
+		b.Fatal("warm line did not probe as a hit")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at, _, _, inline := h.AccessLoad(lines[i&7], 0, sink, 0)
+		if !inline {
+			b.Fatal("probe missed on a warm line")
+		}
+		q.RunUntil(at)
+	}
+}
+
+func TestHitProbeAllocBudget(t *testing.T) {
+	if os.Getenv("MOCA_BENCH_SMOKE") == "" {
+		t.Skip("set MOCA_BENCH_SMOKE=1 to run the bench smoke")
+	}
+	data, err := os.ReadFile("../../BENCH_throughput.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		Micro map[string]struct {
+			AllocsPerOp int64 `json:"allocs_per_op"`
+		} `json:"micro"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := f.Micro["BenchmarkHitProbe"]
+	if !ok {
+		t.Fatal("BENCH_throughput.json has no micro entry BenchmarkHitProbe")
+	}
+	if m.AllocsPerOp != 0 {
+		t.Fatalf("BenchmarkHitProbe budget must be 0 allocs/op (the inline-hit contract), ledger says %d", m.AllocsPerOp)
+	}
+	res := testing.Benchmark(BenchmarkHitProbe)
+	if allocs := res.AllocsPerOp(); allocs != 0 {
+		t.Fatalf("inline-hit probe allocates: %d allocs/op; the fast path must be allocation-free",
+			allocs)
 	}
 }

@@ -75,6 +75,7 @@ type Cache struct {
 	cfg      Config
 	sets     int
 	setMask  uint64
+	setShift uint   // log2(sets), cached off the per-access path
 	lines    []line // sets * ways, row-major by set
 	useClock uint64
 	stats    Stats
@@ -87,10 +88,11 @@ func New(cfg Config) (*Cache, error) {
 	}
 	sets := cfg.SizeBytes / LineBytes / cfg.Ways
 	return &Cache{
-		cfg:     cfg,
-		sets:    sets,
-		setMask: uint64(sets - 1),
-		lines:   make([]line, sets*cfg.Ways),
+		cfg:      cfg,
+		sets:     sets,
+		setMask:  uint64(sets - 1),
+		setShift: uint(log2(sets)),
+		lines:    make([]line, sets*cfg.Ways),
 	}, nil
 }
 
@@ -107,7 +109,7 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 //moca:hotpath
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
 	l := addr >> lineShift
-	return int(l & c.setMask), l >> uint(log2(c.sets))
+	return int(l & c.setMask), l >> c.setShift
 }
 
 //moca:hotpath
@@ -243,7 +245,7 @@ func (c *Cache) Occupancy() int {
 }
 
 func (c *Cache) reconstruct(set int, tag uint64) uint64 {
-	return (tag<<uint(log2(c.sets)) | uint64(set)) << lineShift
+	return (tag<<c.setShift | uint64(set)) << lineShift
 }
 
 func log2(v int) int {

@@ -113,7 +113,14 @@ type Hierarchy struct {
 
 	mshrs    *mshrIndex    // line address → in-flight entry, fixed size
 	freeMSHR []*mshrEntry  // entry pool; recycled on fill
-	waiting  []pendingMiss // stalled on a full MSHR file
+	// Misses stalled on a full MSHR file, split by op so read-priority
+	// admission (first read in arrival order, else oldest write) is O(1)
+	// instead of a scan past every queued write. Head indices mark the
+	// consumed prefix (no per-admit shifts).
+	waitR     []pendingMiss
+	waitRHead int
+	waitW     []pendingMiss
+	waitWHead int
 	wbQ      []uint64      // writebacks awaiting backend acceptance
 	subQ     []*mshrEntry  // fetches awaiting backend acceptance (FIFO, deterministic)
 
@@ -315,6 +322,64 @@ func (h *Hierarchy) Access(addr uint64, obj uint64, write bool, sink AccessSink,
 	}
 
 	// LLC miss.
+	h.missPath(lineAddr, obj, write, sink, token)
+}
+
+// AccessLoad is the non-scheduling probe variant of Access for loads with a
+// sink (the common-case fast path). It runs the exact same lookup body, but
+// a clean L1 or L2 hit is serviced inline: the completion time is returned
+// to the caller and a virtual event reserves the completion's slot in the
+// event order (event.PostVirtual) instead of posting a hopDeliver — no heap
+// record, no handler dispatch. A hit can never have an MSHR conflict (a
+// resident line is by definition not in flight), so inline=true is always a
+// clean hit; everything else (miss, merge, MSHR-full) falls through to the
+// identical slow-path tail and reports inline=false, with the completion
+// delivered through sink as usual. Callers that later need the completion
+// callback after all (a dependent load) rematerialize it with Promote.
+//moca:hotpath
+func (h *Hierarchy) AccessLoad(addr uint64, obj uint64, sink AccessSink, token uint64) (readyAt event.Time, ord uint64, level Level, inline bool) {
+	lineAddr := LineAddr(addr)
+	cycle := h.cfg.CPUCycle
+
+	if h.OnLoad != nil {
+		h.OnLoad(obj)
+	}
+	if h.pf != nil {
+		h.pf.demandTouch(lineAddr)
+		for _, target := range h.pf.observe(obj, lineAddr) {
+			h.issuePrefetch(target, obj)
+		}
+	}
+
+	if h.l1.Lookup(addr, false) {
+		at := h.q.Now() + event.Time(h.cfg.L1.LatencyCycles)*cycle
+		return at, h.q.PostVirtual(at), L1Hit, true
+	}
+	if h.l2.Lookup(addr, false) {
+		h.fillL1(lineAddr, false)
+		at := h.q.Now() + event.Time(h.cfg.L1.LatencyCycles+h.cfg.L2.LatencyCycles)*cycle
+		return at, h.q.PostVirtual(at), L2Hit, true
+	}
+	h.missPath(lineAddr, obj, false, sink, token)
+	return 0, 0, 0, false
+}
+
+// Promote converts an inline-serviced hit back into a real delivery event
+// in its original event-order slot (see AccessLoad): the sink's AccessDone
+// then fires at exactly the time and position the slow path would have.
+//moca:hotpath
+func (h *Hierarchy) Promote(at event.Time, ord uint64, level Level, sink AccessSink, token uint64) {
+	op := hopDeliverL1
+	if level == L2Hit {
+		op = hopDeliverL2
+	}
+	h.q.PromoteVirtual(at, ord, h, op, int64(token), sink)
+}
+
+// missPath is the LLC-miss tail shared by Access and AccessLoad: merge into
+// an in-flight MSHR, stall on a full file, or allocate.
+//moca:hotpath
+func (h *Hierarchy) missPath(lineAddr, obj uint64, write bool, sink AccessSink, token uint64) {
 	if e := h.mshrs.lookup(lineAddr); e != nil {
 		h.stats.MergedMisses++
 		if h.obsMerged != nil {
@@ -342,7 +407,11 @@ func (h *Hierarchy) Access(addr uint64, obj uint64, write bool, sink AccessSink,
 				Core: h.cfg.Core, Addr: lineAddr,
 			})
 		}
-		h.waiting = append(h.waiting, pendingMiss{lineAddr, obj, write, sink, token})
+		if write {
+			h.waitW = append(h.waitW, pendingMiss{lineAddr, obj, write, sink, token})
+		} else {
+			h.waitR = append(h.waitR, pendingMiss{lineAddr, obj, write, sink, token})
+		}
 		return
 	}
 	h.allocateMSHR(pendingMiss{lineAddr, obj, write, sink, token})
@@ -482,22 +551,31 @@ func (h *Hierarchy) onFill(e *mshrEntry, at event.Time) {
 // present or in-flight again; re-run the full access path.
 //moca:hotpath
 func (h *Hierarchy) admitWaiting() {
-	for len(h.waiting) > 0 {
-		idx := -1
-		for i := range h.waiting {
-			if !h.waiting[i].write {
-				idx = i
-				break
+	for {
+		var m pendingMiss
+		if h.waitRHead < len(h.waitR) {
+			m = h.waitR[h.waitRHead]
+			if h.mshrs.len() >= h.mshrLimit(false) {
+				return
 			}
+			h.waitRHead++
+			if h.waitRHead == len(h.waitR) {
+				h.waitR = h.waitR[:0]
+				h.waitRHead = 0
+			}
+		} else if h.waitWHead < len(h.waitW) {
+			m = h.waitW[h.waitWHead]
+			if h.mshrs.len() >= h.mshrLimit(true) {
+				return
+			}
+			h.waitWHead++
+			if h.waitWHead == len(h.waitW) {
+				h.waitW = h.waitW[:0]
+				h.waitWHead = 0
+			}
+		} else {
+			return
 		}
-		if idx == -1 {
-			idx = 0
-		}
-		m := h.waiting[idx]
-		if h.mshrs.len() >= h.mshrLimit(m.write) {
-			break
-		}
-		h.waiting = append(h.waiting[:idx], h.waiting[idx+1:]...)
 		h.reAccess(m)
 	}
 }

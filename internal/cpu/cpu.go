@@ -68,6 +68,20 @@ type MemPort interface {
 	Access(paddr uint64, obj uint64, write bool, sink cache.AccessSink, token uint64)
 }
 
+// FastPort is the optional non-scheduling probe interface a MemPort may
+// implement (cache.Hierarchy does). AccessLoad services a clean L1/L2 load
+// hit inline, returning the completion time, the event-order slot reserved
+// for it, and the hit level; on a miss or conflict it behaves exactly like
+// Access and reports inline=false. Promote rematerializes an inline
+// completion as a real event in its original order slot — the core uses it
+// when a dependent load must be woken by the completion callback. Output is
+// byte-identical whether or not the port is used (sim.Config.NoFastpath).
+type FastPort interface {
+	MemPort
+	AccessLoad(paddr uint64, obj uint64, sink cache.AccessSink, token uint64) (readyAt event.Time, ord uint64, level cache.Level, inline bool)
+	Promote(at event.Time, ord uint64, level cache.Level, sink cache.AccessSink, token uint64)
+}
+
 // Config sizes the core per Table I.
 type Config struct {
 	Width   int        // fetch/dispatch/issue/commit width
@@ -132,6 +146,18 @@ type robEntry struct {
 	depends    bool
 	level      cache.Level
 	headStalls uint64
+	// prevLoad is the ROB index of the most recent older load at dispatch
+	// time (-1: none), replacing a backward ROB walk on every dependent
+	// issue check. Loads retire in order, so it is valid exactly while it
+	// still lies between head and this entry in ring order.
+	prevLoad int32
+
+	// Inline-hit servicing (FastPort): the load completed synchronously at
+	// issue; done flips when the core clock reaches readyAt (settle), or the
+	// completion is promoted back into a real event at slot virtOrd.
+	inline  bool
+	readyAt event.Time
+	virtOrd uint64
 }
 
 // Core is one simulated core. Drive it by calling Tick once per clock; the
@@ -143,11 +169,14 @@ type Core struct {
 	stream Stream
 	xlate  Translator
 	mem    MemPort
+	fast   FastPort   // non-nil only when the fast path is enabled
+	now    event.Time // current core clock (maintained by TickAt/FastForward)
 
 	rob        []robEntry // ring buffer
 	head, tail int        // head = oldest; tail = next free
 	occupancy  int
 	loadsInLQ  int
+	lastLoad   int32 // ROB index of the most recently dispatched load (-1: none)
 
 	fb         fetchBuf
 	streamDone bool
@@ -178,12 +207,35 @@ func New(id int, cfg Config, stream Stream, xlate Translator, mem MemPort) (*Cor
 		stream: stream,
 		xlate:  xlate,
 		mem:    mem,
-		rob:    make([]robEntry, cfg.ROBSize),
+		rob:      make([]robEntry, cfg.ROBSize),
+		lastLoad: -1,
 	}, nil
+}
+
+// SetFastpath enables (or disables) the common-case fast path: inline hit
+// servicing through the memory port's FastPort interface and compute-run
+// batching via FastForward. It is a no-op when the port does not implement
+// FastPort. Retired instructions, stats, and event ordering are
+// byte-identical either way; the fast path only changes how they are
+// computed.
+func (c *Core) SetFastpath(on bool) {
+	c.fast = nil
+	if on {
+		if fp, ok := c.mem.(FastPort); ok {
+			c.fast = fp
+		}
+	}
 }
 
 // Stats returns a snapshot of the core's counters.
 func (c *Core) Stats() Stats { return c.stats }
+
+// Instructions returns the retired-instruction count without copying the
+// whole Stats struct: the sharded runner reads it every cycle to check
+// quota crossings.
+//
+//moca:hotpath
+func (c *Core) Instructions() uint64 { return c.stats.Instructions }
 
 // ResetStats clears counters (pipeline state is preserved).
 func (c *Core) ResetStats() { c.stats = Stats{} }
@@ -196,7 +248,15 @@ func (c *Core) Done() bool { return (c.streamDone && c.occupancy == 0) || c.faul
 func (c *Core) Err() error { return c.faulted }
 
 // Tick advances the core by one clock: retire, then dispatch/issue.
-func (c *Core) Tick() {
+func (c *Core) Tick() { c.TickAt(c.now + c.cfg.Cycle) }
+
+// TickAt is Tick at an absolute clock value: the simulator passes the cycle
+// it is driving, which the fast path needs to settle inline-serviced loads
+// (an inline load is done once now reaches its readyAt).
+//
+//moca:hotpath
+func (c *Core) TickAt(now event.Time) {
+	c.now = now
 	if c.Done() {
 		return
 	}
@@ -205,10 +265,24 @@ func (c *Core) Tick() {
 	c.dispatch()
 }
 
+// settle flips an inline-serviced load to done once the core clock reaches
+// its completion time — exactly the cycle the slow path's delivery event
+// would have been observed by retire. No-op with the fast path off (inline
+// is never set).
+//moca:hotpath
+func (c *Core) settle(e *robEntry) {
+	if e.inline && e.readyAt <= c.now {
+		e.inline = false
+		e.done = true
+	}
+}
+
+//moca:hotpath
 func (c *Core) retire() {
 	retired := uint64(0)
 	for i := 0; i < c.cfg.Width && c.occupancy > 0; i++ {
 		e := &c.rob[c.head]
+		c.settle(e)
 		if !e.done {
 			if e.kind == Load {
 				e.headStalls++
@@ -226,7 +300,10 @@ func (c *Core) retire() {
 				}
 			}
 		}
-		c.head = (c.head + 1) % c.cfg.ROBSize
+		c.head++
+		if c.head == c.cfg.ROBSize {
+			c.head = 0
+		}
 		c.occupancy--
 		retired++
 	}
@@ -238,6 +315,7 @@ func (c *Core) retire() {
 	}
 }
 
+//moca:hotpath
 func (c *Core) dispatch() {
 	for i := 0; i < c.cfg.Width; i++ {
 		if c.occupancy >= c.cfg.ROBSize {
@@ -265,7 +343,8 @@ func (c *Core) dispatch() {
 				return
 			}
 			c.consume()
-			idx := c.push(robEntry{kind: Load, obj: in.Obj, vaddr: in.VAddr, depends: in.DependsOnPrev})
+			idx := c.push(robEntry{kind: Load, obj: in.Obj, vaddr: in.VAddr, depends: in.DependsOnPrev, prevLoad: c.lastLoad})
+			c.lastLoad = int32(idx)
 			c.loadsInLQ++
 			c.stats.Loads++
 			c.maybeIssueLoad(idx)
@@ -278,16 +357,27 @@ func (c *Core) dispatch() {
 
 // maybeIssueLoad issues the load at ROB index idx unless it depends on an
 // earlier, still-incomplete load (pointer chasing).
+//moca:hotpath
 func (c *Core) maybeIssueLoad(idx int) {
 	e := &c.rob[idx]
 	if e.issued {
 		return
 	}
 	if e.depends {
-		if p, ok := c.prevLoadIndex(idx); ok && !c.rob[p].done {
-			// Issue when the producer completes (its completion
-			// callback re-runs dependents).
-			return
+		if p, ok := c.prevLoadIndex(idx); ok {
+			pe := &c.rob[p]
+			c.settle(pe)
+			if !pe.done {
+				if pe.inline {
+					// The producer's completion was serviced inline and no
+					// event exists to wake this load: materialize it, so
+					// AccessDone re-runs dependents at exactly its time.
+					c.promote(p, pe)
+				}
+				// Issue when the producer completes (its completion
+				// callback re-runs dependents).
+				return
+			}
 		}
 	}
 	e.issued = true
@@ -296,7 +386,151 @@ func (c *Core) maybeIssueLoad(idx int) {
 		e.done = true
 		return
 	}
+	if c.fast != nil {
+		readyAt, ord, level, inline := c.fast.AccessLoad(paddr, e.obj, c, uint64(idx))
+		if inline {
+			e.inline, e.readyAt, e.virtOrd, e.level = true, readyAt, ord, level
+			if c.nextDependentWaiting(idx) {
+				// A dependent already sits in the ROB waiting for this
+				// load's completion callback; keep the completion real.
+				c.promote(idx, e)
+			}
+		}
+		return
+	}
 	c.mem.Access(paddr, e.obj, false, c, uint64(idx))
+}
+
+// promote converts the inline-serviced load at idx back into a real
+// delivery event in its original event-order slot.
+//moca:hotpath
+func (c *Core) promote(idx int, e *robEntry) {
+	c.fast.Promote(e.readyAt, e.virtOrd, e.level, c, uint64(idx))
+	e.inline = false
+}
+
+// nextDependentWaiting reports whether the next younger load is an unissued
+// dependent of the load at idx (mirrors wakeDependents' scan: only the
+// immediately next load can depend on idx).
+//moca:hotpath
+func (c *Core) nextDependentWaiting(idx int) bool {
+	i := idx + 1
+	if i == c.cfg.ROBSize {
+		i = 0
+	}
+	for i != c.tail {
+		e := &c.rob[i]
+		if e.kind == Load {
+			return e.depends && !e.issued
+		}
+		i++
+		if i == c.cfg.ROBSize {
+			i = 0
+		}
+	}
+	return false
+}
+
+// FastForward retires a run of batchable cycles starting at now, strictly
+// before end, advancing the core clock in one call instead of one Tick per
+// cycle — the compute-run half of the fast path. A cycle is batchable when
+// its whole Tick is replicable without touching the instruction stream, the
+// translator, or the event queue:
+//
+//   - the fetch buffer holds a Compute batch with at least a full dispatch
+//     width remaining (dispatch consumes only the buffer), or
+//   - the ROB is full with an unmatured head (a pure stall cycle: retire
+//     accounts the head stall, dispatch accounts the ROB-full stall).
+//
+// Batched cycles post no events, fault no pages, and never touch the
+// stream, so they are invisible to every other shard; the caller bounds end
+// by the next queued event and the window barrier, and budget (remaining
+// instructions to its quota crossing) stops the batch on the exact crossing
+// cycle. Memory instructions, stream refills, and everything else fall back
+// to per-cycle Ticks. Returns the number of cycles advanced; stats are
+// byte-identical to the same cycles executed through Tick.
+//moca:hotpath
+func (c *Core) FastForward(now, end event.Time, budget uint64) (cycles int, retired uint64) {
+	n := 0
+	start := c.stats.Instructions
+	for now < end {
+		if c.occupancy == c.cfg.ROBSize {
+			e := &c.rob[c.head]
+			if e.done {
+				break // head retirable: dispatch may refill, full Tick needed
+			}
+			// Pure stall: until the head matures (inline) or an event fires
+			// (bounded by end), every cycle is the same four counter
+			// increments — pay them arithmetically instead of looping.
+			stallEnd := end
+			if e.inline {
+				if e.readyAt <= now {
+					break // matured: the slow tick retires it
+				}
+				if e.readyAt < stallEnd {
+					stallEnd = e.readyAt
+				}
+			}
+			k := uint64((stallEnd - now + c.cfg.Cycle - 1) / c.cfg.Cycle)
+			c.stats.Cycles += k
+			c.stats.ROBFullCycles += k
+			if e.kind == Load {
+				e.headStalls += k
+				c.stats.ROBHeadStallCycles += k
+			}
+			n += int(k)
+			now += event.Time(k) * c.cfg.Cycle
+			c.now = now - c.cfg.Cycle
+			continue
+		}
+		if !c.batchable(now) {
+			break
+		}
+		c.now = now
+		c.stats.Cycles++
+		c.retire()
+		c.dispatchComputes()
+		n++
+		now += c.cfg.Cycle
+		if c.stats.Instructions-start >= budget {
+			break
+		}
+	}
+	return n, c.stats.Instructions - start
+}
+
+// batchable reports whether the Tick at cycle now is replicable by
+// retire+dispatchComputes alone (see FastForward). It never touches the
+// stream: peeking could end it a cycle early and diverge from the slow
+// path.
+//moca:hotpath
+func (c *Core) batchable(now event.Time) bool {
+	if c.fb.valid && c.fb.in.Kind == Compute && c.fb.in.N >= c.cfg.Width {
+		return true
+	}
+	if c.occupancy == c.cfg.ROBSize {
+		e := &c.rob[c.head]
+		return !e.done && !(e.inline && e.readyAt <= now)
+	}
+	return false
+}
+
+// dispatchComputes is dispatch restricted to the batchable cases: it drains
+// compute instructions from the fetch buffer (never refilling it) and
+// accounts ROB-full stalls, exactly as dispatch would.
+//moca:hotpath
+func (c *Core) dispatchComputes() {
+	for i := 0; i < c.cfg.Width; i++ {
+		if c.occupancy >= c.cfg.ROBSize {
+			c.stats.ROBFullCycles++
+			return
+		}
+		if !c.fb.valid || c.fb.in.Kind != Compute {
+			return
+		}
+		c.consumeComputeOne()
+		c.push(robEntry{kind: Compute, done: true})
+	}
 }
 
 // AccessDone receives load completions from the memory port
@@ -315,7 +549,10 @@ func (c *Core) AccessDone(token uint64, _ event.Time, level cache.Level) {
 func (c *Core) wakeDependents(idx int) {
 	// Scan forward from idx+1 to tail for the next load; if it is a
 	// dependent unissued load, issue it now.
-	i := (idx + 1) % c.cfg.ROBSize
+	i := idx + 1
+	if i == c.cfg.ROBSize {
+		i = 0
+	}
 	for i != c.tail {
 		e := &c.rob[i]
 		if e.kind == Load {
@@ -324,24 +561,28 @@ func (c *Core) wakeDependents(idx int) {
 			}
 			return // only the immediately next load can depend on idx
 		}
-		i = (i + 1) % c.cfg.ROBSize
+		i++
+		if i == c.cfg.ROBSize {
+			i = 0
+		}
 	}
 }
 
-// prevLoadIndex finds the most recent load older than idx.
+// prevLoadIndex finds the most recent load older than idx: the producer
+// recorded at dispatch, if it is still in flight. Loads retire in order,
+// so once the recorded producer has left the ROB (its slot is no longer
+// between head and idx in ring order — including when the slot was reused
+// by a younger entry), no older load remains either.
+//
+//moca:hotpath
 func (c *Core) prevLoadIndex(idx int) (int, bool) {
-	if c.occupancy == 0 {
+	p := int(c.rob[idx].prevLoad)
+	if p < 0 {
 		return 0, false
 	}
-	i := idx
-	for i != c.head {
-		i = (i - 1 + c.cfg.ROBSize) % c.cfg.ROBSize
-		if c.rob[i].kind == Load {
-			return i, true
-		}
-	}
-	if c.rob[c.head].kind == Load && idx != c.head {
-		return c.head, true
+	n := c.cfg.ROBSize
+	if (p-c.head+n)%n < (idx-c.head+n)%n {
+		return p, true
 	}
 	return 0, false
 }
@@ -349,7 +590,10 @@ func (c *Core) prevLoadIndex(idx int) (int, bool) {
 func (c *Core) push(e robEntry) int {
 	idx := c.tail
 	c.rob[idx] = e
-	c.tail = (c.tail + 1) % c.cfg.ROBSize
+	c.tail++
+	if c.tail == c.cfg.ROBSize {
+		c.tail = 0
+	}
 	c.occupancy++
 	return idx
 }
@@ -371,22 +615,31 @@ type fetchBuf struct {
 }
 
 // peek returns the next instruction without consuming it. Compute batches
-// are surfaced one instruction at a time via consumeComputeOne.
+// are surfaced one instruction at a time via consumeComputeOne. The valid
+// fetch-buffer case is split out so it inlines into dispatch.
+//
+//moca:hotpath
 func (c *Core) peek() (Instr, bool) {
-	if !c.fb.valid {
-		if c.streamDone {
-			return Instr{}, false
-		}
-		in, ok := c.stream.Next()
-		if !ok {
-			c.streamDone = true
-			return Instr{}, false
-		}
-		if in.Kind == Compute && in.N < 1 {
-			in.N = 1
-		}
-		c.fb = fetchBuf{in: in, valid: true}
+	if c.fb.valid {
+		return c.fb.in, true
 	}
+	return c.refill()
+}
+
+//moca:hotpath
+func (c *Core) refill() (Instr, bool) {
+	if c.streamDone {
+		return Instr{}, false
+	}
+	in, ok := c.stream.Next()
+	if !ok {
+		c.streamDone = true
+		return Instr{}, false
+	}
+	if in.Kind == Compute && in.N < 1 {
+		in.N = 1
+	}
+	c.fb = fetchBuf{in: in, valid: true}
 	return c.fb.in, true
 }
 

@@ -67,6 +67,17 @@ type Handle struct {
 	gen uint32
 }
 
+// virtRec is one virtual event: a completion the fast path serviced inline
+// (an L1/L2 hit whose latency is already known) that still owns a slot in
+// the event order. It carries no handler — its only observable life is the
+// executed-count credit it pays when the slow path would have run it, and
+// the possibility of being promoted back into a real event (PromoteVirtual)
+// if a dependent turns out to need the completion callback after all.
+type virtRec struct {
+	at  Time
+	ord uint64
+}
+
 // NilHandle is the zero Handle; it never names a pending wake.
 var NilHandle = Handle{idx: -1}
 
@@ -78,9 +89,20 @@ type Queue struct {
 	pool []rec
 	free []int32
 	heap []int32
+	virt []virtRec // pending virtual events, sorted by (at, ord)
 	seq  uint64
 	now  Time
 	runs uint64
+
+	// minAt caches the earliest pending timestamp across heap and virt
+	// (farFuture when both are empty), so the per-cycle QuietUntil guard
+	// is one compare instead of a heap peek. Every mutation of either
+	// structure refreshes it via refreshMin.
+	minAt Time
+	// heapMin caches the heap head's timestamp alone (undefined when the
+	// heap is empty — NextTime checks the length first), so the per-batch
+	// NextTime bound is a field load instead of a pool pointer chase.
+	heapMin Time
 
 	// Observability instruments; nil (free) unless AttachObs was called.
 	obsScheduled *obs.Counter
@@ -88,8 +110,11 @@ type Queue struct {
 	obsDepth     *obs.Gauge
 }
 
+// farFuture is the cached-minimum sentinel for "nothing pending".
+const farFuture = Time(1) << 62
+
 // NewQueue returns an empty queue positioned at time 0.
-func NewQueue() *Queue { return &Queue{} }
+func NewQueue() *Queue { return &Queue{minAt: farFuture} }
 
 // AttachObs registers the queue's instruments on the registry: the
 // "event.scheduled" / "event.executed" counters and the
@@ -151,7 +176,102 @@ func (q *Queue) Post(at Time, h Handler, op int32, i64 int64, p any) {
 	q.push(i)
 	if q.obsScheduled != nil {
 		q.obsScheduled.Inc()
-		q.obsDepth.RecordMax(int64(len(q.heap)))
+		q.obsDepth.RecordMax(int64(len(q.heap) + len(q.virt)))
+	}
+}
+
+// PostVirtual reserves the next event-order slot for a completion that is
+// being serviced inline (the common-case fast path): it consumes a sequence
+// number and counts as scheduled exactly like Post, but allocates no heap
+// record and never dispatches a handler. The credit for its execution is
+// paid when the event order reaches it (see expireBefore/RunUntil), so the
+// scheduled/executed counters and depth watermarks stay byte-identical to a
+// run where the completion was a real event. The returned ord names the
+// slot for PromoteVirtual.
+//moca:hotpath
+func (q *Queue) PostVirtual(at Time) uint64 {
+	if at < q.now {
+		panic("event: virtual event scheduled in the past")
+	}
+	ord := q.seq
+	q.seq++
+	i := len(q.virt)
+	q.virt = append(q.virt, virtRec{at: at, ord: ord})
+	for i > 0 && virtLess(q.virt[i], q.virt[i-1]) {
+		q.virt[i], q.virt[i-1] = q.virt[i-1], q.virt[i]
+		i--
+	}
+	if at < q.minAt {
+		q.minAt = at
+	}
+	if q.obsScheduled != nil {
+		q.obsScheduled.Inc()
+		q.obsDepth.RecordMax(int64(len(q.heap) + len(q.virt)))
+	}
+	return ord
+}
+
+// PromoteVirtual rematerializes the virtual event named by ord as a real
+// pooled event with its ORIGINAL order slot, so it runs exactly where the
+// slow path would have run it — the fast path uses this when a dependent
+// needs the completion callback after all. It was already counted as
+// scheduled by PostVirtual, so no counters move here. Panics on an unknown
+// ord (a promote after expiry is a simulator bug).
+//moca:hotpath
+func (q *Queue) PromoteVirtual(at Time, ord uint64, h Handler, op int32, i64 int64, p any) {
+	if at < q.now {
+		panic("event: virtual event promoted into the past")
+	}
+	for vi := range q.virt {
+		if q.virt[vi].ord != ord {
+			continue
+		}
+		copy(q.virt[vi:], q.virt[vi+1:])
+		q.virt = q.virt[:len(q.virt)-1]
+		i := q.alloc()
+		r := &q.pool[i]
+		r.at, r.s, r.ord, r.wake = at, 0, ord, false
+		r.h, r.op, r.i64, r.p = h, op, i64, p
+		q.push(i)
+		return
+	}
+	panic("event: promoting unknown virtual event")
+}
+
+// PendingVirtual returns the number of pending virtual events (tests).
+func (q *Queue) PendingVirtual() int { return len(q.virt) }
+
+//moca:hotpath
+func virtLess(a, b virtRec) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.ord < b.ord
+}
+
+// expireBefore pays the executed-count credit of every virtual event the
+// slow path would have run before the real event r: earlier timestamp, or
+// the same timestamp with r a wake (normal events sort before wakes) or an
+// earlier order slot — the exact less() ordering.
+//moca:hotpath
+func (q *Queue) expireBefore(r *rec) {
+	for len(q.virt) > 0 {
+		v := q.virt[0]
+		if v.at > r.at || (v.at == r.at && !r.wake && v.ord > r.ord) {
+			return
+		}
+		q.expireOne()
+	}
+}
+
+//moca:hotpath
+func (q *Queue) expireOne() {
+	copy(q.virt, q.virt[1:])
+	q.virt = q.virt[:len(q.virt)-1]
+	q.runs++
+	q.refreshMin()
+	if q.obsExecuted != nil {
+		q.obsExecuted.Inc()
 	}
 }
 
@@ -192,7 +312,7 @@ func (q *Queue) ScheduleWake(at, s Time, h Handler, op int32) Handle {
 	q.seq++
 	q.push(i)
 	if q.obsDepth != nil {
-		q.obsDepth.RecordMax(int64(len(q.heap)))
+		q.obsDepth.RecordMax(int64(len(q.heap) + len(q.virt)))
 	}
 	return Handle{idx: i, gen: r.gen}
 }
@@ -215,6 +335,7 @@ func (q *Queue) RescheduleWake(hd Handle, at, s Time) {
 	if !q.up(int(r.pos)) {
 		q.down(int(r.pos))
 	}
+	q.refreshMin()
 }
 
 // Credit accounts for virtual events: device-clock ticks a component proved
@@ -229,14 +350,17 @@ func (q *Queue) Credit(scheduled, executed uint64) {
 	}
 }
 
-// NextTime returns the timestamp of the earliest pending event and true, or
-// (0, false) if the queue is empty.
+// NextTime returns the timestamp of the earliest pending real event and
+// true, or (0, false) if the heap is empty. Virtual events are deliberately
+// excluded: they carry no handler, so nothing needs to stop for them — the
+// fast path uses NextTime to bound compute batches by the next event that
+// can actually change state.
 //moca:hotpath
 func (q *Queue) NextTime() (Time, bool) {
 	if len(q.heap) == 0 {
 		return 0, false
 	}
-	return q.pool[q.heap[0]].at, true
+	return q.heapMin, true
 }
 
 // RunOne executes the earliest pending event, advancing Now to its
@@ -248,6 +372,7 @@ func (q *Queue) RunOne() bool {
 	}
 	i := q.heap[0]
 	r := &q.pool[i]
+	q.expireBefore(r)
 	at, h, op, i64, p, wake := r.at, r.h, r.op, r.i64, r.p, r.wake
 	q.popMin()
 	q.releaseRec(i)
@@ -262,17 +387,76 @@ func (q *Queue) RunOne() bool {
 	return true
 }
 
+// QuietUntil reports whether RunUntil(t) would be a pure clock advance:
+// no event to run and no virtual expiry inside the bound. Callers on the
+// shard loops pair it with AdvanceTo to skip the RunUntil call — the two
+// halves together replicate exactly what RunUntil does in that case, so
+// the guarded and unguarded forms are interchangeable call for call. Both
+// halves are small enough to inline.
+//
+//moca:hotpath
+func (q *Queue) QuietUntil(t Time) bool {
+	return q.minAt > t
+}
+
+// refreshMin recomputes the cached earliest pending timestamp. Called
+// after every heap or virt mutation; the peek is trivial next to the
+// heap work those already did.
+//
+//moca:hotpath
+func (q *Queue) refreshMin() {
+	m := farFuture
+	if len(q.heap) > 0 {
+		m = q.pool[q.heap[0]].at
+	}
+	q.heapMin = m
+	if len(q.virt) > 0 && q.virt[0].at < m {
+		m = q.virt[0].at
+	}
+	q.minAt = m
+}
+
+// AdvanceTo moves the clock forward to t without running anything. Only
+// valid when QuietUntil(t) holds; see QuietUntil.
+//
+//moca:hotpath
+func (q *Queue) AdvanceTo(t Time) {
+	if q.now < t {
+		q.now = t
+	}
+}
+
 // RunUntil executes every event with timestamp <= t (including events those
 // events schedule, if they also fall within t) and then advances Now to t.
 // It returns the number of events executed.
+//
 //moca:hotpath
 func (q *Queue) RunUntil(t Time) int {
 	n := 0
-	for len(q.heap) > 0 && q.pool[q.heap[0]].at <= t {
-		if !q.RunOne() {
+	// RunOne's body, inlined: the simulator calls RunUntil once per shard
+	// per window, so the per-event peek/call overhead is hot.
+	for len(q.heap) > 0 {
+		i := q.heap[0]
+		r := &q.pool[i]
+		if r.at > t {
 			break
 		}
+		q.expireBefore(r)
+		at, h, op, i64, p, wake := r.at, r.h, r.op, r.i64, r.p, r.wake
+		q.popMin()
+		q.releaseRec(i)
+		q.now = at
+		if !wake {
+			q.runs++
+			if q.obsExecuted != nil {
+				q.obsExecuted.Inc()
+			}
+		}
+		h.OnEvent(at, op, i64, p)
 		n++
+	}
+	for len(q.virt) > 0 && q.virt[0].at <= t {
+		q.expireOne()
 	}
 	if q.now < t {
 		q.now = t
@@ -281,11 +465,18 @@ func (q *Queue) RunUntil(t Time) int {
 }
 
 // Drain runs events until the queue is empty and returns the number
-// executed. Useful at the end of a simulation to let in-flight memory
-// traffic settle.
+// executed (expired virtual events included). Useful at the end of a
+// simulation to let in-flight memory traffic settle.
 func (q *Queue) Drain() int {
 	n := 0
 	for q.RunOne() {
+		n++
+	}
+	for len(q.virt) > 0 {
+		if at := q.virt[0].at; at > q.now {
+			q.now = at
+		}
+		q.expireOne()
 		n++
 	}
 	return n
@@ -314,6 +505,15 @@ func (q *Queue) push(i int32) {
 	pos := len(q.heap) - 1
 	q.pool[i].pos = int32(pos)
 	q.up(pos)
+	// Inserting can only lower the minimum, and to exactly this record's
+	// timestamp — no need for refreshMin's head reads.
+	at := q.pool[i].at
+	if len(q.heap) == 1 || at < q.heapMin {
+		q.heapMin = at
+	}
+	if at < q.minAt {
+		q.minAt = at
+	}
 }
 
 //moca:hotpath
@@ -326,6 +526,7 @@ func (q *Queue) popMin() {
 	if last > 0 {
 		q.down(0)
 	}
+	q.refreshMin()
 }
 
 // up sifts the element at heap position i toward the root; it reports

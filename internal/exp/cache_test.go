@@ -237,8 +237,46 @@ func TestResultCacheKeyCanonical(t *testing.T) {
 		t.Error("Config.Shards leaked into the key: an execution strategy must not fragment the cache")
 	}
 
+	slow := cfg
+	slow.NoFastpath = true
+	if k, _ := ResultCacheKey(slow, procs, 100, 200); k != base {
+		t.Error("Config.NoFastpath leaked into the key: an execution strategy must not fragment the cache")
+	}
+
 	if !strings.Contains(base, `"kind":"result"`) {
 		t.Errorf("key is not self-describing: %s", base[:60])
+	}
+}
+
+// TestSlowPathWarmsFastPathCache: a result simulated with the fast path
+// disabled serves a fast-path request from disk — the two strategies
+// produce identical bytes, so neither may fragment the cache.
+func TestSlowPathWarmsFastPathCache(t *testing.T) {
+	dir := t.TempDir()
+
+	r1 := fastRunner()
+	r1.NoFastpath = true
+	r1.Cache = openCache(t, dir, CacheReadWrite)
+	res1, err := r1.RunSingle(ddr3Def(), "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := fastRunner() // fast path on (the default)
+	r2.Cache = openCache(t, dir, CacheReadWrite)
+	swapNewSystem(t, func(cfg sim.Config, procs []sim.ProcSpec) (*sim.System, error) {
+		t.Error("simulation constructed despite a slow-path-warmed cache")
+		return sim.New(cfg, procs)
+	})
+	res2, err := r2.RunSingle(ddr3Def(), "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r2.Stats(); st.Simulated != 0 || st.DiskHits != 1 {
+		t.Errorf("fast-path runner: Simulated=%d DiskHits=%d, want 0/1", st.Simulated, st.DiskHits)
+	}
+	if res1.Elapsed != res2.Elapsed || res1.TotalInstructions() != res2.TotalInstructions() {
+		t.Error("slow-path and fast-path results differ; the shared cache key is unsound")
 	}
 }
 

@@ -49,6 +49,10 @@ func ResultCacheKey(cfg sim.Config, procs []sim.ProcSpec, measure, profileWindow
 	// byte-identical across shard counts (internal/sim/difftest proves it),
 	// so a run cached at one shard count serves every other.
 	kc.Shards = 0
+	// Same for the fast path: fast and slow execution produce the same
+	// bytes (the golden suite and difftest fastpath axis prove it), so a
+	// slow-path run may serve a fast-path request and vice versa.
+	kc.NoFastpath = false
 	kps := make([]sim.ProcSpec, len(procs))
 	for i, p := range procs {
 		p.Stream = nil

@@ -112,6 +112,10 @@ type Runner struct {
 	// Shards; <= 1: serial). Excluded from cache keys: results are
 	// byte-identical across shard counts.
 	Shards int
+	// NoFastpath disables the inline-hit / compute-batch fast path
+	// (sim.Config.NoFastpath). Like Shards it is an execution strategy
+	// with byte-identical results, so it is excluded from cache keys.
+	NoFastpath bool
 	// Obs selects per-run observability. Each simulation builds its own
 	// metrics registry, so concurrent runs never share instruments; a
 	// Trace sink, if set, is shared and concurrency-safe.
@@ -317,6 +321,7 @@ func (r *Runner) simulate(ctx context.Context, def SystemDef, memoKey string, ap
 	cfg.Chains = def.Chains
 	cfg.Obs = r.Obs
 	cfg.Shards = r.Shards
+	cfg.NoFastpath = r.NoFastpath
 
 	var cacheKey string
 	if r.Cache != nil {

@@ -56,6 +56,25 @@ func PointerShaped(s *sink, e *entry, m map[int]int, c chan int, prev any, xs []
 	takeVariadic(xs...)
 }
 
+// probeResult mirrors the inline-hit probe API's result shape: a small
+// value struct the fast path returns per access. It must stay out of
+// interface positions — boxing it would put an allocation on every hit.
+type probeResult struct {
+	level   int
+	readyAt int64
+}
+
+// Probe services a hit inline like the hierarchy's non-scheduling probe
+// API. Stashing the result in an any-typed field boxes the non-pointer-
+// shaped struct: flagged, so CI catches a probe API that allocates.
+//
+//moca:hotpath
+func Probe(s *sink, addr uint64) probeResult {
+	r := probeResult{level: 1, readyAt: int64(addr)}
+	s.last = r // want "assigned value boxes hotalloc/cache.probeResult into"
+	return r
+}
+
 // PanicExempt only formats when the simulator is already dying: the whole
 // panic argument subtree is cold.
 //

@@ -120,6 +120,11 @@ type bank struct {
 	// list through Request.nextB/prevB).
 	head, tail *Request
 	npend      int
+	// rowMatch counts pending requests whose row equals openRow (always 0
+	// while the bank is closed): the row-hit existence answer issueOne and
+	// nextWake need per scan, maintained at enqueue/remove/ACT/PRE/refresh
+	// instead of rediscovered by walking the chain.
+	rowMatch int
 }
 
 // ChannelStats aggregates the activity of one channel.
@@ -189,6 +194,8 @@ type Controller struct {
 	freeReq      *Request // recycled pooled requests (EnqueueLine path)
 
 	colBits  uint
+	stripe   uint // bank-bit position in the module-local address
+	bankBits uint
 	bankMask uint64
 	lineTime event.Time // data-bus occupancy of one 64 B line
 
@@ -249,6 +256,14 @@ func NewController(name string, q *event.Queue, cfg ChannelConfig) (*Controller,
 		c.banks[i].preInFlightRow = -1
 	}
 	c.colBits = uint(log2(uint64(cfg.Device.Geometry.RowBufferBytes)))
+	c.bankBits = uint(log2(uint64(cfg.Device.Geometry.Banks)))
+	c.stripe = c.colBits
+	if cfg.BankStripe == StripePage {
+		const pageShift = 12
+		if c.stripe < pageShift {
+			c.stripe = pageShift
+		}
+	}
 	c.bankMask = uint64(cfg.Device.Geometry.Banks - 1)
 	// Time to move one 64 B line across a ChannelBits-wide bus moving
 	// DataRate beats per clock. At least one clock.
@@ -416,6 +431,9 @@ func (c *Controller) onArrival(now event.Time, r *Request) {
 	}
 	b.tail = r
 	b.npend++
+	if b.openRow == int64(r.row) {
+		b.rowMatch++
+	}
 	if c.qLen > c.stats.MaxQueueDepth {
 		c.stats.MaxQueueDepth = c.qLen
 	}
@@ -505,6 +523,7 @@ func (c *Controller) refreshCatchUp(now event.Time) {
 		for i := range c.banks {
 			b := &c.banks[i]
 			b.openRow = -1
+			b.rowMatch = 0
 			b.preInFlightRow = -1
 			if t := start + c.httime.TRFC; t > b.actAllowedAt {
 				b.actAllowedAt = t
@@ -560,7 +579,15 @@ func (c *Controller) nextWake(now, lower event.Time, cptExhausted bool) (at, s e
 			best = cand
 		}
 	} else {
+		// With no write asymmetry casDelay is constant, so every row hit in
+		// a bank yields the same candidate time and the first one decides.
+		uniform := c.httime.TCASWrite <= 0
 		for i := range c.banks {
+			if best <= lower {
+				// The result is max(best, lower): further banks can only
+				// lower best below the clamp, never change the answer.
+				break
+			}
 			b := &c.banks[i]
 			if b.npend == 0 {
 				continue
@@ -571,12 +598,27 @@ func (c *Controller) nextWake(now, lower event.Time, cptExhausted bool) (at, s e
 				}
 				continue
 			}
-			matched := false
+			if uniform {
+				// casDelay is constant, so the counter alone decides: any
+				// row hit yields the same candidate as the first one.
+				if b.rowMatch > 0 {
+					cand := b.casReadyAt
+					if t := c.busFreeAt - c.httime.TCAS; t > cand {
+						cand = t
+					}
+					if cand < best {
+						best = cand
+					}
+				} else if b.preAllowedAt < best {
+					best = b.preAllowedAt
+				}
+				continue
+			}
+			matched := b.rowMatch > 0
 			for r := b.head; r != nil; r = r.nextB {
 				if int64(r.row) != b.openRow {
 					continue
 				}
-				matched = true
 				cand := b.casReadyAt
 				if t := c.busFreeAt - c.casDelay(r); t > cand {
 					cand = t
@@ -593,8 +635,10 @@ func (c *Controller) nextWake(now, lower event.Time, cptExhausted bool) (at, s e
 		}
 		// The edge where the oldest request crosses the starvation limit
 		// changes pick behavior even if no bank timing expires.
-		if t := head.Arrive + c.cfg.StarvationLimit + 1; t < best {
-			best = t
+		if best > lower {
+			if t := head.Arrive + c.cfg.StarvationLimit + 1; t < best {
+				best = t
+			}
 		}
 	}
 	if c.nextRefreshAt < best {
@@ -620,14 +664,8 @@ func (c *Controller) nextWake(now, lower event.Time, cptExhausted bool) (at, s e
 // (The Ch bits were consumed when the system routed to this channel.)
 //moca:hotpath
 func (c *Controller) mapAddress(r *Request) {
-	bankBits := uint(log2(uint64(c.cfg.Device.Geometry.Banks)))
-	stripe := c.colBits
-	if c.cfg.BankStripe == StripePage {
-		const pageShift = 12
-		if stripe < pageShift {
-			stripe = pageShift
-		}
-	}
+	bankBits := c.bankBits
+	stripe := c.stripe
 	r.bank = int((r.Addr >> stripe) & c.bankMask)
 	// Row bits: everything above the column, with the bank bits removed.
 	hi := r.Addr >> c.colBits
@@ -640,128 +678,96 @@ func (c *Controller) mapAddress(r *Request) {
 // CAS (completes a request) over ACT over PRE so data flows as early as
 // possible. Returns false if no command could issue.
 //moca:hotpath
+// issueOne picks and issues the highest-priority ready command: the oldest
+// CAS (row hits inherently win under FR-FCFS because conflicting requests
+// are not CAS-ready), else the oldest ACT into a closed bank, else the
+// oldest PRE of a row nothing pending still wants. All three candidates
+// come out of one pass over the banks — per bank the CAS/PRE conditions
+// (row open) and the ACT condition (row closed) are mutually exclusive,
+// and one chain walk answers both the CAS pick (first row hit that can
+// claim the bus) and the PRE row-still-wanted test. The fused scan issues
+// exactly what the three separate oldest-first scans would.
+//
+//moca:hotpath
 func (c *Controller) issueOne(now event.Time) bool {
+	if c.qHead == nil {
+		return false
+	}
 	// In-order mode considers only the oldest request: always under FCFS,
 	// and under FR-FCFS once the oldest has been starved past the limit.
-	inOrder := c.cfg.Scheduler == FCFS ||
-		(c.qHead != nil && now-c.qHead.Arrive > c.cfg.StarvationLimit)
-	if r := c.pickCAS(now, inOrder); r != nil {
-		c.issueCAS(now, r)
-		return true
-	}
-	if r := c.pickACT(now, inOrder); r != nil {
-		c.issueACT(now, r)
-		return true
-	}
-	if r := c.pickPRE(now, inOrder); r != nil {
-		c.issuePRE(now, r)
-		return true
-	}
-	return false
-}
-
-// pickCAS finds the oldest request whose bank has its row open and ready
-// and whose data burst can claim the bus. Row hits inherently win under
-// FR-FCFS because conflicting requests are not CAS-ready. Per-bank lists
-// make this O(pending-in-bank) for the oldest match in each open bank.
-//moca:hotpath
-func (c *Controller) pickCAS(now event.Time, inOrder bool) *Request {
-	if c.qHead == nil {
-		return nil
-	}
-	if inOrder {
+	if c.cfg.Scheduler == FCFS || now-c.qHead.Arrive > c.cfg.StarvationLimit {
 		r := c.qHead
 		b := &c.banks[r.bank]
 		if b.openRow == int64(r.row) && now >= b.casReadyAt && c.busFreeAt <= now+c.casDelay(r) {
-			return r
+			c.issueCAS(now, r)
+			return true
 		}
-		return nil
-	}
-	var best *Request
-	for i := range c.banks {
-		b := &c.banks[i]
-		if b.npend == 0 || b.openRow < 0 || now < b.casReadyAt {
-			continue
-		}
-		for r := b.head; r != nil; r = r.nextB {
-			if int64(r.row) == b.openRow && c.busFreeAt <= now+c.casDelay(r) {
-				if best == nil || r.qSeq < best.qSeq {
-					best = r
-				}
-				break // older requests in this bank cannot beat r
-			}
-		}
-	}
-	return best
-}
-
-//moca:hotpath
-func (c *Controller) pickACT(now event.Time, inOrder bool) *Request {
-	if c.qHead == nil {
-		return nil
-	}
-	if inOrder {
-		r := c.qHead
-		b := &c.banks[r.bank]
 		if b.openRow == -1 && b.preInFlightRow == -1 && now >= b.actAllowedAt {
-			return r
+			c.issueACT(now, r)
+			return true
 		}
-		return nil
-	}
-	var best *Request
-	for i := range c.banks {
-		b := &c.banks[i]
-		if b.npend == 0 || b.openRow != -1 || b.preInFlightRow != -1 || now < b.actAllowedAt {
-			continue
-		}
-		if r := b.head; best == nil || r.qSeq < best.qSeq {
-			best = r
-		}
-	}
-	return best
-}
-
-// pickPRE finds the oldest conflicting request whose bank may close its
-// row: tRAS has expired and no pending request still targets the open row
-// (the essence of row-hit priority). In a bank with no request wanting the
-// open row, every pending request conflicts, so the bank's oldest is its
-// candidate.
-//moca:hotpath
-func (c *Controller) pickPRE(now event.Time, inOrder bool) *Request {
-	if c.qHead == nil {
-		return nil
-	}
-	if inOrder {
-		r := c.qHead
-		b := &c.banks[r.bank]
 		// With only the head considered, no request can want the open row.
 		if b.openRow != -1 && b.openRow != int64(r.row) && b.preInFlightRow == -1 &&
 			now >= b.preAllowedAt {
-			return r
+			c.issuePRE(now, r)
+			return true
 		}
-		return nil
+		return false
 	}
-	var best *Request
+	var cas, act, pre *Request
 	for i := range c.banks {
 		b := &c.banks[i]
-		if b.npend == 0 || b.openRow == -1 || b.preInFlightRow != -1 || now < b.preAllowedAt {
+		if b.npend == 0 {
 			continue
 		}
-		wanted := false
-		for r := b.head; r != nil; r = r.nextB {
-			if int64(r.row) == b.openRow {
-				wanted = true
-				break
+		if b.openRow == -1 {
+			if b.preInFlightRow == -1 && now >= b.actAllowedAt {
+				if r := b.head; act == nil || r.qSeq < act.qSeq {
+					act = r
+				}
+			}
+			continue
+		}
+		casReady := now >= b.casReadyAt
+		preReady := b.preInFlightRow == -1 && now >= b.preAllowedAt
+		if !casReady && !preReady {
+			continue
+		}
+		wanted := b.rowMatch > 0
+		if wanted && casReady {
+			for r := b.head; r != nil; r = r.nextB {
+				if int64(r.row) != b.openRow {
+					continue
+				}
+				if c.busFreeAt <= now+c.casDelay(r) {
+					if cas == nil || r.qSeq < cas.qSeq {
+						cas = r
+					}
+					break // older requests in this bank cannot beat r
+				}
+				// Row hit that cannot claim the bus: keep walking, a
+				// later hit with a different burst length may fit.
 			}
 		}
-		if wanted {
-			continue
-		}
-		if r := b.head; best == nil || r.qSeq < best.qSeq {
-			best = r
+		if preReady && !wanted {
+			if r := b.head; pre == nil || r.qSeq < pre.qSeq {
+				pre = r
+			}
 		}
 	}
-	return best
+	if cas != nil {
+		c.issueCAS(now, cas)
+		return true
+	}
+	if act != nil {
+		c.issueACT(now, act)
+		return true
+	}
+	if pre != nil {
+		c.issuePRE(now, pre)
+		return true
+	}
+	return false
 }
 
 // casDelay returns the CAS-to-data delay for a request: writes on
@@ -796,6 +802,7 @@ func (c *Controller) issueCAS(now event.Time, r *Request) {
 			preAt = r.DataFinish
 		}
 		b.openRow = -1
+		b.rowMatch = 0
 		c.stats.Precharges++
 		if t := preAt + c.httime.TRP; t > b.actAllowedAt {
 			b.actAllowedAt = t
@@ -854,6 +861,12 @@ func (c *Controller) issueACT(now event.Time, r *Request) {
 		}
 	}
 	b.openRow = int64(r.row)
+	b.rowMatch = 0
+	for x := b.head; x != nil; x = x.nextB {
+		if int64(x.row) == b.openRow {
+			b.rowMatch++
+		}
+	}
 	b.casReadyAt = now + c.httime.TRCD
 	b.preAllowedAt = now + c.httime.TRAS
 	b.actAllowedAt = now + c.httime.TRC
@@ -878,6 +891,7 @@ func (c *Controller) issuePRE(now event.Time, r *Request) {
 	}
 	b.preInFlightRow = b.openRow
 	b.openRow = -1
+	b.rowMatch = 0
 	c.stats.Precharges++
 	done := now + c.httime.TRP
 	if done > b.actAllowedAt {
@@ -914,6 +928,9 @@ func (c *Controller) removeRequest(r *Request) {
 	r.nextQ, r.prevQ, r.nextB, r.prevB = nil, nil, nil, nil
 	c.qLen--
 	b.npend--
+	if b.openRow == int64(r.row) {
+		b.rowMatch--
+	}
 }
 
 // SyncObs flushes the virtual-tick account into the event queue's

@@ -104,6 +104,13 @@ type Config struct {
 	// results are byte-identical across shard counts (see shard.go), so
 	// the experiment cache excludes it from its keys.
 	Shards int
+	// NoFastpath disables the common-case fast path (inline L1/L2 hit
+	// servicing and compute-run batching; zero value: enabled). Like
+	// Shards it is an execution strategy, not a model parameter: output is
+	// byte-identical either way (internal/sim/difftest proves it), so the
+	// experiment cache excludes it from its keys. The escape hatch exists
+	// so the slow path stays testable (-fastpath=false, MOCA_FASTPATH=0).
+	NoFastpath bool
 }
 
 // ProcSpec binds an application to a core.

@@ -1,6 +1,7 @@
 // Package difftest differentially tests the simulator's execution modes:
-// the same configuration is run at two shard counts and every observable
-// output — metrics, energy, placement, run trace, even error strings — must
+// the same configuration is run under two execution strategies — shard
+// counts and/or the common-case fast path — and every observable output —
+// metrics, energy, placement, run trace, even error strings — must
 // match byte-for-byte. A mismatch is minimized to the first diverging
 // field and reported with enough context (tick, component, field) to
 // bisect the ordering bug that caused it.
@@ -32,11 +33,25 @@ type Case struct {
 	Measure uint64
 }
 
+// Mode is one execution strategy: a shard count plus the fast-path
+// switch. Every Mode must produce byte-identical output for a given Case.
+type Mode struct {
+	Shards     int
+	NoFastpath bool
+}
+
+func (m Mode) String() string {
+	if m.NoFastpath {
+		return fmt.Sprintf("%d shards/slow", m.Shards)
+	}
+	return fmt.Sprintf("%d shards/fast", m.Shards)
+}
+
 // Divergence pinpoints the first observable difference between two runs of
-// the same case at different shard counts. Nil means byte-identical.
+// the same case under different execution modes. Nil means byte-identical.
 type Divergence struct {
-	Case   string
-	Shards [2]int
+	Case  string
+	Modes [2]Mode
 	// Path is the JSON path of the first differing field ("error" when the
 	// runs' error strings differ, "trace[i].<field>" for run-trace events).
 	Path string
@@ -57,8 +72,8 @@ func (d *Divergence) String() string {
 	if d.Component != "" || d.TickPs != 0 {
 		loc = fmt.Sprintf(" (tick %d ps, component %q, field %q)", d.TickPs, d.Component, d.Field)
 	}
-	return fmt.Sprintf("%s: shards %d vs %d diverge at %s%s:\n  a: %s\n  b: %s",
-		d.Case, d.Shards[0], d.Shards[1], d.Path, loc, d.A, d.B)
+	return fmt.Sprintf("%s: %s vs %s diverge at %s%s:\n  a: %s\n  b: %s",
+		d.Case, d.Modes[0], d.Modes[1], d.Path, loc, d.A, d.B)
 }
 
 // outcome captures everything observable about one run.
@@ -68,9 +83,10 @@ type outcome struct {
 	err    string
 }
 
-func execute(c Case, shards int) (outcome, error) {
+func execute(c Case, m Mode) (outcome, error) {
 	cfg := c.Cfg
-	cfg.Shards = shards
+	cfg.Shards = m.Shards
+	cfg.NoFastpath = m.NoFastpath
 	cfg.Obs.Metrics = true
 	tr := obs.NewTrace(0)
 	cfg.Obs.Trace = tr
@@ -85,7 +101,7 @@ func execute(c Case, shards int) (outcome, error) {
 
 	sys, err := sim.New(cfg, procs)
 	if err != nil {
-		return outcome{}, fmt.Errorf("difftest %s: shards=%d: %w", c.Name, shards, err)
+		return outcome{}, fmt.Errorf("difftest %s: %s: %w", c.Name, m, err)
 	}
 	res, err := sys.Run(c.Warmup, c.Measure)
 	if err != nil {
@@ -95,27 +111,34 @@ func execute(c Case, shards int) (outcome, error) {
 	}
 	data, err := json.Marshal(res)
 	if err != nil {
-		return outcome{}, fmt.Errorf("difftest %s: shards=%d: marshal: %w", c.Name, shards, err)
+		return outcome{}, fmt.Errorf("difftest %s: %s: marshal: %w", c.Name, m, err)
 	}
 	return outcome{res: data, events: tr.Events()}, nil
 }
 
-// Run executes the case at both shard counts and returns the minimized
-// first divergence, or nil when the outcomes are byte-identical. The error
-// covers harness failures only (invalid configuration, marshaling).
+// Run executes the case at both shard counts (fast path on) and returns
+// the minimized first divergence, or nil when the outcomes are
+// byte-identical. The error covers harness failures only (invalid
+// configuration, marshaling).
 func Run(c Case, shardsA, shardsB int) (*Divergence, error) {
-	a, err := execute(c, shardsA)
+	return RunModes(c, Mode{Shards: shardsA}, Mode{Shards: shardsB})
+}
+
+// RunModes executes the case under both execution modes and returns the
+// minimized first divergence, or nil when the outcomes are byte-identical.
+func RunModes(c Case, ma, mb Mode) (*Divergence, error) {
+	a, err := execute(c, ma)
 	if err != nil {
 		return nil, err
 	}
-	b, err := execute(c, shardsB)
+	b, err := execute(c, mb)
 	if err != nil {
 		return nil, err
 	}
 	d := compare(a, b)
 	if d != nil {
 		d.Case = c.Name
-		d.Shards = [2]int{shardsA, shardsB}
+		d.Modes = [2]Mode{ma, mb}
 	}
 	return d, nil
 }

@@ -88,3 +88,26 @@ func TestCompareDetectsDivergence(t *testing.T) {
 		}
 	})
 }
+
+// TestMatrixFastpathAxis sweeps the second execution-strategy axis: with
+// the inline-hit/compute-batch fast path disabled, every matrix case must
+// stay byte-identical to the default fast execution, both serially and
+// under sharding.
+func TestMatrixFastpathAxis(t *testing.T) {
+	for _, c := range Matrix(3) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			for _, shards := range []int{1, 4} {
+				fast := Mode{Shards: shards}
+				slow := Mode{Shards: shards, NoFastpath: true}
+				d, err := RunModes(c, fast, slow)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d != nil {
+					t.Fatalf("fast path diverged from slow path:\n%s", d)
+				}
+			}
+		})
+	}
+}

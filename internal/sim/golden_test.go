@@ -119,6 +119,10 @@ func TestGoldenRuns(t *testing.T) {
 				cfg := tc.cfg
 				cfg.Obs.Metrics = true
 				cfg.Shards = shards
+				// The fast path is pinned to the same goldens as the event
+				// engine: CI reruns this suite with MOCA_FASTPATH=0 so the
+				// slow path can never rot while the fast path is the default.
+				cfg.NoFastpath = os.Getenv("MOCA_FASTPATH") == "0"
 				sys, err := New(cfg, []ProcSpec{tc.proc})
 				if err != nil {
 					t.Fatal(err)

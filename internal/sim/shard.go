@@ -70,12 +70,13 @@ type linkMsg struct {
 //
 //moca:shard core
 type shardLink struct {
-	q     *event.Queue
-	route *router
-	delay event.Time
-	src   int
-	seq   uint64
-	out   [][]linkMsg // staged messages, per channel
+	q      *event.Queue
+	route  *router
+	delay  event.Time
+	src    int
+	seq    uint64
+	staged int         // messages staged since the last barrier merge
+	out    [][]linkMsg // staged messages, per channel
 }
 
 // Submit implements cache.Backend. The concrete sink is dropped: a
@@ -88,6 +89,7 @@ func (l *shardLink) Submit(lineAddr uint64, write bool, core int, obj uint64, si
 		src: l.src, seq: l.seq,
 	})
 	l.seq++
+	l.staged++
 	return true
 }
 
@@ -386,17 +388,19 @@ func (s *System) runPhase(ctx context.Context, target uint64, onCross func(*core
 		return nil
 	}
 	for _, c := range s.cores {
-		c.base = c.core.Stats().Instructions
+		c.base = c.core.Instructions()
 		c.crossed = false
 		c.counted = false
 		c.frozen = false
+		c.tickAt = s.simNow
 	}
+	s.phaseTarget = target
+	s.phaseOnCross = onCross
 	remaining := len(s.cores)
 	done := ctx.Done()
 	// Watchdog: generous IPC floor of 1/400 plus fixed slack.
 	maxCycles := target*400 + 50_000_000
 	var cycles uint64
-	start := s.simNow
 	for remaining > 0 {
 		if cycles > maxCycles {
 			crossed := 0
@@ -424,12 +428,16 @@ func (s *System) runPhase(ctx context.Context, target uint64, onCross func(*core
 		// Phase B: completed requests enter core queues at exact times.
 		s.distributeFills()
 		// Phase C: core shards run the window cycle by cycle.
-		if err := s.runCorePhase(windowEnd, target, onCross, start); err != nil {
+		if err := s.runCorePhase(windowEnd); err != nil {
 			return err
 		}
 		// Phase D: barrier. The coordinator queue (migration epochs and
 		// copy pacing) runs first so its staged traffic joins this merge.
-		s.q.RunUntil(windowEnd - 1)
+		if we := windowEnd - 1; s.q.QuietUntil(we) {
+			s.q.AdvanceTo(we)
+		} else {
+			s.q.RunUntil(we)
+		}
 		s.mergeCrossings()
 		for _, c := range s.cores {
 			if c.runErr != nil {
@@ -452,16 +460,31 @@ func (s *System) runPhase(ctx context.Context, target uint64, onCross func(*core
 }
 
 // runChannelPhase drains every channel shard's queue up to the window
-// horizon, in parallel when a pool is attached.
+// horizon, in parallel when a pool is attached. The window parameters
+// travel through phase fields so dispatch reuses the hoisted s.chanJob
+// closure instead of allocating one per window.
 func (s *System) runChannelPhase(windowEnd event.Time) error {
-	job := func(w, stride int) {
-		for ci := w; ci < len(s.chans); ci += stride {
-			s.runChanShard(s.chans[ci], windowEnd)
-		}
-	}
+	s.phaseWindowEnd = windowEnd
 	if s.pool == nil {
-		job(0, 1)
-	} else if err := s.pool.run(func(w int) { job(w, s.pool.workers) }); err != nil {
+		// Serial quiet skip: when no channel has anything due this window
+		// the pass is a pure clock advance, so the recover scaffolding and
+		// per-shard RunUntil calls in chanWindow can be elided.
+		we := windowEnd - 1
+		quiet := true
+		for _, cs := range s.chans {
+			if !cs.q.QuietUntil(we) {
+				quiet = false
+				break
+			}
+		}
+		if quiet {
+			for _, cs := range s.chans {
+				cs.q.AdvanceTo(we)
+			}
+			return nil
+		}
+		s.chanWindow(0, 1)
+	} else if err := s.pool.run(s.chanJob); err != nil {
 		return err
 	}
 	for _, cs := range s.chans {
@@ -472,13 +495,31 @@ func (s *System) runChannelPhase(windowEnd event.Time) error {
 	return nil
 }
 
-func (s *System) runChanShard(cs *chanShard, windowEnd event.Time) {
+// chanWindow runs the channel shards owned by worker w (indices congruent
+// to w modulo stride) through the window set in s.phaseWindowEnd. One
+// recover covers the whole batch (a panic is attributed to the shard that
+// was running); idle shards — empty queue, an idle controller by
+// construction — are skipped without touching their clocks, which is safe
+// because every post into a channel queue carries an absolute future time.
+func (s *System) chanWindow(w, stride int) {
+	cur := -1
 	defer func() {
 		if r := recover(); r != nil {
+			cs := s.chans[cur]
 			cs.err = fmt.Errorf("sim: %s: channel shard %s: panic: %v", s.cfg.Name, cs.ctrl.Name, r)
 		}
 	}()
-	cs.q.RunUntil(windowEnd - 1)
+	for ci := w; ci < len(s.chans); ci += stride {
+		cs := s.chans[ci]
+		cur = ci
+		// Quiet guard: most windows a channel only holds a wake scheduled
+		// beyond the bound, and the inlined check replaces the call.
+		if we := s.phaseWindowEnd - 1; cs.q.QuietUntil(we) {
+			cs.q.AdvanceTo(we)
+		} else {
+			cs.q.RunUntil(we)
+		}
+	}
 }
 
 // runCorePhase runs every core shard through the window. Each worker
@@ -488,22 +529,33 @@ func (s *System) runChanShard(cs *chanShard, windowEnd event.Time) {
 // spin condition can always be satisfied.
 //
 //moca:barrier dispatches core shards and reaps their per-core errors
-func (s *System) runCorePhase(windowEnd event.Time, target uint64, onCross func(*coreCtx, event.Time), start event.Time) error {
-	job := func(w, stride int) { s.coreWindow(w, stride, windowEnd, target, onCross, start) }
+func (s *System) runCorePhase(windowEnd event.Time) error {
+	s.phaseWindowEnd = windowEnd
 	if s.pool == nil {
-		job(0, 1)
-	} else if err := s.pool.run(func(w int) { job(w, s.pool.workers) }); err != nil {
+		s.coreWindow(0, 1)
+	} else if err := s.pool.run(s.coreJob); err != nil {
 		return err
 	}
 	return nil
 }
 
 // coreWindow advances the cores owned by worker w (core indices congruent
-// to w modulo stride) through one window. A panicking core shard is
-// recovered into a keyed error on that core; the worker's remaining cores
-// skip the rest of the window and every owned clock is released so no
-// other shard's fault gate can deadlock on the dying worker.
-func (s *System) coreWindow(w, stride int, windowEnd event.Time, target uint64, onCross func(*coreCtx, event.Time), start event.Time) {
+// to w modulo stride) through one window (s.phaseWindowEnd; quota and
+// crossing callback travel through s.phaseTarget / s.phaseOnCross). A
+// panicking core shard is recovered into a keyed error on that core; the
+// worker's remaining cores skip the rest of the window and every owned
+// clock is released so no other shard's fault gate can deadlock on the
+// dying worker.
+//
+// With the fast path on, a core may batch ahead of the lockstep cycle t:
+// c.tickAt is its private clock cursor (the next cycle it still has to
+// execute), and cycles below it are skipped. Batched spans are proven
+// fault-free (no memory ops, no translations), so publishing the gate
+// clock for the whole span at once cannot reorder any page fault.
+func (s *System) coreWindow(w, stride int) {
+	windowEnd := s.phaseWindowEnd
+	target := s.phaseTarget
+	onCross := s.phaseOnCross
 	cur := -1
 	defer func() {
 		if r := recover(); r != nil {
@@ -515,16 +567,45 @@ func (s *System) coreWindow(w, stride int, windowEnd event.Time, target uint64, 
 			}
 		}
 	}()
-	for t := windowEnd - s.window; t < windowEnd; t += s.cycle {
+	for t := windowEnd - s.window; t < windowEnd; {
+		// next is the earliest cycle any owned core still has to execute:
+		// when every core is batched ahead of t the loop jumps straight to
+		// it instead of walking the skipped cycles one by one. A core's
+		// queue holds no events inside its batched span (tryBatch bounded
+		// the batch by NextTime and nothing external posts mid-phase), so
+		// the jump cannot run an event late.
+		next := windowEnd
 		for i := w; i < len(s.cores); i += stride {
 			c := s.cores[i]
 			if c.dead {
 				continue
 			}
+			if s.fastpath && c.tickAt > t {
+				if c.tickAt < next {
+					next = c.tickAt
+				}
+				continue // a batch already executed this cycle
+			}
 			cur = i
-			c.q.RunUntil(t)
-			c.core.Tick()
-			s.gate.clocks[i].Store(int64(t + s.cycle))
+			if c.q.QuietUntil(t) {
+				c.q.AdvanceTo(t)
+			} else {
+				c.q.RunUntil(t)
+			}
+			if s.fastpath {
+				if n := s.tryBatch(c, i, t, windowEnd, target, onCross); n > 0 {
+					if c.tickAt < next {
+						next = c.tickAt
+					}
+					continue
+				}
+			}
+			c.core.TickAt(t)
+			c.tickAt = t + s.cycle
+			next = t + s.cycle
+			if s.gate.on {
+				s.gate.clocks[i].Store(int64(t + s.cycle))
+			}
 			if err := c.core.Err(); err != nil {
 				c.fail(s, i, err)
 				continue
@@ -532,7 +613,7 @@ func (s *System) coreWindow(w, stride int, windowEnd event.Time, target uint64, 
 			if c.crossed {
 				continue
 			}
-			if c.core.Stats().Instructions-c.base >= target {
+			if c.core.Instructions()-c.base >= target {
 				c.crossed = true
 				if onCross != nil {
 					onCross(c, t+s.cycle)
@@ -542,7 +623,7 @@ func (s *System) coreWindow(w, stride int, windowEnd event.Time, target uint64, 
 				// cross, so fail now instead of spinning into the watchdog.
 				// A replayed trace that ended on a decode error reports
 				// that error, not a bare end-of-stream.
-				short := target - (c.core.Stats().Instructions - c.base)
+				short := target - (c.core.Instructions() - c.base)
 				if serr := streamErr(c.stream); serr != nil {
 					c.fail(s, i, fmt.Errorf("trace decode: %w", serr))
 				} else {
@@ -550,6 +631,7 @@ func (s *System) coreWindow(w, stride int, windowEnd event.Time, target uint64, 
 				}
 			}
 		}
+		t = next
 	}
 	for i := w; i < len(s.cores); i += stride {
 		c := s.cores[i]
@@ -562,9 +644,54 @@ func (s *System) coreWindow(w, stride int, windowEnd event.Time, target uint64, 
 		// belong to this window — running them now keeps every link
 		// submission's staging time inside the window that merges it.
 		cur = i
-		c.q.RunUntil(windowEnd - 1)
-		s.gate.clocks[i].Store(int64(windowEnd))
+		if we := windowEnd - 1; c.q.QuietUntil(we) {
+			c.q.AdvanceTo(we)
+		} else {
+			c.q.RunUntil(we)
+		}
+		if s.gate.on {
+			s.gate.clocks[i].Store(int64(windowEnd))
+		}
 	}
+}
+
+// tryBatch retires a run of cycles for core i in one call, starting at
+// cycle t. The batch is bounded by the window barrier and by the core's
+// next queued event (NextTime deliberately ignores virtual events: an
+// inline hit matures by clock comparison, not by an event run). The budget
+// stops the batch on the exact cycle the instruction quota is crossed, so
+// onCross observes the same timestamp the per-cycle loop would have
+// produced. Returns the number of cycles batched (0: fall back to a
+// normal tick).
+//
+//moca:hotpath
+func (s *System) tryBatch(c *coreCtx, i int, t, windowEnd event.Time, target uint64, onCross func(*coreCtx, event.Time)) int {
+	end := windowEnd
+	if nt, ok := c.q.NextTime(); ok && nt < end {
+		end = nt
+	}
+	if end <= t {
+		return 0
+	}
+	budget := ^uint64(0)
+	if !c.crossed {
+		budget = target - (c.core.Instructions() - c.base)
+	}
+	n, retired := c.core.FastForward(t, end, budget)
+	if n == 0 {
+		return 0
+	}
+	c.tickAt = t + event.Time(n)*s.cycle
+	if s.gate.on {
+		s.gate.clocks[i].Store(int64(c.tickAt))
+	}
+	if retired > 0 && !c.crossed && c.core.Instructions()-c.base >= target {
+		c.crossed = true
+		if onCross != nil {
+			onCross(c, c.tickAt)
+		}
+	}
+	return n
 }
 
 // fail marks the core dead with a keyed error and releases its gate clock.
@@ -581,6 +708,13 @@ func (c *coreCtx) fail(s *System, i int, err error) {
 //
 //moca:barrier merges channel-shard completions into core-shard queues
 func (s *System) distributeFills() {
+	total := 0
+	for _, cs := range s.chans {
+		total += len(cs.fills)
+	}
+	if total == 0 {
+		return
+	}
 	buf := s.fillScratch[:0]
 	for ci, cs := range s.chans {
 		for _, f := range cs.fills {
@@ -588,15 +722,13 @@ func (s *System) distributeFills() {
 		}
 		cs.fills = cs.fills[:0]
 	}
-	sort.Slice(buf, func(i, j int) bool {
-		if buf[i].at != buf[j].at {
-			return buf[i].at < buf[j].at
+	// Insertion sort, like sortLinkMsgs: barrier batches are small and
+	// sort.Slice would allocate a closure every window.
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0 && chanFillLess(buf[j], buf[j-1]); j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
 		}
-		if buf[i].ch != buf[j].ch {
-			return buf[i].ch < buf[j].ch
-		}
-		return buf[i].seq < buf[j].seq
-	})
+	}
 	for _, f := range buf {
 		c := s.cores[f.core]
 		c.q.Post(f.at, c, copFill, int64(f.token), nil)
@@ -611,6 +743,17 @@ type chanFill struct {
 	seq int
 }
 
+// chanFillLess orders staged fills by (at, channel, staging order).
+func chanFillLess(a, b chanFill) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.ch != b.ch {
+		return a.ch < b.ch
+	}
+	return a.seq < b.seq
+}
+
 // mergeCrossings applies every staged core->channel (and migration)
 // submission to its channel shard in (at, source shard, seq) order: the
 // window-merge contract the fuzz target locks down. The migration
@@ -619,9 +762,26 @@ type chanFill struct {
 //
 //moca:barrier merges core-shard link traffic into channel-shard queues
 func (s *System) mergeCrossings() {
+	staged := 0
+	for _, l := range s.links {
+		staged += l.staged
+		l.staged = 0
+	}
+	if staged == 0 {
+		return // nothing crossed this window (common during long stalls)
+	}
 	for ci, cs := range s.chans {
-		m := mergeWindow(s.linkScratch[:0], s.links, ci)
-		s.linkScratch = m
+		var m []linkMsg
+		if len(s.links) == 1 {
+			// One source shard: messages were staged in (at, seq) order
+			// already, so the merge copy and sort are identity operations.
+			l := s.links[0]
+			m = l.out[ci]
+			l.out[ci] = l.out[ci][:0]
+		} else {
+			m = mergeWindow(s.linkScratch[:0], s.links, ci)
+			s.linkScratch = m
+		}
 		cs.inbox = cs.inbox[:0]
 		for _, msg := range m {
 			if s.route.onAccess != nil {

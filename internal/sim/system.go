@@ -69,6 +69,11 @@ type coreCtx struct {
 	dead    bool
 	runErr  error
 
+	// tickAt is the fast path's clock cursor: the next cycle this core
+	// still has to execute. A compute batch advances it several cycles at
+	// once; the lockstep loop skips cycles below it (shard.go).
+	tickAt event.Time
+
 	frozen   bool
 	snapshot CoreResult
 	snapAt   event.Time
@@ -95,8 +100,17 @@ type System struct {
 	migrator *alloc.Migrator // nil unless PolicyMigrate
 	migLink  *shardLink
 
-	gate *faultGate
-	pool *shardPool // non-nil only while a parallel RunContext is active
+	gate     *faultGate
+	pool     *shardPool // non-nil only while a parallel RunContext is active
+	fastpath bool       // !cfg.NoFastpath: inline hits + compute batching
+
+	// Phase parameters, published by the coordinator before dispatching a
+	// phase and read by the (hoisted, allocation-free) phase jobs below.
+	phaseWindowEnd event.Time
+	phaseTarget    uint64
+	phaseOnCross   func(*coreCtx, event.Time)
+	chanJob        func(w int) // built once per RunContext (parallel mode)
+	coreJob        func(w int)
 
 	// Observability (nil unless cfg.Obs requests it). runTrace is the
 	// caller's sink; shards emit into traceStages (0 = OS/coordinator,
@@ -123,10 +137,11 @@ func New(cfg Config, procs []ProcSpec) (*System, error) {
 	}
 
 	s := &System{
-		cfg:    cfg,
-		q:      event.NewQueue(),
-		cycle:  cfg.Core.Cycle,
-		shards: cfg.Shards,
+		cfg:      cfg,
+		q:        event.NewQueue(),
+		cycle:    cfg.Core.Cycle,
+		shards:   cfg.Shards,
+		fastpath: !cfg.NoFastpath,
 	}
 	s.window = windowCycles * s.cycle
 
@@ -269,6 +284,7 @@ func New(cfg Config, procs []ProcSpec) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		core.SetFastpath(s.fastpath)
 
 		ctx := &coreCtx{proc: i, q: cq, link: link, app: app, core: core, hier: hier, allocator: allocator, stream: stream}
 		if cfg.Profile {
@@ -353,6 +369,10 @@ func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (*Resul
 		if workers > 1 {
 			s.pool = newShardPool(workers)
 			defer func() { s.pool.stop(); s.pool = nil }()
+			// Build the phase jobs once: dispatching a window must not
+			// allocate (the parameters travel through the phase* fields).
+			s.chanJob = func(w int) { s.chanWindow(w, s.pool.workers) }
+			s.coreJob = func(w int) { s.coreWindow(w, s.pool.workers) }
 		}
 	}
 

@@ -347,16 +347,19 @@ func (a *App) Footprint() uint64 { return a.Spec.Footprint() }
 func (a *App) Stream() cpu.Stream { return &appStream{app: a} }
 
 type appStream struct {
-	app     *App
-	pending []cpu.Instr
+	app *App
+	// At most one instruction is ever buffered (a memory access queued
+	// behind its compute gap), so a scalar avoids slice churn on the
+	// per-instruction path.
+	pending    cpu.Instr
+	hasPending bool
 }
 
 // Next implements cpu.Stream.
 func (s *appStream) Next() (cpu.Instr, bool) {
-	if len(s.pending) > 0 {
-		in := s.pending[0]
-		s.pending = s.pending[1:]
-		return in, true
+	if s.hasPending {
+		s.hasPending = false
+		return s.pending, true
 	}
 	a := s.app
 
@@ -364,7 +367,8 @@ func (s *appStream) Next() (cpu.Instr, bool) {
 	if a.initNext < len(a.initOps) {
 		op := a.initOps[a.initNext]
 		a.initNext++
-		s.pending = append(s.pending, cpu.Instr{Kind: cpu.Store, VAddr: op.addr, Obj: op.obj})
+		s.pending = cpu.Instr{Kind: cpu.Store, VAddr: op.addr, Obj: op.obj}
+		s.hasPending = true
 		return cpu.Instr{Kind: cpu.Compute, N: 4}, true
 	}
 
@@ -385,7 +389,8 @@ func (s *appStream) Next() (cpu.Instr, bool) {
 	if gap <= 0 {
 		return access, true
 	}
-	s.pending = append(s.pending, access)
+	s.pending = access
+	s.hasPending = true
 	return cpu.Instr{Kind: cpu.Compute, N: gap}, true
 }
 
