@@ -16,15 +16,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
-	"syscall"
 	"time"
 
 	"moca/internal/benchcmp"
+	"moca/internal/cmdutil"
 	"moca/internal/exp"
 	"moca/internal/obs"
 	"moca/internal/stats"
@@ -69,7 +68,7 @@ func run() (code int) {
 		return 0
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cmdutil.NotifyContext(context.Background(), "moca-bench")
 	defer stop()
 
 	if *cpuProfile != "" {

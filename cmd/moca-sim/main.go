@@ -20,16 +20,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
-	"syscall"
 
 	"moca"
+	"moca/internal/cmdutil"
 	"moca/internal/exp"
 	"moca/internal/mem"
 	"moca/internal/profile"
+	"moca/internal/wire"
+	"moca/internal/wire/client"
 )
 
 // main delegates to run so deferred flushes (the run trace) execute even
@@ -52,6 +53,7 @@ func run() (code int) {
 	traceOut := flag.String("trace-out", "", "write the structured run trace (JSON lines) to this file")
 	cacheDir := flag.String("cache-dir", os.Getenv("MOCA_CACHE_DIR"), "persistent run-cache directory (default $MOCA_CACHE_DIR; empty = disabled)")
 	cacheMode := flag.String("cache", envOr("MOCA_CACHE", "write"), "persistent cache mode: off, read, or write (default $MOCA_CACHE or write)")
+	remote := flag.String("remote", "", "run on a moca-served instance at this address instead of locally (host:port)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) int {
@@ -59,7 +61,7 @@ func run() (code int) {
 		return 1
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cmdutil.NotifyContext(context.Background(), "moca-sim")
 	defer stop()
 
 	if (*appName == "") == (*mixName == "") {
@@ -78,6 +80,22 @@ func run() (code int) {
 			return fail("unknown mix %q (have: %s)", *mixName, strings.Join(names, " "))
 		}
 		apps = mix.Apps
+	}
+
+	if *remote != "" {
+		res, err := runRemote(ctx, *remote, *system, *appName, *mixName, *measure, *window, *metrics)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if *jsonOut {
+			err = reportJSON(res)
+		} else {
+			err = report(res)
+		}
+		if err != nil {
+			return fail("%v", err)
+		}
+		return 0
 	}
 
 	cfg, err := systemConfig(*system)
@@ -171,6 +189,40 @@ func envOr(key, fallback string) string {
 		return v
 	}
 	return fallback
+}
+
+// runRemote submits the run to a moca-served instance and waits for its
+// result, printing progress ticks to stderr. Identical submissions from
+// any number of moca-sim invocations share one simulation server-side.
+// The local cache and trace flags do not apply: the server owns its cache,
+// and the run trace never crosses the wire.
+func runRemote(ctx context.Context, addr, system, app, mix string, measure, window uint64, metrics bool) (*moca.Result, error) {
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("connecting to %s: %w", addr, err)
+	}
+	defer c.Close()
+	var lastPct uint64 = ^uint64(0)
+	res, _, err := c.Run(ctx, wire.Submit{
+		System:        system,
+		App:           app,
+		Mix:           mix,
+		Measure:       measure,
+		ProfileWindow: window,
+		Metrics:       metrics,
+	}, func(done, total uint64) {
+		if total == 0 {
+			return
+		}
+		if pct := done * 100 / total; pct != lastPct {
+			lastPct = pct
+			fmt.Fprintf(os.Stderr, "moca-sim: remote run %d%% (%d/%d instructions)\n", pct, done, total)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 func writeTrace(path string, tr *moca.RunTrace) error {

@@ -1,0 +1,72 @@
+package cmdutil
+
+import (
+	"context"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSecondSignalForcesExit is the regression test for the swallowed
+// second Ctrl-C: the first SIGINT must cancel the context (graceful
+// drain), and a second SIGINT during that drain must hit the exit seam
+// with the distinct force-exit status instead of disappearing into a
+// dead registration.
+func TestSecondSignalForcesExit(t *testing.T) {
+	exited := make(chan int, 1)
+	exit = func(code int) { exited <- code }
+	defer func() { exit = func(int) {} }()
+
+	ctx, stop := NotifyContext(context.Background(), "cmdutil-test")
+	defer stop()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first SIGINT did not cancel the context")
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("first SIGINT force-exited with %d; it must drain gracefully", code)
+	default:
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exited:
+		if code != ForceExitCode {
+			t.Fatalf("force-exit status = %d, want %d", code, ForceExitCode)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second SIGINT during shutdown was swallowed")
+	}
+}
+
+// TestStopReleasesWithoutExit: once stop is called the watcher winds down
+// and a prior parent cancellation never trips the escape hatch.
+func TestStopReleasesWithoutExit(t *testing.T) {
+	exited := make(chan int, 1)
+	exit = func(code int) { exited <- code }
+	defer func() { exit = func(int) {} }()
+
+	parent, cancel := context.WithCancel(context.Background())
+	ctx, stop := NotifyContext(parent, "cmdutil-test")
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("parent cancellation did not propagate")
+	}
+	stop()
+	stop() // idempotent
+	select {
+	case code := <-exited:
+		t.Fatalf("stop tripped the exit seam with status %d", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"moca/internal/profile"
 	"moca/internal/sim"
@@ -78,8 +79,10 @@ type envelope struct {
 
 // RunCache is a content-addressed persistent cache of simulation results
 // and offline profiles, shared across processes via a directory. Writes
-// are atomic (temp file + rename), so a crashed or killed run leaves only
-// complete entries behind and the next invocation resumes from them.
+// are atomic and durable (temp file + fsync + rename + directory fsync),
+// so a crashed or killed run leaves only complete entries behind and the
+// next invocation resumes from them; opening the cache sweeps any crash
+// debris older tools may have left (orphaned temps, zero-byte entries).
 // All methods are safe for concurrent use.
 type RunCache struct {
 	dir  string
@@ -107,7 +110,46 @@ func OpenRunCache(dir string, mode CacheMode) (*RunCache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("exp: creating cache directory: %w", err)
 	}
-	return &RunCache{dir: dir, mode: mode, salt: defaultCacheSalt()}, nil
+	c := &RunCache{dir: dir, mode: mode, salt: defaultCacheSalt()}
+	c.sweep()
+	return c, nil
+}
+
+// sweepTempGrace is how old a temp file must be before the open-time sweep
+// treats it as crash debris. A live writer in another process renames (or
+// removes) its temp within milliseconds; anything this stale was abandoned
+// by a crashed or killed run.
+const sweepTempGrace = 10 * time.Minute
+
+// sweep removes crash debris on open: orphaned temp files from writers
+// that died before their rename, and zero-byte entries a crash can leave
+// behind when the rename was durable but the data was not (the store path
+// now fsyncs to prevent new ones; old caches may still carry them).
+// Zero-byte removals count as evictions; the sweep itself is best-effort.
+func (c *RunCache) sweep() {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	now := time.Now()
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			if now.Sub(info.ModTime()) >= sweepTempGrace {
+				os.Remove(filepath.Join(c.dir, name))
+			}
+		case strings.HasSuffix(name, ".json") && info.Size() == 0:
+			c.evict(filepath.Join(c.dir, name))
+		}
+	}
 }
 
 // Dir returns the cache directory.
@@ -181,6 +223,14 @@ func (c *RunCache) store(kind, key string, payload any) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("exp: writing cache entry: %w", err)
 	}
+	// Flush data before the rename publishes the entry: without it a crash
+	// shortly after the rename can surface a truncated or zero-byte file
+	// under the final name, which would poison the slot until evicted.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("exp: syncing cache entry: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("exp: writing cache entry: %w", err)
@@ -189,8 +239,27 @@ func (c *RunCache) store(kind, key string, payload any) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("exp: writing cache entry: %w", err)
 	}
+	// Make the rename itself durable so the entry cannot vanish (or revert
+	// to the temp name) after a crash.
+	if err := syncDir(c.dir); err != nil {
+		return fmt.Errorf("exp: syncing cache directory: %w", err)
+	}
 	c.writes.Add(1)
 	return nil
+}
+
+// syncDir fsyncs a directory so a completed rename inside it survives a
+// crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func (c *RunCache) evict(path string) {

@@ -4,6 +4,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"moca/internal/cpu"
 	"moca/internal/mem"
@@ -178,6 +179,81 @@ func TestCacheCorruptEntryEvicted(t *testing.T) {
 	}
 	if st := c2.Stats(); st.Evictions == 0 || st.Hits != 0 {
 		t.Errorf("corrupt entries: Evictions=%d Hits=%d, want >0 evictions and 0 hits", st.Evictions, st.Hits)
+	}
+}
+
+// TestCacheOpenSweepsCrashDebris: opening a cache removes stale orphaned
+// temp files and evicts zero-byte entries (the residue of a crash between
+// a non-durable rename and power loss), while leaving fresh temps — a
+// concurrent writer's work in flight — and valid entries alone.
+func TestCacheOpenSweepsCrashDebris(t *testing.T) {
+	dir := t.TempDir()
+
+	// A valid entry, written through the normal durable path.
+	c1 := openCache(t, dir, CacheReadWrite)
+	if err := c1.StoreResult("k", &sim.Result{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	validPath := c1.path("result", "k")
+
+	stale := dir + "/.result-dead123.tmp"
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * sweepTempGrace)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	fresh := dir + "/.result-live456.tmp"
+	if err := os.WriteFile(fresh, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	empty := dir + "/result-" + strings.Repeat("0", 64) + ".json"
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := openCache(t, dir, CacheReadWrite)
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale temp survived the sweep (err=%v)", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh temp was swept: %v", err)
+	}
+	if _, err := os.Stat(empty); !os.IsNotExist(err) {
+		t.Errorf("zero-byte entry survived the sweep (err=%v)", err)
+	}
+	if _, err := os.Stat(validPath); err != nil {
+		t.Errorf("valid entry was swept: %v", err)
+	}
+	if st := c2.Stats(); st.Evictions != 1 {
+		t.Errorf("Evictions=%d after sweep, want 1 (the zero-byte entry)", st.Evictions)
+	}
+	if res, ok := c2.LoadResult("k"); !ok || res.Name != "x" {
+		t.Errorf("valid entry unreadable after sweep: ok=%v", ok)
+	}
+}
+
+// TestCacheZeroByteEntryEvictedOnLoad: even without a reopen, a zero-byte
+// envelope is treated as corrupt on access — evicted and reported as a
+// miss — so one crash artifact cannot poison the slot forever.
+func TestCacheZeroByteEntryEvictedOnLoad(t *testing.T) {
+	dir := t.TempDir()
+	c := openCache(t, dir, CacheReadWrite)
+	if err := c.StoreResult("k", &sim.Result{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path("result", "k"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.LoadResult("k"); ok {
+		t.Fatal("zero-byte entry decoded as a hit")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Hits != 0 {
+		t.Errorf("Evictions=%d Hits=%d, want 1 eviction and 0 hits", st.Evictions, st.Hits)
+	}
+	if _, err := os.Stat(c.path("result", "k")); !os.IsNotExist(err) {
+		t.Errorf("zero-byte entry still on disk (err=%v)", err)
 	}
 }
 

@@ -80,10 +80,18 @@ type RunnerStats struct {
 // block on done and then read res/err. Exactly one goroutine executes the
 // work per key at a time; a failed flight is forgotten so the key can be
 // retried.
+//
+// The flight runs under its own context (canceled via cancel), detached
+// from any individual caller: waiters holds the number of callers still
+// joined (guarded by Runner.mu), and a caller whose context fires merely
+// detaches — only the last departing waiter cancels the shared work, so
+// one impatient client never kills a simulation others are waiting on.
 type flight struct {
-	done chan struct{}
-	res  *sim.Result
-	err  error
+	done    chan struct{}
+	res     *sim.Result
+	err     error
+	waiters int                // callers still joined; guarded by Runner.mu
+	cancel  context.CancelFunc // stops the flight's simulation
 }
 
 // instrFlight is the profiling pipeline's equivalent of flight.
@@ -128,8 +136,16 @@ type Runner struct {
 	// in-memory memoization below is always on.
 	Cache *RunCache
 	// Ctx, if non-nil, cancels in-flight and pending simulations when it
-	// fires (the commands wire signal.NotifyContext here).
+	// fires (the commands wire their signal context here).
 	Ctx context.Context
+	// OnProgress, if non-nil, receives periodic completion ticks for every
+	// simulation this runner actually executes, keyed by the run's memo key
+	// ("System|single/app" or "System|mix/name"). snap lazily captures the
+	// live metrics snapshot at the tick's window barrier and must only be
+	// called from inside the callback. Invoked on the flight goroutine, so
+	// it must be fast and concurrency-safe; cache hits produce no ticks.
+	// Pure observability: it never affects results or cache keys.
+	OnProgress func(memoKey string, done, total uint64, snap func() *obs.Snapshot)
 
 	mu      sync.Mutex
 	instr   map[string]core.Instrumentation
@@ -244,20 +260,37 @@ func (r *Runner) instrument(appName string) (ins core.Instrumentation, err error
 
 // RunSingle simulates one application alone on the given system (cached).
 func (r *Runner) RunSingle(def SystemDef, appName string) (*sim.Result, error) {
-	return r.run(r.context(), def, "single/"+appName, []string{appName})
+	return r.RunSingleCtx(r.context(), def, appName)
+}
+
+// RunSingleCtx is RunSingle with a per-caller context: ctx firing detaches
+// this caller only, and cancels the underlying simulation iff no other
+// caller is still joined to it.
+func (r *Runner) RunSingleCtx(ctx context.Context, def SystemDef, appName string) (*sim.Result, error) {
+	return r.run(ctx, def, "single/"+appName, []string{appName})
 }
 
 // RunMix simulates a 4-application mix on the given system (cached).
 func (r *Runner) RunMix(def SystemDef, mix workload.Mix) (*sim.Result, error) {
-	return r.run(r.context(), def, "mix/"+mix.Name, mix.Apps)
+	return r.RunMixCtx(r.context(), def, mix)
+}
+
+// RunMixCtx is RunMix with a per-caller context (see RunSingleCtx).
+func (r *Runner) RunMixCtx(ctx context.Context, def SystemDef, mix workload.Mix) (*sim.Result, error) {
+	return r.run(ctx, def, "mix/"+mix.Name, mix.Apps)
 }
 
 // run is the deduplicated entry point: per-key singleflight over the
 // in-memory memo, backed by the persistent cache. The first caller for a
-// key executes the simulation; concurrent callers block on its flight and
-// share the identical *sim.Result. A canceled waiter returns ctx.Err()
-// without abandoning the flight for others.
+// key starts the simulation on a flight goroutine; concurrent callers join
+// its flight and share the identical *sim.Result. Every caller — first or
+// joined — is a reference-counted waiter: a caller whose ctx fires returns
+// ctx.Err() and detaches without disturbing the flight, and only the last
+// departing waiter cancels the shared simulation.
 func (r *Runner) run(ctx context.Context, def SystemDef, key string, apps []string) (*sim.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	memoKey := def.Name + "|" + key
 	r.mu.Lock()
 	if r.results == nil {
@@ -270,34 +303,63 @@ func (r *Runner) run(ctx context.Context, def SystemDef, key string, apps []stri
 		return res, nil
 	}
 	if f, ok := r.flights[memoKey]; ok {
+		f.waiters++
 		r.mu.Unlock()
-		select {
-		case <-f.done:
-			if f.err == nil {
-				r.memoryHits.Add(1)
-			}
-			return f.res, f.err
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
+		return r.wait(ctx, f, true)
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight{done: make(chan struct{}), waiters: 1}
+	// The flight's lifetime is bound to the runner, not to any one caller.
+	fctx, cancel := context.WithCancel(r.context())
+	f.cancel = cancel
 	r.flights[memoKey] = f
 	r.mu.Unlock()
 
-	f.res, f.err = r.simulate(ctx, def, memoKey, apps)
-	if f.err != nil {
-		f.err = fmt.Errorf("exp: %s on %s: %w", key, def.Name, f.err)
-	}
+	go r.lead(fctx, f, def, memoKey, key, apps)
+	return r.wait(ctx, f, false)
+}
 
+// lead executes one flight's simulation under the flight context and
+// publishes the outcome to every joined waiter.
+func (r *Runner) lead(fctx context.Context, f *flight, def SystemDef, memoKey, key string, apps []string) {
+	res, err := r.simulate(fctx, def, memoKey, apps)
+	if err != nil {
+		err = fmt.Errorf("exp: %s on %s: %w", key, def.Name, err)
+	}
 	r.mu.Lock()
-	if f.err == nil {
-		r.results[memoKey] = f.res
+	f.res, f.err = res, err
+	if err == nil {
+		r.results[memoKey] = res
 	}
 	delete(r.flights, memoKey) // failed flights are retryable
 	r.mu.Unlock()
 	close(f.done)
-	return f.res, f.err
+	f.cancel() // release the flight context's resources
+}
+
+// wait blocks until the flight completes or ctx fires. On cancellation the
+// waiter detaches; the last waiter out cancels the flight's simulation.
+// joined callers (not the flight's originator) count as memory hits on
+// success, matching the memoized-read accounting.
+func (r *Runner) wait(ctx context.Context, f *flight, joined bool) (*sim.Result, error) {
+	select {
+	case <-f.done:
+		if joined && f.err == nil {
+			r.memoryHits.Add(1)
+		}
+		return f.res, f.err
+	case <-ctx.Done():
+		r.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 {
+			// Cancel under the lock: a new caller joining the flight is
+			// serialized against this decrement, so it either raised the
+			// count first (no cancel) or joins an already-canceled flight
+			// whose error is retryable.
+			f.cancel()
+		}
+		r.mu.Unlock()
+		return nil, ctx.Err()
+	}
 }
 
 // simulate executes (or loads from the persistent cache) one simulation.
@@ -336,7 +398,13 @@ func (r *Runner) simulate(ctx context.Context, def SystemDef, memoKey string, ap
 		}
 	}
 
-	sys, err := newSystem(cfg, procs)
+	var sys *sim.System
+	if r.OnProgress != nil {
+		cfg.Progress = func(done, total uint64) {
+			r.OnProgress(memoKey, done, total, sys.ObsSnapshot)
+		}
+	}
+	sys, err = newSystem(cfg, procs)
 	if err != nil {
 		return nil, err
 	}

@@ -111,6 +111,15 @@ type Config struct {
 	// experiment cache excludes it from its keys. The escape hatch exists
 	// so the slow path stays testable (-fastpath=false, MOCA_FASTPATH=0).
 	NoFastpath bool
+	// Progress, if non-nil, is called periodically during RunContext with
+	// the whole-run completion (done out of total, in per-core retired
+	// instructions over warmup + measure). The hook runs on the coordinator
+	// goroutine at a window barrier while every shard is quiescent, so it
+	// may read the system (e.g. ObsSnapshot) but must not block: the
+	// simulation does not advance until it returns. Pure observability —
+	// excluded from serialization and cache keys; the values passed are
+	// deterministic, only their wall-clock timing varies.
+	Progress func(done, total uint64) `json:"-"`
 }
 
 // ProcSpec binds an application to a core.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"moca/internal/obs"
+	"moca/internal/sim"
 )
 
 // TestMatrixSerialVsSharded is the differential harness: every matrix case
@@ -37,6 +38,47 @@ func TestMatrixShardOversubscription(t *testing.T) {
 	if d != nil {
 		t.Fatalf("16-shard run diverged from serial:\n%s", d)
 	}
+}
+
+// TestMigrationCopyDropParity: the best-effort migration copy path is
+// observable, and serial and sharded execution abandon exactly the same
+// copies — the drop count is part of the byte-identity contract, not a
+// mode-dependent artifact. Asserted both on the whole-run shard counter
+// and on the measured-window obs counter.
+func TestMigrationCopyDropParity(t *testing.T) {
+	var c Case
+	for _, mc := range Matrix(1) {
+		if strings.HasPrefix(mc.Name, "migrate") {
+			c = mc
+		}
+	}
+	if c.Name == "" {
+		t.Fatal("matrix lost its migration case")
+	}
+	drops := map[int]uint64{}
+	counters := map[int]uint64{}
+	for _, shards := range []int{1, 4} {
+		cfg := c.Cfg
+		cfg.Shards = shards
+		cfg.Obs.Metrics = true
+		sys, err := sim.New(cfg, c.Procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(c.Warmup, c.Measure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drops[shards] = sys.MigrationCopyDrops()
+		counters[shards] = res.Obs.Counters["mem.migration_copy_drops"]
+	}
+	if drops[1] != drops[4] {
+		t.Errorf("whole-run copy drops diverge: serial=%d sharded=%d", drops[1], drops[4])
+	}
+	if counters[1] != counters[4] {
+		t.Errorf("measured-window drop counters diverge: serial=%d sharded=%d", counters[1], counters[4])
+	}
+	t.Logf("migration copy drops: whole-run=%d, measured-window=%d", drops[1], counters[1])
 }
 
 // TestCompareDetectsDivergence proves the comparator actually fires: a

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+
+	"moca/internal/mem"
+	"moca/internal/workload"
+)
+
+// TestProgressHook: the Progress callback reports monotonically
+// non-decreasing completion over a fixed total of warmup+measure, finishes
+// exactly at total, and never perturbs the result — a hooked run stays
+// byte-identical to a plain one.
+func TestProgressHook(t *testing.T) {
+	run := func(hook func(done, total uint64)) *Result {
+		cfg := DefaultConfig("homogen-ddr3", Homogeneous(mem.DDR3), PolicyFixed)
+		cfg.Progress = hook
+		sys, err := New(cfg, []ProcSpec{{App: workload.MCF(), Input: workload.Ref}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(sys.SuggestedWarmup(), testMeasure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	var ticks int
+	var last, lastTotal uint64
+	hooked := run(func(done, total uint64) {
+		ticks++
+		if done < last {
+			t.Errorf("progress went backwards: %d after %d", done, last)
+		}
+		if done > total {
+			t.Errorf("progress overshot: %d/%d", done, total)
+		}
+		if lastTotal != 0 && total != lastTotal {
+			t.Errorf("total changed mid-run: %d then %d", lastTotal, total)
+		}
+		last, lastTotal = done, total
+	})
+	if ticks < 2 {
+		t.Fatalf("progress hook fired %d times, want at least start and finish", ticks)
+	}
+	if last != lastTotal || last == 0 {
+		t.Errorf("final progress %d/%d, want completion at a nonzero total", last, lastTotal)
+	}
+
+	plain := run(nil)
+	ha, err := hooked.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := plain.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ha) != string(pa) {
+		t.Error("progress hook perturbed the result bytes")
+	}
+}

@@ -128,6 +128,13 @@ type chanShard struct {
 	sinks []mem.DoneSink // pre-boxed per-core completion sinks
 	bp    []uint64       // per-core rejected-submission counts
 
+	// copyDrops counts migration copies abandoned under controller
+	// backpressure (the best-effort path), mirrored into the
+	// mem.migration_copy_drops obs counter so the loss is observable.
+	copyDrops uint64
+	reg       *obs.Registry
+	dropCtr   *obs.Counter
+
 	err error // shard panic, keyed by the coordinator
 }
 
@@ -186,6 +193,7 @@ func (cs *chanShard) try(now event.Time, m linkMsg) {
 	}
 	if m.core < 0 {
 		// Migration copy traffic is best-effort under backpressure.
+		cs.dropCopy()
 		return
 	}
 	cs.bp[m.core]++
@@ -204,6 +212,7 @@ func (cs *chanShard) drainPending(now event.Time) {
 			if m.core < 0 {
 				// Queued migration copies stay best-effort: drop instead
 				// of blocking demand traffic behind them.
+				cs.dropCopy()
 				cs.pendHead++
 				continue
 			}
@@ -215,6 +224,34 @@ func (cs *chanShard) drainPending(now event.Time) {
 	}
 	cs.pending = cs.pending[:0]
 	cs.pendHead = 0
+}
+
+// dropCopy records one migration copy abandoned under backpressure. The
+// counter is registered lazily on the first drop so runs that never drop
+// keep their metrics snapshots unchanged; the increment order across
+// shards is irrelevant because counter addition commutes, so the snapshot
+// stays byte-identical across shard counts (difftest proves parity).
+func (cs *chanShard) dropCopy() {
+	cs.copyDrops++
+	if cs.reg != nil {
+		if cs.dropCtr == nil {
+			cs.dropCtr = cs.reg.Counter("mem.migration_copy_drops")
+		}
+		cs.dropCtr.Inc()
+	}
+}
+
+// MigrationCopyDrops sums abandoned migration copies across channels
+// (whole run, including warmup; the obs counter covers the measured
+// window only).
+//
+//moca:barrier reads channel-shard counters; callers run between phases
+func (s *System) MigrationCopyDrops() uint64 {
+	var n uint64
+	for _, cs := range s.chans {
+		n += cs.copyDrops
+	}
+	return n
 }
 
 func (cs *chanShard) armRetry(now event.Time) {
@@ -400,8 +437,12 @@ func (s *System) runPhase(ctx context.Context, target uint64, onCross func(*core
 	done := ctx.Done()
 	// Watchdog: generous IPC floor of 1/400 plus fixed slack.
 	maxCycles := target*400 + 50_000_000
-	var cycles uint64
+	var cycles, windows uint64
 	for remaining > 0 {
+		if s.cfg.Progress != nil && windows&63 == 0 {
+			s.reportProgress()
+		}
+		windows++
 		if cycles > maxCycles {
 			crossed := 0
 			for _, c := range s.cores {
@@ -456,7 +497,44 @@ func (s *System) runPhase(ctx context.Context, target uint64, onCross func(*core
 		s.simNow = windowEnd
 		cycles += uint64(s.window / s.cycle)
 	}
+	if s.cfg.Progress != nil {
+		s.reportProgress()
+	}
 	return nil
+}
+
+// reportProgress invokes the Progress hook with the run's completion so
+// far: the slowest core's clamped per-phase progress plus the credit from
+// completed phases. Runs on the coordinator goroutine at a window barrier,
+// so reading core state is safe.
+//
+//moca:barrier coordinator-only; every shard is quiescent between windows
+func (s *System) reportProgress() {
+	min := s.phaseTarget
+	for _, c := range s.cores {
+		n := c.core.Instructions() - c.base
+		if n > s.phaseTarget {
+			// Cores past their quota keep executing for contention; their
+			// surplus is not phase progress.
+			n = s.phaseTarget
+		}
+		if n < min {
+			min = n
+		}
+	}
+	done := s.progressBase + min
+	if done > s.progressTotal {
+		done = s.progressTotal
+	}
+	s.cfg.Progress(done, s.progressTotal)
+}
+
+// ObsSnapshot captures the live metrics registry (nil-safe: empty when
+// metrics are disabled). Safe only from a Config.Progress callback — which
+// runs at a window barrier with every shard quiescent — or after the run
+// returns; calling it from another goroutine mid-run is a data race.
+func (s *System) ObsSnapshot() *obs.Snapshot {
+	return s.reg.Snapshot()
 }
 
 // runChannelPhase drains every channel shard's queue up to the window

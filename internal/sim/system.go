@@ -122,6 +122,12 @@ type System struct {
 
 	linkScratch []linkMsg
 	fillScratch []chanFill
+
+	// Progress reporting (active only when cfg.Progress is set): base is
+	// the instruction credit from completed phases, total the whole run's
+	// per-core quota (warmup + measure).
+	progressBase  uint64
+	progressTotal uint64
 }
 
 // New assembles a system running one process per entry of procs (the
@@ -212,6 +218,7 @@ func New(cfg Config, procs []ProcSpec) (*System, error) {
 			if cfg.Obs.Enabled() {
 				cs.q.AttachObs(s.reg)
 				cs.ctrl.AttachObs(s.reg, chanStage(ci))
+				cs.reg = s.reg
 			}
 			s.chans = append(s.chans, cs)
 			s.channels = append(s.channels, cs.ctrl)
@@ -376,9 +383,12 @@ func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (*Resul
 		}
 	}
 
+	s.progressBase, s.progressTotal = 0, warmup+measure
+
 	if err := s.runPhase(ctx, warmup, nil); err != nil {
 		return nil, err
 	}
+	s.progressBase = warmup
 	for _, c := range s.cores {
 		c.core.ResetStats()
 		c.hier.ResetStats()

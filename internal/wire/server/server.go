@@ -1,0 +1,587 @@
+// Package server implements the moca-served serving layer: a TCP server
+// speaking the internal/wire protocol that multiplexes any number of
+// concurrent clients onto the experiment harness. Identical SUBMIT keys —
+// from one connection or a thousand — join a single simulation through
+// exp.Runner's reference-counted singleflight, share one persistent
+// RunCache, and all receive byte-identical RESULT frames; a CANCEL (or a
+// dropped connection) detaches only that client, stopping the simulation
+// via context cancellation exactly when the last interested client leaves.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"moca/internal/exp"
+	"moca/internal/obs"
+	"moca/internal/sim"
+	"moca/internal/wire"
+	"moca/internal/workload"
+)
+
+// Config tunes a Server. The zero value serves with the defaults below.
+type Config struct {
+	// MaxFrame bounds read and written frames (0 = wire.DefaultMaxFrame).
+	MaxFrame uint32
+	// ReadTimeout bounds the wait for each client frame; a connection with
+	// no live jobs that stays silent past it is closed (0 = 5 minutes).
+	// Connections with jobs in flight are exempt while they wait.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each frame write (0 = 30 seconds).
+	WriteTimeout time.Duration
+	// DrainTimeout bounds the graceful shutdown: after the serve context
+	// fires, in-flight jobs get this long to finish before their
+	// connections are closed (0 = 1 minute).
+	DrainTimeout time.Duration
+	// StreamInterval throttles PROGRESS/SNAPSHOT frames per subscription
+	// (0 = 100ms). Simulation ticks arrive far faster than any client
+	// needs; only the freshest tick inside each interval is forwarded.
+	StreamInterval time.Duration
+	// Measure and ProfileWindow are the quotas used when a SUBMIT leaves
+	// them zero (0 = 300_000 each, the paper defaults).
+	Measure       uint64
+	ProfileWindow uint64
+	// Shards is the per-simulation worker count (sim.Config.Shards).
+	Shards int
+	// Cache, if non-nil, is the persistent result/profile cache shared by
+	// every runner.
+	Cache *exp.RunCache
+	// Logf, if non-nil, receives server logs (connection lifecycle, drain).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) maxFrame() uint32 {
+	if c.MaxFrame == 0 {
+		return wire.DefaultMaxFrame
+	}
+	return c.MaxFrame
+}
+
+func (c Config) readTimeout() time.Duration {
+	if c.ReadTimeout == 0 {
+		return 5 * time.Minute
+	}
+	return c.ReadTimeout
+}
+
+func (c Config) writeTimeout() time.Duration {
+	if c.WriteTimeout == 0 {
+		return 30 * time.Second
+	}
+	return c.WriteTimeout
+}
+
+func (c Config) drainTimeout() time.Duration {
+	if c.DrainTimeout == 0 {
+		return time.Minute
+	}
+	return c.DrainTimeout
+}
+
+func (c Config) streamInterval() time.Duration {
+	if c.StreamInterval == 0 {
+		return 100 * time.Millisecond
+	}
+	return c.StreamInterval
+}
+
+func (c Config) measure() uint64 {
+	if c.Measure == 0 {
+		return 300_000
+	}
+	return c.Measure
+}
+
+func (c Config) profileWindow() uint64 {
+	if c.ProfileWindow == 0 {
+		return 300_000
+	}
+	return c.ProfileWindow
+}
+
+// Server accepts wire-protocol connections and runs their jobs.
+type Server struct {
+	cfg Config
+	hub *hub
+
+	mu      sync.Mutex
+	runners map[runnerKey]*exp.Runner
+	conns   map[*conn]struct{}
+	drain   bool
+
+	// hardCtx outlives the serve context by the drain timeout; jobs run
+	// under it so SIGTERM drains instead of killing them.
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+}
+
+// runnerKey identifies one runner configuration. Measure, ProfileWindow
+// and Obs are runner-global in exp.Runner, so each distinct combination
+// gets its own runner; all runners share the persistent cache, and the
+// in-memory singleflight still collapses identical submissions because an
+// identical run key implies an identical runnerKey.
+type runnerKey struct {
+	measure uint64
+	window  uint64
+	metrics bool
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:     cfg,
+		hub:     newHub(),
+		runners: make(map[runnerKey]*exp.Runner),
+		conns:   make(map[*conn]struct{}),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// runner returns (creating on first use) the runner for one quota/obs
+// combination.
+func (s *Server) runner(key runnerKey) *exp.Runner {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.runners[key]; ok {
+		return r
+	}
+	r := exp.NewRunner()
+	r.Measure = key.measure
+	r.FW.ProfileWindow = key.window
+	r.Obs = obs.Options{Metrics: key.metrics}
+	r.Shards = s.cfg.Shards
+	r.Cache = s.cfg.Cache
+	r.Ctx = s.hardCtx
+	r.OnProgress = s.hub.tick
+	s.runners[key] = r
+	return r
+}
+
+// Serve accepts connections on ln until ctx fires, then drains: the
+// listener closes immediately, in-flight jobs keep running under the
+// drain window, and connections are force-closed when it expires. Serve
+// returns once every connection handler has exited.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	s.mu.Lock()
+	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
+	s.mu.Unlock()
+	defer s.hardCancel()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-stop:
+		}
+		ln.Close()
+	}()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				break // graceful: the serve context fired
+			}
+			select {
+			case <-stop:
+			default:
+				close(stop)
+			}
+			wg.Wait()
+			return err
+		}
+		c := s.newConn(nc)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.serve()
+		}()
+	}
+
+	// Drain: reject new submissions, give running jobs the drain window,
+	// then cut the stragglers' connections.
+	s.mu.Lock()
+	s.drain = true
+	n := len(s.conns)
+	s.mu.Unlock()
+	s.logf("draining: %d connection(s), up to %v", n, s.cfg.drainTimeout())
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.drainTimeout()):
+		s.logf("drain timeout: closing remaining connections")
+		s.hardCancel()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	return nil
+}
+
+func (s *Server) newConn(nc net.Conn) *conn {
+	c := &conn{
+		srv:  s,
+		nc:   nc,
+		jobs: make(map[uint32]*job),
+	}
+	s.mu.Lock()
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	return c
+}
+
+func (s *Server) dropConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func (s *Server) draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drain
+}
+
+// job is one client's interest in one run.
+type job struct {
+	id      uint32
+	memoKey string
+	cancel  context.CancelFunc
+
+	mu    sync.Mutex
+	state string
+}
+
+func (j *job) setState(st string) {
+	j.mu.Lock()
+	j.state = st
+	j.mu.Unlock()
+}
+
+func (j *job) getState() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// conn handles one client connection: a read loop dispatching frames, and
+// a write mutex serializing the job goroutines' and streamers' frames.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+
+	wmu sync.Mutex // serializes writes (jobs, streams, read-loop replies)
+
+	mu   sync.Mutex
+	jobs map[uint32]*job
+
+	jwg sync.WaitGroup // job + streamer goroutines
+}
+
+// send writes one frame under the write deadline. Errors only poison this
+// connection; the read loop notices on its next read.
+func (c *conn) send(typ byte, v any) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.writeTimeout()))
+	return wire.WriteMsg(c.nc, typ, v, c.srv.cfg.maxFrame())
+}
+
+// sendRaw writes a pre-encoded payload (byte-identical results).
+func (c *conn) sendRaw(typ byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.writeTimeout()))
+	return wire.WriteFrame(c.nc, typ, payload, c.srv.cfg.maxFrame())
+}
+
+func (c *conn) protoError(msg string) {
+	_ = c.send(wire.TypeError, wire.ErrorMsg{Code: wire.CodeProto, Msg: msg})
+}
+
+// serve runs the connection to completion.
+func (c *conn) serve() {
+	defer func() {
+		// Cancel every job interest this client still holds, then wait for
+		// its goroutines before releasing the connection.
+		c.mu.Lock()
+		for _, j := range c.jobs {
+			j.cancel()
+		}
+		c.mu.Unlock()
+		c.jwg.Wait()
+		c.nc.Close()
+		c.srv.dropConn(c)
+	}()
+
+	if err := c.handshake(); err != nil {
+		c.srv.logf("%s: handshake: %v", c.nc.RemoteAddr(), err)
+		return
+	}
+	for {
+		// The idle timeout applies only between jobs: a client quietly
+		// waiting on a long simulation must not be cut off. Dead clients
+		// with live jobs are detected by write failures instead.
+		if c.liveJobs() > 0 {
+			c.nc.SetReadDeadline(time.Time{})
+		} else {
+			c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.readTimeout()))
+		}
+		typ, payload, err := wire.ReadFrame(c.nc, c.srv.cfg.maxFrame())
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				c.srv.logf("%s: read: %v", c.nc.RemoteAddr(), err)
+				c.protoError(err.Error())
+			}
+			return
+		}
+		if err := c.dispatch(typ, payload); err != nil {
+			c.srv.logf("%s: %v", c.nc.RemoteAddr(), err)
+			c.protoError(err.Error())
+			return
+		}
+	}
+}
+
+func (c *conn) handshake() error {
+	c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.readTimeout()))
+	typ, payload, err := wire.ReadFrame(c.nc, c.srv.cfg.maxFrame())
+	if err != nil {
+		return err
+	}
+	if typ != wire.TypeHello {
+		c.protoError(fmt.Sprintf("first frame type 0x%02x, want HELLO", typ))
+		return fmt.Errorf("first frame type 0x%02x", typ)
+	}
+	var h wire.Hello
+	if err := wire.Decode(payload, &h); err != nil {
+		c.protoError(err.Error())
+		return err
+	}
+	if h.Version != wire.ProtocolVersion {
+		c.protoError(fmt.Sprintf("protocol version %d, server speaks %d", h.Version, wire.ProtocolVersion))
+		return fmt.Errorf("%w: client %d, server %d", wire.ErrVersion, h.Version, wire.ProtocolVersion)
+	}
+	return c.send(wire.TypeHelloOK, wire.HelloOK{Version: wire.ProtocolVersion})
+}
+
+// dispatch handles one post-handshake frame. A returned error is a
+// protocol violation that closes the connection; job-level faults are
+// reported as ERROR frames with the job's ID and keep the connection open.
+func (c *conn) dispatch(typ byte, payload []byte) error {
+	switch typ {
+	case wire.TypeSubmit:
+		var sub wire.Submit
+		if err := wire.Decode(payload, &sub); err != nil {
+			return err
+		}
+		return c.submit(sub)
+	case wire.TypeStatus:
+		var req wire.StatusReq
+		if err := wire.Decode(payload, &req); err != nil {
+			return err
+		}
+		j := c.lookup(req.ID)
+		if j == nil {
+			return c.send(wire.TypeError, wire.ErrorMsg{ID: req.ID, Code: wire.CodeBadReq, Msg: "unknown job"})
+		}
+		return c.send(wire.TypeJobState, wire.JobStatus{ID: req.ID, State: j.getState()})
+	case wire.TypeCancel:
+		var req wire.Cancel
+		if err := wire.Decode(payload, &req); err != nil {
+			return err
+		}
+		if j := c.lookup(req.ID); j != nil {
+			j.setState(wire.StateCanceled)
+			j.cancel()
+		}
+		return nil
+	case wire.TypeStream:
+		var req wire.StreamReq
+		if err := wire.Decode(payload, &req); err != nil {
+			return err
+		}
+		j := c.lookup(req.ID)
+		if j == nil {
+			return c.send(wire.TypeError, wire.ErrorMsg{ID: req.ID, Code: wire.CodeBadReq, Msg: "unknown job"})
+		}
+		c.stream(j)
+		return nil
+	case wire.TypeHello:
+		return errors.New("duplicate HELLO")
+	default:
+		return fmt.Errorf("unexpected frame type 0x%02x", typ)
+	}
+}
+
+func (c *conn) lookup(id uint32) *job {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.jobs[id]
+}
+
+func (c *conn) liveJobs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, j := range c.jobs {
+		if j.getState() == wire.StateRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// submit validates a SUBMIT and starts its job goroutine.
+func (c *conn) submit(sub wire.Submit) error {
+	reject := func(code, msg string) error {
+		return c.send(wire.TypeError, wire.ErrorMsg{ID: sub.ID, Code: code, Msg: msg})
+	}
+	if c.srv.draining() {
+		return reject(wire.CodeDraining, "server is shutting down")
+	}
+	if (sub.App == "") == (sub.Mix == "") {
+		return reject(wire.CodeBadReq, "exactly one of app or mix is required")
+	}
+	def, err := exp.SystemByName(sub.System)
+	if err != nil {
+		return reject(wire.CodeBadReq, err.Error())
+	}
+	key := "single/" + sub.App
+	if sub.Mix != "" {
+		key = "mix/" + sub.Mix
+	}
+
+	c.mu.Lock()
+	if _, dup := c.jobs[sub.ID]; dup {
+		c.mu.Unlock()
+		return reject(wire.CodeBadReq, "job id already in use")
+	}
+	jctx, cancel := context.WithCancel(context.Background())
+	j := &job{id: sub.ID, memoKey: def.Name + "|" + key, cancel: cancel, state: wire.StateRunning}
+	c.jobs[sub.ID] = j
+	c.mu.Unlock()
+
+	if err := c.send(wire.TypeAccepted, wire.Accepted{ID: sub.ID}); err != nil {
+		cancel()
+		return err
+	}
+
+	measure, window := sub.Measure, sub.ProfileWindow
+	if measure == 0 {
+		measure = c.srv.cfg.measure()
+	}
+	if window == 0 {
+		window = c.srv.cfg.profileWindow()
+	}
+	r := c.srv.runner(runnerKey{measure: measure, window: window, metrics: sub.Metrics})
+
+	c.jwg.Add(1)
+	go func() {
+		defer c.jwg.Done()
+		defer cancel()
+		c.runJob(jctx, r, j, def, sub)
+	}()
+	return nil
+}
+
+// runJob executes one job via the runner singleflight and sends its
+// terminal frame.
+func (c *conn) runJob(ctx context.Context, r *exp.Runner, j *job, def exp.SystemDef, sub wire.Submit) {
+	var (
+		res *sim.Result
+		err error
+	)
+	if sub.Mix != "" {
+		mix, ok := workload.MixByName(sub.Mix)
+		if !ok {
+			j.setState(wire.StateFailed)
+			_ = c.send(wire.TypeError, wire.ErrorMsg{ID: j.id, Code: wire.CodeBadReq, Msg: fmt.Sprintf("unknown mix %q", sub.Mix)})
+			return
+		}
+		res, err = r.RunMixCtx(ctx, def, mix)
+	} else {
+		res, err = r.RunSingleCtx(ctx, def, sub.App)
+	}
+	if err == nil {
+		// sim.Result's encoding is deterministic (fixed field order,
+		// sorted maps), so every client joined to the same *sim.Result
+		// receives byte-identical frames without coordination.
+		var data []byte
+		if data, err = res.MarshalJSON(); err == nil {
+			var payload []byte
+			if payload, err = json.Marshal(wire.ResultMsg{ID: j.id, Result: data}); err == nil {
+				j.setState(wire.StateDone)
+				_ = c.sendRaw(wire.TypeResult, payload)
+				return
+			}
+		}
+	}
+	if errors.Is(err, context.Canceled) {
+		j.setState(wire.StateCanceled)
+		_ = c.send(wire.TypeError, wire.ErrorMsg{ID: j.id, Code: wire.CodeCanceled, Msg: err.Error()})
+		return
+	}
+	j.setState(wire.StateFailed)
+	_ = c.send(wire.TypeError, wire.ErrorMsg{ID: j.id, Code: wire.CodeFailed, Msg: err.Error()})
+}
+
+// stream subscribes the connection to the job's progress ticks until the
+// job ends, forwarding at most one PROGRESS (and SNAPSHOT, when metrics
+// were requested) per throttle interval.
+func (c *conn) stream(j *job) {
+	ticks, unsubscribe := c.srv.hub.subscribe(j.memoKey)
+	c.jwg.Add(1)
+	go func() {
+		defer c.jwg.Done()
+		defer unsubscribe()
+		throttle := time.NewTicker(c.srv.cfg.streamInterval())
+		defer throttle.Stop()
+		var latest *tick
+		for {
+			select {
+			case tk, ok := <-ticks:
+				if !ok {
+					return
+				}
+				latest = &tk
+			case <-throttle.C:
+				if j.getState() != wire.StateRunning {
+					return
+				}
+				if latest == nil {
+					continue
+				}
+				if err := c.send(wire.TypeProgress, wire.Progress{ID: j.id, Done: latest.done, Total: latest.total}); err != nil {
+					return
+				}
+				if latest.obs != nil {
+					if err := c.send(wire.TypeSnapshot, wire.Snapshot{ID: j.id, Obs: latest.obs}); err != nil {
+						return
+					}
+				}
+				latest = nil
+			}
+		}
+	}()
+}

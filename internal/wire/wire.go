@@ -1,0 +1,255 @@
+// Package wire is the serving protocol of moca-served: a compact
+// length-prefixed binary framing with JSON payloads, spoken between the
+// long-running server (internal/wire/server) and its clients
+// (internal/wire/client, moca-sim -remote).
+//
+// Frame layout (network byte order):
+//
+//	uint32  length   // of everything after this field: 1 (type) + payload
+//	byte    type     // Type* constant
+//	[]byte  payload  // JSON-encoded message for that type (may be empty)
+//
+// A connection opens with a HELLO/HELLO-OK version handshake, then the
+// client submits jobs (SUBMIT carries the canonical run key: system name,
+// app or mix, measure and profile-window quotas) and may poll (STATUS),
+// subscribe to progress ticks and live metrics snapshots (STREAM), or
+// abandon a job (CANCEL). The server answers with ACCEPTED/STATUS frames,
+// streams PROGRESS and SNAPSHOT frames while the run executes, and
+// finishes each job with exactly one RESULT or ERROR frame.
+//
+// Decoding is defensive: a frame that is truncated, oversized, or empty
+// yields a typed error (ErrTruncated, ErrTooLarge, ErrEmptyFrame) and
+// never panics, whatever bytes arrive — the codec fuzz test holds the
+// codec to that.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ProtocolVersion is negotiated by the HELLO handshake; the server
+// rejects clients speaking a different major version.
+const ProtocolVersion = 1
+
+// DefaultMaxFrame bounds a frame's length field (type byte + payload).
+// Result frames carry a full sim.Result JSON document (tens of KB); 8 MB
+// leaves room for metrics-heavy snapshots while stopping a hostile or
+// corrupt length prefix from ballooning allocation.
+const DefaultMaxFrame = 8 << 20
+
+// Frame types. Client-to-server types have the high bit clear,
+// server-to-client types have it set.
+const (
+	TypeHello  byte = 0x01 // Hello: version handshake
+	TypeSubmit byte = 0x02 // Submit: start (or join) a job
+	TypeStatus byte = 0x03 // StatusReq: poll a job's state
+	TypeCancel byte = 0x04 // Cancel: abandon a job
+	TypeStream byte = 0x05 // StreamReq: subscribe to progress/snapshots
+
+	TypeHelloOK  byte = 0x81 // HelloOK: handshake accepted
+	TypeAccepted byte = 0x82 // Accepted: job registered
+	TypeJobState byte = 0x83 // JobStatus: state poll answer
+	TypeProgress byte = 0x84 // Progress: periodic completion tick
+	TypeSnapshot byte = 0x85 // Snapshot: live metrics while running
+	TypeResult   byte = 0x86 // ResultMsg: terminal success
+	TypeError    byte = 0x87 // ErrorMsg: terminal failure (or protocol error, ID 0)
+)
+
+// Typed decode errors. Connection handlers close the connection when one
+// surfaces; tests and the fuzzer match on them with errors.Is.
+var (
+	// ErrTooLarge: the length prefix exceeds the connection's frame cap.
+	ErrTooLarge = errors.New("wire: frame exceeds size limit")
+	// ErrEmptyFrame: the length prefix is zero (no room for the type byte).
+	ErrEmptyFrame = errors.New("wire: empty frame")
+	// ErrTruncated: the stream ended inside a frame.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrVersion: the HELLO handshake versions do not match.
+	ErrVersion = errors.New("wire: protocol version mismatch")
+	// ErrBadPayload: a frame's JSON payload does not decode as the message
+	// its type demands.
+	ErrBadPayload = errors.New("wire: malformed payload")
+)
+
+// Hello opens every connection (client to server).
+type Hello struct {
+	Version int `json:"version"`
+}
+
+// HelloOK accepts the handshake (server to client).
+type HelloOK struct {
+	Version int `json:"version"`
+}
+
+// Submit asks the server to run one simulation. ID is chosen by the
+// client and echoed on every frame concerning this job; it must be unique
+// among the connection's live jobs. The remaining fields form the
+// canonical run key: identical keys from any number of connections
+// multiplex onto a single simulation.
+type Submit struct {
+	ID uint32 `json:"id"`
+	// System is the CLI-style system name moca-sim accepts (ddr3, rl, hbm,
+	// lp, heter-app, moca, migrate, with optional @config2/@config3).
+	System string `json:"system"`
+	// Exactly one of App (single application) or Mix (4-app workload set).
+	App string `json:"app,omitempty"`
+	Mix string `json:"mix,omitempty"`
+	// Measure is the measured instruction quota per core; ProfileWindow
+	// the offline-profiling window. Zero selects the server defaults.
+	Measure       uint64 `json:"measure,omitempty"`
+	ProfileWindow uint64 `json:"profile_window,omitempty"`
+	// Metrics requests the observability snapshot in the result.
+	Metrics bool `json:"metrics,omitempty"`
+}
+
+// StatusReq polls one job's state.
+type StatusReq struct {
+	ID uint32 `json:"id"`
+}
+
+// Cancel abandons one job. The server detaches this connection's interest;
+// the simulation itself stops only when no other client remains joined to
+// it. The job terminates with an ERROR frame carrying code "canceled".
+type Cancel struct {
+	ID uint32 `json:"id"`
+}
+
+// StreamReq subscribes the connection to PROGRESS (and, when the job was
+// submitted with Metrics, SNAPSHOT) frames for one job.
+type StreamReq struct {
+	ID uint32 `json:"id"`
+}
+
+// Accepted acknowledges a SUBMIT.
+type Accepted struct {
+	ID uint32 `json:"id"`
+}
+
+// Job states reported by JobStatus.
+const (
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// JobStatus answers a STATUS poll.
+type JobStatus struct {
+	ID    uint32 `json:"id"`
+	State string `json:"state"`
+}
+
+// Progress is a periodic completion tick: done of total per-core
+// instructions (warmup + measure) retired by the run's slowest core.
+type Progress struct {
+	ID    uint32 `json:"id"`
+	Done  uint64 `json:"done"`
+	Total uint64 `json:"total"`
+}
+
+// Snapshot carries a live obs.Snapshot (JSON) captured at a simulation
+// window barrier.
+type Snapshot struct {
+	ID  uint32          `json:"id"`
+	Obs json.RawMessage `json:"obs"`
+}
+
+// ResultMsg terminates a successful job. Result holds the sim.Result JSON
+// document; the server encodes each result once, so every client joined
+// to the same run receives byte-identical bytes.
+type ResultMsg struct {
+	ID     uint32          `json:"id"`
+	Result json.RawMessage `json:"result"`
+}
+
+// Error codes carried by ErrorMsg.
+const (
+	CodeCanceled = "canceled" // job canceled (by this or the last client)
+	CodeFailed   = "failed"   // simulation or setup error
+	CodeBadReq   = "bad-request"
+	CodeProto    = "protocol" // framing/handshake violation; connection closes
+	CodeDraining = "draining" // server is shutting down; submit rejected
+)
+
+// ErrorMsg terminates a failed job (ID echoes the job) or reports a
+// protocol-level fault (ID 0, after which the server closes the
+// connection).
+type ErrorMsg struct {
+	ID   uint32 `json:"id"`
+	Code string `json:"code"`
+	Msg  string `json:"msg"`
+}
+
+// WriteFrame writes one frame. payload may be nil. max bounds the frame
+// exactly as the peer's ReadFrame will (0 = DefaultMaxFrame), so an
+// oversized write fails locally with ErrTooLarge instead of poisoning the
+// connection.
+func WriteFrame(w io.Writer, typ byte, payload []byte, max uint32) error {
+	if max == 0 {
+		max = DefaultMaxFrame
+	}
+	n := uint64(len(payload)) + 1
+	if n > uint64(max) {
+		return fmt.Errorf("%w: %d byte frame, limit %d", ErrTooLarge, n, max)
+	}
+	buf := make([]byte, 5+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(n))
+	buf[4] = typ
+	copy(buf[5:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// WriteMsg JSON-encodes v and writes it as one frame of the given type.
+func WriteMsg(w io.Writer, typ byte, v any, max uint32) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: encoding %T: %w", v, err)
+	}
+	return WriteFrame(w, typ, payload, max)
+}
+
+// ReadFrame reads one frame, enforcing the size cap (0 = DefaultMaxFrame)
+// before allocating. io.EOF surfaces only at a clean frame boundary; a
+// stream ending mid-frame is ErrTruncated.
+func ReadFrame(r io.Reader, max uint32) (typ byte, payload []byte, err error) {
+	if max == 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: length prefix: %v", ErrTruncated, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 {
+		return 0, nil, ErrEmptyFrame
+	}
+	if n > max {
+		return 0, nil, fmt.Errorf("%w: %d byte frame, limit %d", ErrTooLarge, n, max)
+	}
+	if _, err := io.ReadFull(r, hdr[4:5]); err != nil {
+		return 0, nil, fmt.Errorf("%w: type byte: %v", ErrTruncated, err)
+	}
+	typ = hdr[4]
+	payload = make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: payload (%d bytes): %v", ErrTruncated, n-1, err)
+	}
+	return typ, payload, nil
+}
+
+// Decode unmarshals a frame payload into msg, mapping JSON faults to
+// ErrBadPayload.
+func Decode(payload []byte, msg any) error {
+	if err := json.Unmarshal(payload, msg); err != nil {
+		return fmt.Errorf("%w: %T: %v", ErrBadPayload, msg, err)
+	}
+	return nil
+}

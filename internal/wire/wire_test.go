@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// frame encodes one frame (panics on encoding faults: test-fixture only).
+func frame(typ byte, payload []byte) []byte {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, typ, payload, 0); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []struct {
+		typ     byte
+		payload string
+	}{
+		{TypeHello, `{"version":1}`},
+		{TypeSubmit, `{"id":7,"system":"moca","app":"mcf"}`},
+		{TypeResult, `{"id":7,"result":{"elapsed_ps":1}}`},
+		{TypeCancel, ``}, // empty payload is a legal frame
+	}
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m.typ, []byte(m.payload), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range msgs {
+		typ, payload, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != m.typ || string(payload) != m.payload {
+			t.Fatalf("read (0x%02x, %q), want (0x%02x, %q)", typ, payload, m.typ, m.payload)
+		}
+	}
+	if _, _, err := ReadFrame(&buf, 0); err != io.EOF {
+		t.Fatalf("drained stream returned %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTypedErrors(t *testing.T) {
+	t.Run("zero-length", func(t *testing.T) {
+		_, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0}), 0)
+		if !errors.Is(err, ErrEmptyFrame) {
+			t.Fatalf("got %v, want ErrEmptyFrame", err)
+		}
+	})
+	t.Run("oversized", func(t *testing.T) {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], 1<<30)
+		_, _, err := ReadFrame(bytes.NewReader(hdr[:]), 0)
+		if !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("got %v, want ErrTooLarge", err)
+		}
+	})
+	t.Run("oversized-write-rejected-locally", func(t *testing.T) {
+		err := WriteFrame(io.Discard, TypeResult, make([]byte, 100), 64)
+		if !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("got %v, want ErrTooLarge", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		full := frame(TypeHello, []byte(`{"version":1}`))
+		for cut := 1; cut < len(full); cut++ {
+			_, _, err := ReadFrame(bytes.NewReader(full[:cut]), 0)
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("cut at %d: got %v, want ErrTruncated", cut, err)
+			}
+		}
+	})
+	t.Run("clean-eof", func(t *testing.T) {
+		_, _, err := ReadFrame(bytes.NewReader(nil), 0)
+		if err != io.EOF {
+			t.Fatalf("got %v, want bare io.EOF at a frame boundary", err)
+		}
+	})
+	t.Run("bad-payload", func(t *testing.T) {
+		var h Hello
+		err := Decode([]byte(`{"version":`), &h)
+		if !errors.Is(err, ErrBadPayload) {
+			t.Fatalf("got %v, want ErrBadPayload", err)
+		}
+	})
+}
+
+// FuzzReadFrame: whatever bytes arrive, the codec must return a typed
+// error or a valid frame — never panic, never misreport a frame boundary.
+// Decoded frames must re-encode to the identical bytes (with the trailing
+// garbage of the stream untouched).
+func FuzzReadFrame(f *testing.F) {
+	f.Add(frame(TypeHello, []byte(`{"version":1}`)), uint32(0))
+	f.Add(frame(TypeSubmit, []byte(`{"id":1,"system":"ddr3","app":"mcf"}`)), uint32(0))
+	f.Add([]byte{0, 0, 0, 0}, uint32(0))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3}, uint32(0))
+	f.Add([]byte{0, 0, 0, 5, 0x86, 'a', 'b'}, uint32(16))
+	f.Add([]byte{}, uint32(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, max uint32) {
+		r := bytes.NewReader(data)
+		typ, payload, err := ReadFrame(r, max)
+		if err != nil {
+			switch {
+			case err == io.EOF,
+				errors.Is(err, ErrEmptyFrame),
+				errors.Is(err, ErrTooLarge),
+				errors.Is(err, ErrTruncated):
+			default:
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		// A successfully decoded frame re-encodes byte-identically.
+		limit := max
+		if limit == 0 {
+			limit = DefaultMaxFrame
+		}
+		var buf bytes.Buffer
+		if werr := WriteFrame(&buf, typ, payload, limit); werr != nil {
+			t.Fatalf("re-encoding a decoded frame failed: %v", werr)
+		}
+		consumed := len(data) - r.Len()
+		if !bytes.Equal(buf.Bytes(), data[:consumed]) {
+			t.Fatalf("round trip diverged:\n got %x\nwant %x", buf.Bytes(), data[:consumed])
+		}
+	})
+}
+
+func TestErrorStringsCarryContext(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30)
+	_, _, err := ReadFrame(bytes.NewReader(hdr[:]), 1024)
+	if err == nil || !strings.Contains(err.Error(), "1024") {
+		t.Fatalf("size-limit error lacks the limit: %v", err)
+	}
+}
