@@ -1,10 +1,15 @@
-// Command moca-trace records, inspects, and replays instruction traces.
+// Command moca-trace records, inspects, converts, and replays
+// instruction traces.
 //
 // Usage:
 //
-//	moca-trace record -app NAME [-items N] [-input ref|train] -o FILE
+//	moca-trace record -app NAME [-items N] [-input ref|train] [-format v1|v2] -o FILE
 //	moca-trace info FILE
-//	moca-trace replay -app NAME [-system NAME] [-measure N] FILE
+//	moca-trace inspect FILE
+//	moca-trace convert -to v1|v2 [-block-items N] [-block-bytes N] -o OUT IN
+//	moca-trace seek -seq N [-n K] FILE
+//	moca-trace replay -app NAME [-system NAME] [-measure N] [-skip N] [-json] FILE
+//	moca-trace replay -app NAME -remote ADDR -session TOKEN [-system NAME] [-measure N] FILE
 //
 // A trace freezes the exact instruction stream a workload generator
 // produced; replay reproduces the original simulation bit for bit and
@@ -13,10 +18,15 @@
 // The replayed trace's virtual addresses embed the heap layout of the
 // recording, so replay needs the same -app (and input) it was recorded
 // with.
+//
+// v2 is the block format: framed, per-block compressed, seekable.
+// inspect, seek, and -remote need a v2 file (use convert); every other
+// verb accepts either version.
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +34,8 @@ import (
 	"moca"
 	"moca/internal/cpu"
 	"moca/internal/trace"
+	"moca/internal/wire"
+	"moca/internal/wire/client"
 )
 
 func main() {
@@ -35,6 +47,12 @@ func main() {
 		record(os.Args[2:])
 	case "info":
 		info(os.Args[2:])
+	case "inspect":
+		inspect(os.Args[2:])
+	case "convert":
+		convert(os.Args[2:])
+	case "seek":
+		seek(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
 	default:
@@ -44,9 +62,13 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  moca-trace record -app NAME [-items N] [-input ref|train] -o FILE
+  moca-trace record -app NAME [-items N] [-input ref|train] [-format v1|v2] -o FILE
   moca-trace info FILE
-  moca-trace replay -app NAME [-system ddr3|rl|hbm|lp] [-measure N] [-loop] FILE`)
+  moca-trace inspect FILE
+  moca-trace convert -to v1|v2 [-block-items N] [-block-bytes N] -o OUT IN
+  moca-trace seek -seq N [-n K] FILE
+  moca-trace replay -app NAME [-system ddr3|rl|hbm|lp] [-measure N] [-skip N] [-json] [-loop] FILE
+  moca-trace replay -app NAME -remote ADDR -session TOKEN [-system NAME] [-measure N] FILE`)
 	os.Exit(2)
 }
 
@@ -55,6 +77,9 @@ func record(args []string) {
 	appName := fs.String("app", "", "application to record")
 	items := fs.Uint64("items", 500_000, "stream items to record (compute batches count once)")
 	input := fs.String("input", "ref", "input set (ref|train)")
+	format := fs.String("format", "v2", "trace format (v1|v2)")
+	blockItems := fs.Int("block-items", 0, "v2: items per block (0 = default)")
+	blockBytes := fs.Int("block-bytes", 0, "v2: raw bytes per block (0 = default)")
 	out := fs.String("o", "", "output trace file")
 	fs.Parse(args)
 	if *appName == "" || *out == "" {
@@ -73,13 +98,21 @@ func record(args []string) {
 		fatal("%v", err)
 	}
 	defer f.Close()
-	n, err := moca.RecordTrace(f, app, in, nil, *items)
+	var n uint64
+	switch *format {
+	case "v1":
+		n, err = moca.RecordTrace(f, app, in, nil, *items)
+	case "v2":
+		n, err = moca.RecordTraceV2(f, app, in, nil, *items, *blockItems, *blockBytes)
+	default:
+		fatal("unknown format %q (v1|v2)", *format)
+	}
 	if err != nil {
 		fatal("recording: %v", err)
 	}
 	st, _ := f.Stat()
-	fmt.Printf("recorded %d stream items of %s (%s input) to %s (%.1f MB, %.2f B/item)\n",
-		n, *appName, in, *out, float64(st.Size())/(1<<20), float64(st.Size())/float64(n))
+	fmt.Printf("recorded %d stream items of %s (%s input, %s) to %s (%.1f MB, %.2f B/item)\n",
+		n, *appName, in, *format, *out, float64(st.Size())/(1<<20), float64(st.Size())/float64(n))
 }
 
 func info(args []string) {
@@ -91,7 +124,7 @@ func info(args []string) {
 		fatal("%v", err)
 	}
 	defer f.Close()
-	r, err := trace.NewReader(f)
+	r, err := trace.Open(f)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -131,15 +164,172 @@ func info(args []string) {
 	fmt.Printf("objects:       %d distinct\n", len(objs))
 }
 
+// inspect prints the v2 block table: one line per frame, without
+// decompressing or decoding any payload.
+func inspect(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	sc, err := trace.NewBlockScanner(f)
+	if err != nil {
+		fatal("%v (inspect needs a v2 trace; see convert)", err)
+	}
+	fmt.Printf("%10s %12s %8s %10s %10s %7s %6s\n",
+		"offset", "seq", "items", "raw", "stored", "ratio", "method")
+	var blocks, rawTotal, storedTotal uint64
+	for sc.Scan() {
+		bi := sc.Info()
+		method := "raw"
+		if bi.Method != 0 {
+			method = "lz"
+		}
+		fmt.Printf("%10d %12d %8d %10d %10d %6.2fx %6s\n",
+			bi.Pos.ByteOff, bi.Pos.Seq, bi.Count, bi.RawLen, bi.CompLen,
+			float64(bi.RawLen)/float64(bi.CompLen), method)
+		blocks++
+		rawTotal += uint64(bi.RawLen)
+		storedTotal += uint64(bi.CompLen)
+	}
+	if err := sc.Err(); err != nil {
+		fatal("scan: %v", err)
+	}
+	total, ended := sc.Total()
+	end := "missing end frame"
+	if ended {
+		end = fmt.Sprintf("%d items", total)
+	}
+	fmt.Printf("%d blocks, %s; %d raw bytes stored as %d (%.2fx)\n",
+		blocks, end, rawTotal, storedTotal, float64(rawTotal)/float64(storedTotal))
+}
+
+// convert re-encodes a trace in either direction (v1<->v2), or re-frames
+// a v2 trace with different block thresholds.
+func convert(args []string) {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	to := fs.String("to", "", "target format (v1|v2)")
+	blockItems := fs.Int("block-items", 0, "v2: items per block (0 = default)")
+	blockBytes := fs.Int("block-bytes", 0, "v2: raw bytes per block (0 = default)")
+	out := fs.String("o", "", "output trace file")
+	fs.Parse(args)
+	if *out == "" || fs.NArg() != 1 {
+		usage()
+	}
+	in, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer in.Close()
+	src, err := trace.Open(in)
+	if err != nil {
+		fatal("%v", err)
+	}
+	dst, err := os.Create(*out)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer dst.Close()
+
+	var w interface {
+		trace.Appender
+		Close() error
+	}
+	switch *to {
+	case "v1":
+		w, err = trace.NewWriter(dst)
+	case "v2":
+		w, err = trace.NewBlockWriterSize(dst, *blockItems, *blockBytes)
+	default:
+		fatal("unknown target format %q (v1|v2)", *to)
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+	n, err := trace.Copy(w, src)
+	if err != nil {
+		fatal("convert: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		fatal("%v", err)
+	}
+	ist, _ := in.Stat()
+	ost, _ := dst.Stat()
+	fmt.Printf("converted %d items to %s: %d -> %d bytes (%.2fx)\n",
+		n, *to, ist.Size(), ost.Size(), float64(ist.Size())/float64(ost.Size()))
+}
+
+// seek positions a v2 reader at an arbitrary stream item and prints the
+// next K items — the positioning path replay's -skip and the wire resume
+// protocol both rely on.
+func seek(args []string) {
+	fs := flag.NewFlagSet("seek", flag.ExitOnError)
+	seq := fs.Uint64("seq", 0, "stream item to seek to")
+	n := fs.Int("n", 10, "items to print from there")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	r, err := trace.Open(f)
+	if err != nil {
+		fatal("%v", err)
+	}
+	br, ok := r.(*trace.BlockReader)
+	if !ok {
+		fatal("seek needs a v2 trace (see convert)")
+	}
+	if err := br.SkipTo(*seq); err != nil {
+		fatal("seek: %v", err)
+	}
+	fmt.Printf("block at offset %d starts at item %d\n", br.BlockPos().ByteOff, br.BlockPos().Seq)
+	for i := 0; i < *n; i++ {
+		in, ok := br.Next()
+		if !ok {
+			break
+		}
+		switch in.Kind {
+		case cpu.Compute:
+			fmt.Printf("%12d  compute x%d\n", *seq+uint64(i), in.N)
+		case cpu.Load:
+			dep := ""
+			if in.DependsOnPrev {
+				dep = " dep"
+			}
+			fmt.Printf("%12d  load  obj=%d addr=0x%x%s\n", *seq+uint64(i), in.Obj, in.VAddr, dep)
+		case cpu.Store:
+			fmt.Printf("%12d  store obj=%d addr=0x%x\n", *seq+uint64(i), in.Obj, in.VAddr)
+		}
+	}
+	if err := br.Err(); err != nil {
+		fatal("decode: %v", err)
+	}
+}
+
 func replay(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	appName := fs.String("app", "", "application the trace was recorded from")
 	system := fs.String("system", "ddr3", "memory system (ddr3|rl|hbm|lp)")
 	measure := fs.Uint64("measure", 200_000, "measured instructions")
+	skip := fs.Uint64("skip", 0, "stream items to skip before replaying")
+	asJSON := fs.Bool("json", false, "print the full result document as JSON")
 	loop := fs.Bool("loop", false, "restart the trace when it ends (finite trace, long run)")
+	remote := fs.String("remote", "", "push the trace to a moca-served instance at ADDR instead of simulating locally")
+	session := fs.String("session", "", "remote session token (resume key across reconnects)")
 	fs.Parse(args)
 	if *appName == "" || fs.NArg() != 1 {
 		usage()
+	}
+	if *remote != "" {
+		replayRemote(*remote, *session, *appName, *system, *measure, fs.Arg(0), *asJSON)
+		return
 	}
 	app, ok := moca.AppByName(*appName)
 	if !ok {
@@ -156,32 +346,50 @@ func replay(args []string) {
 	// The stream's Err() distinguishes a trace that is simply too short
 	// from one that is corrupt; the simulator also surfaces it when a
 	// decode error ends the stream mid-run.
-	var stream cpu.Stream
-	var streamErr func() error
+	var stream moca.TraceStream
 	if *loop {
 		// Read once so each pass decodes from memory (no fd per pass).
 		data, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
 			fatal("%v", err)
 		}
-		l := trace.NewLoop(func() (cpu.Stream, error) {
-			return trace.NewReader(bytes.NewReader(data))
+		stream = trace.NewLoop(func() (cpu.Stream, error) {
+			return trace.Open(bytes.NewReader(data))
 		})
-		stream, streamErr = l, l.Err
 	} else {
 		f, err := os.Open(fs.Arg(0))
 		if err != nil {
 			fatal("%v", err)
 		}
 		defer f.Close()
-		r, err := trace.NewReader(f)
+		stream, err = trace.Open(f)
 		if err != nil {
 			fatal("%v", err)
 		}
-		stream, streamErr = r, r.Err
+	}
+	if *skip > 0 {
+		if br, ok := stream.(*trace.BlockReader); ok {
+			// v2 skips by block header, without decoding the prefix.
+			if err := br.SkipTo(*skip); err != nil {
+				fatal("skip: %v", err)
+			}
+		} else {
+			for i := uint64(0); i < *skip; i++ {
+				if _, ok := stream.Next(); !ok {
+					if err := stream.Err(); err != nil {
+						fatal("skip: %v", err)
+					}
+					fatal("skip: trace ends at item %d, before %d", i, *skip)
+				}
+			}
+		}
 	}
 
-	cfg := moca.DefaultSystem("replay-"+*system, moca.Homogeneous(kind), moca.PolicyFixed)
+	// Use the canonical system name ("homogen-ddr3", ...) so a local
+	// replay's result is byte-identical to the same trace streamed to a
+	// moca-served instance (which resolves -system through the same
+	// naming).
+	cfg := moca.DefaultSystem("homogen-"+*system, moca.Homogeneous(kind), moca.PolicyFixed)
 	sys, err := moca.NewSystem(cfg, []moca.ProcSpec{{App: app, Input: moca.Ref, Stream: stream}})
 	if err != nil {
 		fatal("%v", err)
@@ -190,12 +398,65 @@ func replay(args []string) {
 	if err != nil {
 		fatal("replay: %v (trace long enough for warmup+measure?)", err)
 	}
+	if err := stream.Err(); err != nil {
+		fatal("trace decode: %v", err)
+	}
+	if *asJSON {
+		raw, err := res.MarshalJSON()
+		if err != nil {
+			fatal("%v", err)
+		}
+		os.Stdout.Write(append(raw, '\n'))
+		return
+	}
 	fmt.Printf("replayed on %s: %d instructions, IPC %.2f, mem %.1f ns/request, mem EDP %.3e\n",
 		cfg.Name, res.TotalInstructions(), res.Cores[0].IPC(),
 		float64(res.AvgMemAccessTime())/1000, res.MemEDP())
-	if err := streamErr(); err != nil {
-		fatal("trace decode: %v", err)
+}
+
+// replayRemote pushes a v2 trace into a moca-served trace session and
+// waits for the server's result. The session token is the resume key: a
+// rerun after a dropped connection or a killed process picks up from the
+// server's last acknowledged block, not from the beginning.
+func replayRemote(addr, session, appName, system string, measure uint64, path string, asJSON bool) {
+	if session == "" {
+		fatal("-remote needs -session TOKEN (the resume key)")
 	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		fatal("dial %s: %v", addr, err)
+	}
+	defer c.Close()
+	j, pos, err := c.TraceStart(wire.TraceStart{
+		Session: session, System: system, App: appName, Measure: measure,
+	})
+	if err != nil {
+		fatal("trace start: %v", err)
+	}
+	if pos.Seq > 0 {
+		fmt.Fprintf(os.Stderr, "resuming session %q from item %d (offset %d)\n", session, pos.Seq, pos.ByteOff)
+	}
+	last, err := c.PushTrace(j, f, pos, nil)
+	if err != nil {
+		fatal("push (resume with the same -session to continue from item %d): %v", last.Seq, err)
+	}
+	res, err := c.TraceEnd(context.Background(), j)
+	if err != nil {
+		fatal("remote run: %v", err)
+	}
+	if asJSON {
+		os.Stdout.Write(append(append([]byte(nil), j.Raw...), '\n'))
+		return
+	}
+	fmt.Printf("replayed %d items remotely on %s: %d instructions, IPC %.2f, mem %.1f ns/request, mem EDP %.3e\n",
+		last.Seq, system, res.TotalInstructions(), res.Cores[0].IPC(),
+		float64(res.AvgMemAccessTime())/1000, res.MemEDP())
 }
 
 func fatal(format string, args ...any) {

@@ -35,23 +35,54 @@ const (
 	Store
 )
 
-// Instr is one element of an application's instruction stream.
+// Instr is one element of an application's instruction stream. The two
+// single-byte fields lead and N is 32-bit so the struct packs into 24
+// bytes — it is copied in bulk through trace arenas and batch refills,
+// where the two padding rows of a naive layout are measurable in decode
+// throughput.
 type Instr struct {
 	Kind Kind
-	// N is the batch size for Compute instructions (>= 1).
-	N int
+	// DependsOnPrev marks a load that consumes the previous load's value
+	// and therefore cannot issue until it completes.
+	DependsOnPrev bool
+	// N is the batch size for Compute instructions (>= 1; the trace
+	// format caps it at 2^30, far past any generator's gap).
+	N int32
 	// VAddr is the virtual address for Load/Store.
 	VAddr uint64
 	// Obj names the memory object being accessed (profiling identity).
 	Obj uint64
-	// DependsOnPrev marks a load that consumes the previous load's value
-	// and therefore cannot issue until it completes.
-	DependsOnPrev bool
 }
 
 // Stream supplies instructions to a core. Next returns false at program end.
 type Stream interface {
 	Next() (Instr, bool)
+}
+
+// BatchStream is the optional bulk extension of Stream: Refill copies up
+// to len(dst) pending instructions into dst and returns how many, with 0
+// meaning the stream has ended (terminal, like Next returning false). A
+// core whose stream implements it amortizes the per-instruction interface
+// call into one call per buffer — the replay fast path for block traces
+// (internal/trace.BlockReader) and generated streams alike. Refill must
+// yield exactly the sequence repeated Next calls would.
+type BatchStream interface {
+	Stream
+	Refill(dst []Instr) int
+}
+
+// BorrowStream is the zero-copy refinement of BatchStream: NextBatch
+// returns a slice of pending instructions owned by the stream, valid only
+// until the next NextBatch call, with an empty return meaning end of
+// stream (terminal). A core whose stream implements it reads decoded
+// instructions in place — for block traces that is straight out of the
+// decoder's arena, skipping the staging copy Refill would do. The
+// concatenation of returned batches must equal the sequence repeated Next
+// calls would yield, and the stream must not mutate a returned batch
+// before the next call.
+type BorrowStream interface {
+	BatchStream
+	NextBatch() []Instr
 }
 
 // Translator maps virtual to physical addresses, faulting pages in as
@@ -182,6 +213,16 @@ type Core struct {
 	streamDone bool
 	faulted    error
 
+	// Batch refill: when the stream implements BatchStream, refills pull
+	// whole slices instead of one Next call per instruction. bbuf is the
+	// live view — a borrowed arena slice for BorrowStream sources
+	// (zero-copy), or a prefix of the staging buffer ibuf otherwise.
+	batch  BatchStream
+	borrow BorrowStream
+	bbuf   []Instr
+	bpos   int
+	ibuf   [64]Instr
+
 	stats Stats
 
 	// OnMemLoadRetire, if set, fires when a load that missed the LLC
@@ -201,7 +242,7 @@ func New(id int, cfg Config, stream Stream, xlate Translator, mem MemPort) (*Cor
 	if stream == nil || xlate == nil || mem == nil {
 		return nil, fmt.Errorf("cpu: nil stream, translator, or memory port")
 	}
-	return &Core{
+	c := &Core{
 		ID:     id,
 		cfg:    cfg,
 		stream: stream,
@@ -209,7 +250,14 @@ func New(id int, cfg Config, stream Stream, xlate Translator, mem MemPort) (*Cor
 		mem:    mem,
 		rob:      make([]robEntry, cfg.ROBSize),
 		lastLoad: -1,
-	}, nil
+	}
+	if bs, ok := stream.(BatchStream); ok {
+		c.batch = bs
+	}
+	if bs, ok := stream.(BorrowStream); ok {
+		c.borrow = bs
+	}
+	return c, nil
 }
 
 // SetFastpath enables (or disables) the common-case fast path: inline hit
@@ -505,7 +553,7 @@ func (c *Core) FastForward(now, end event.Time, budget uint64) (cycles int, reti
 // path.
 //moca:hotpath
 func (c *Core) batchable(now event.Time) bool {
-	if c.fb.valid && c.fb.in.Kind == Compute && c.fb.in.N >= c.cfg.Width {
+	if c.fb.valid && c.fb.in.Kind == Compute && int(c.fb.in.N) >= c.cfg.Width {
 		return true
 	}
 	if c.occupancy == c.cfg.ROBSize {
@@ -631,16 +679,41 @@ func (c *Core) refill() (Instr, bool) {
 	if c.streamDone {
 		return Instr{}, false
 	}
-	in, ok := c.stream.Next()
-	if !ok {
-		c.streamDone = true
-		return Instr{}, false
+	var in Instr
+	if c.batch != nil {
+		if c.bpos == len(c.bbuf) && !c.nextBatch() {
+			c.streamDone = true
+			return Instr{}, false
+		}
+		in = c.bbuf[c.bpos]
+		c.bpos++
+	} else {
+		var ok bool
+		in, ok = c.stream.Next()
+		if !ok {
+			c.streamDone = true
+			return Instr{}, false
+		}
 	}
 	if in.Kind == Compute && in.N < 1 {
 		in.N = 1
 	}
 	c.fb = fetchBuf{in: in, valid: true}
 	return c.fb.in, true
+}
+
+// nextBatch replaces the drained bbuf view with the stream's next batch:
+// borrowed in place when the stream supports it, staged through ibuf
+// otherwise. Returns false at end of stream.
+func (c *Core) nextBatch() bool {
+	c.bpos = 0
+	if c.borrow != nil {
+		c.bbuf = c.borrow.NextBatch()
+		return len(c.bbuf) > 0
+	}
+	n := c.batch.Refill(c.ibuf[:])
+	c.bbuf = c.ibuf[:n]
+	return n > 0
 }
 
 func (c *Core) consume() { c.fb.valid = false }

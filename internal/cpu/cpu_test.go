@@ -338,7 +338,7 @@ func TestDeterministicRuns(t *testing.T) {
 		var ins []Instr
 		for i := 0; i < 200; i++ {
 			ins = append(ins, Instr{Kind: Load, VAddr: uint64(i*64) % 8192, Obj: 1, DependsOnPrev: i%3 == 0})
-			ins = append(ins, Instr{Kind: Compute, N: i%7 + 1})
+			ins = append(ins, Instr{Kind: Compute, N: int32(i%7 + 1)})
 		}
 		c, _ := New(0, DefaultConfig(), &sliceStream{ins: ins}, &identityXlate{}, m)
 		now := event.Time(0)

@@ -9,4 +9,5 @@ import (
 
 func TestHotAlloc(t *testing.T) {
 	linttest.AnalysisTest(t, lint.HotAlloc, "testdata", "hotalloc/cache")
+	linttest.AnalysisTest(t, lint.HotAlloc, "testdata", "hotalloc/trace")
 }

@@ -1,0 +1,54 @@
+// Package trace seeds hotalloc violations in the shapes the block-decode
+// hot path (internal/trace) is prone to: formatted errors constructed per
+// block and decoded values boxed into interfaces. The clean variants
+// mirror what the real decoder does instead — typed sentinel errors and
+// concrete-typed returns.
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+type instr struct {
+	kind  uint8
+	vaddr uint64
+}
+
+var errCorrupt = errors.New("trace: corrupt block")
+
+// DecodeFormatted wraps a decode failure with fmt on the hot path:
+// flagged — each bad block would allocate the error *and* box its
+// operands, and the happy path still pays the closure of the call site.
+//
+//moca:hotpath
+func DecodeFormatted(data []byte, off int) error {
+	if len(data) == 0 {
+		return fmt.Errorf("trace: empty block at offset %d", off) // want "call to fmt.Errorf allocates"
+	}
+	return nil
+}
+
+// DecodeBoxed hands each decoded item out as an interface: flagged — a
+// value struct boxed per instruction is an allocation per instruction.
+//
+//moca:hotpath
+func DecodeBoxed(data []byte, emit func(any)) {
+	for _, b := range data {
+		emit(instr{kind: b}) // want "passed value boxes hotalloc/trace.instr into"
+	}
+}
+
+// DecodeClean is the shape the real decoder uses: typed sentinel errors
+// and a concrete destination slice — nothing to flag.
+//
+//moca:hotpath
+func DecodeClean(data []byte, dst []instr) (int, error) {
+	if len(data) < len(dst) {
+		return 0, errCorrupt
+	}
+	for i := range dst {
+		dst[i] = instr{kind: data[i], vaddr: uint64(i)}
+	}
+	return len(dst), nil
+}

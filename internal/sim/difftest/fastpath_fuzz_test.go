@@ -42,7 +42,7 @@ func FuzzFastpathBatching(f *testing.F) {
 			switch b & 3 {
 			case 0: // compute run: the batchable common case
 				n := int(arg) + 1
-				ins = append(ins, cpu.Instr{Kind: cpu.Compute, N: n})
+				ins = append(ins, cpu.Instr{Kind: cpu.Compute, N: int32(n)})
 				total += uint64(n)
 			case 1: // re-touch the previous line: inline hit
 				ins = append(ins, cpu.Instr{Kind: cpu.Load, VAddr: last, Obj: 1})

@@ -1,0 +1,164 @@
+package trace
+
+import "encoding/binary"
+
+// lz.go is the dictionary-free LZ codec behind v2 trace blocks. It is a
+// byte-oriented LZSS: the encoded stream alternates literal runs and
+// back-references, each token a uvarint, with no entropy stage —
+// decompression is a straight copy loop that can run allocation-free into
+// a caller-owned buffer, which compress/flate cannot offer (its dynamic
+// Huffman tables are rebuilt per block even under flate.Resetter).
+//
+// Encoded layout, repeated until the source is consumed:
+//
+//	uvarint  litLen     // literal run length (may be 0)
+//	[]byte   literals   // litLen bytes copied verbatim
+//	uvarint  offset     // back-reference distance, >= 1; absent in the
+//	uvarint  matchLen-4 // final token, which is literals-only
+//
+// The final token is always literals-only (possibly empty): a decoder
+// stops when the input is exhausted after a literal run. Matches are at
+// least lzMinMatch bytes, found greedily through a 4-byte hash table.
+// Trace payloads are delta-varint streams with heavily repeating motifs
+// (strided deltas, alternating opcodes), which this captures well without
+// any dictionary shared between blocks — every block stays independently
+// decodable.
+
+const (
+	lzMinMatch = 4
+	// lzEmitMatch is the encoder's threshold: shorter matches are legal in
+	// the format (down to lzMinMatch) but not worth their decode cost —
+	// every token is three varint parses plus a bounded copy, so halving
+	// the token count roughly halves decompression time for a few percent
+	// of ratio.
+	lzEmitMatch = 8
+	lzHashBits  = 14
+	lzHashSize  = 1 << lzHashBits
+)
+
+// lzEncoder holds the match-finder state so repeated compress calls reuse
+// one hash table.
+type lzEncoder struct {
+	table [lzHashSize]int32
+}
+
+func lzHash(v uint32) uint32 { return (v * 2654435761) >> (32 - lzHashBits) }
+
+func lzLoad32(b []byte, i int) uint32 {
+	return uint32(b[i]) | uint32(b[i+1])<<8 | uint32(b[i+2])<<16 | uint32(b[i+3])<<24
+}
+
+// compress appends the LZ encoding of src to dst and returns the extended
+// slice. Worst case it expands src by the token overhead; callers compare
+// lengths and store incompressible payloads raw.
+func (e *lzEncoder) compress(dst, src []byte) []byte {
+	for i := range e.table {
+		e.table[i] = -1
+	}
+	lit := 0 // start of the pending literal run
+	i := 0
+	for i+lzMinMatch <= len(src) {
+		h := lzHash(lzLoad32(src, i))
+		cand := int(e.table[h])
+		e.table[h] = int32(i)
+		if cand < 0 || lzLoad32(src, cand) != lzLoad32(src, i) {
+			i++
+			continue
+		}
+		mlen := lzMinMatch
+		for i+mlen < len(src) && src[cand+mlen] == src[i+mlen] {
+			mlen++
+		}
+		if mlen < lzEmitMatch {
+			i++
+			continue
+		}
+		dst = binary.AppendUvarint(dst, uint64(i-lit))
+		dst = append(dst, src[lit:i]...)
+		dst = binary.AppendUvarint(dst, uint64(i-cand))
+		dst = binary.AppendUvarint(dst, uint64(mlen-lzMinMatch))
+		i += mlen
+		lit = i
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(src)-lit))
+	dst = append(dst, src[lit:]...)
+	return dst
+}
+
+// lzDecompress appends the decoding of src to dst, refusing to produce
+// more than max bytes total, and returns the extended slice. dst must have
+// capacity for max bytes so the copy loop never reallocates. Any
+// malformed input — truncated tokens, an offset reaching before the
+// output, a length overrunning max — returns ErrCorrupt; the function
+// never panics and always terminates (every token consumes input).
+func lzDecompress(dst, src []byte, max int) ([]byte, error) {
+	if cap(dst) < max {
+		dst = append(make([]byte, 0, max), dst...)
+	}
+	// The token uvarints get an inline single-byte fast path — literal
+	// runs, offsets, and match lengths are usually short, and this loop is
+	// on the block-decode hot path.
+	for {
+		var litLen uint64
+		if len(src) > 0 && src[0] < 0x80 {
+			litLen = uint64(src[0])
+			src = src[1:]
+		} else {
+			v, n := binary.Uvarint(src)
+			if n <= 0 {
+				return dst, ErrCorrupt
+			}
+			litLen, src = v, src[n:]
+		}
+		if litLen > uint64(len(src)) || litLen > uint64(max-len(dst)) {
+			return dst, ErrCorrupt
+		}
+		dst = append(dst, src[:litLen]...)
+		src = src[litLen:]
+		if len(src) == 0 {
+			return dst, nil
+		}
+		var off uint64
+		if src[0] < 0x80 {
+			off = uint64(src[0])
+			src = src[1:]
+		} else {
+			v, n := binary.Uvarint(src)
+			if n <= 0 {
+				return dst, ErrCorrupt
+			}
+			off, src = v, src[n:]
+		}
+		var ml uint64
+		if len(src) > 0 && src[0] < 0x80 {
+			ml = uint64(src[0])
+			src = src[1:]
+		} else {
+			v, n := binary.Uvarint(src)
+			if n <= 0 {
+				return dst, ErrCorrupt
+			}
+			ml, src = v, src[n:]
+		}
+		if ml > uint64(max) {
+			return dst, ErrCorrupt
+		}
+		mlen := int(ml) + lzMinMatch
+		if off == 0 || off > uint64(len(dst)) || mlen > max-len(dst) {
+			return dst, ErrCorrupt
+		}
+		pos := len(dst) - int(off)
+		out := len(dst)
+		dst = dst[:out+mlen]
+		if int(off) >= mlen {
+			copy(dst[out:], dst[pos:pos+mlen])
+		} else {
+			// Overlapping copy (run-length style): each pass's source ends
+			// where its destination begins, so plain copy is safe and the
+			// copied span doubles per pass.
+			for end := out + mlen; out < end; {
+				out += copy(dst[out:end], dst[pos:out])
+			}
+		}
+	}
+}

@@ -133,9 +133,19 @@ func (t *Writer) Close() error {
 	return t.w.Flush()
 }
 
+// Appender records instructions: *Writer (v1) and *BlockWriter (v2).
+type Appender interface {
+	Append(in cpu.Instr) error
+}
+
+var (
+	_ Appender = (*Writer)(nil)
+	_ Appender = (*BlockWriter)(nil)
+)
+
 // Record drains up to n instructions from a stream into the writer.
 // It returns the number recorded (less than n if the stream ended).
-func Record(w *Writer, s cpu.Stream, n uint64) (uint64, error) {
+func Record(w Appender, s cpu.Stream, n uint64) (uint64, error) {
 	var recorded uint64
 	for recorded < n {
 		in, ok := s.Next()
@@ -175,7 +185,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 		return nil, fmt.Errorf("trace: reading version: %w", err)
 	}
 	if ver != version {
-		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+		return nil, fmt.Errorf("trace: unsupported version %d (Open dispatches v1 and v2)", ver)
 	}
 	return &Reader{r: br}, nil
 }
@@ -216,7 +226,7 @@ func (t *Reader) Next() (cpu.Instr, bool) {
 		if n > 1<<30 {
 			return fail(fmt.Errorf("trace: absurd compute batch of %d", n))
 		}
-		return cpu.Instr{Kind: cpu.Compute, N: int(n)}, true
+		return cpu.Instr{Kind: cpu.Compute, N: int32(n)}, true
 	case opLoad, opLoadDep, opStore:
 		dAddr, err := binary.ReadVarint(t.r)
 		if err != nil {
@@ -301,4 +311,20 @@ func (l *Loop) Next() (cpu.Instr, bool) {
 	return cpu.Instr{}, false
 }
 
+// Refill implements cpu.BatchStream across pass boundaries: it drains
+// Next into dst, so a looping block replay still batch-refills the core.
+func (l *Loop) Refill(dst []cpu.Instr) int {
+	n := 0
+	for n < len(dst) {
+		in, ok := l.Next()
+		if !ok {
+			break
+		}
+		dst[n] = in
+		n++
+	}
+	return n
+}
+
 var _ cpu.Stream = (*Loop)(nil)
+var _ cpu.BatchStream = (*Loop)(nil)

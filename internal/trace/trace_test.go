@@ -294,7 +294,7 @@ func TestPropertyRoundTrip(t *testing.T) {
 		for _, r := range raw {
 			switch r % 3 {
 			case 0:
-				ins = append(ins, cpu.Instr{Kind: cpu.Compute, N: int(r%1000) + 1})
+				ins = append(ins, cpu.Instr{Kind: cpu.Compute, N: int32(r%1000) + 1})
 				lastWasLoad = false
 			case 1:
 				ins = append(ins, cpu.Instr{

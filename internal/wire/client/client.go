@@ -8,10 +8,12 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"time"
 
 	"moca/internal/sim"
+	"moca/internal/trace"
 	"moca/internal/wire"
 )
 
@@ -247,6 +249,116 @@ func (c *Client) Wait(ctx context.Context, j *Job, onProgress func(done, total u
 			return nil, fmt.Errorf("wire: unexpected frame type 0x%02x", typ)
 		}
 	}
+}
+
+// Trace streaming: push a local v2 block trace into a server-side
+// simulation, block by block, with resume-after-reconnect. The protocol
+// is synchronous per block (push TRACE_BLOCK, read TRACE_ACK), so TCP
+// backpressure is the flow control and the last acknowledged position is
+// always exact: after a disconnect, TraceStart on a fresh connection with
+// the same session token returns precisely where to resume.
+
+// TraceStart opens (or re-attaches to) a trace-streaming session and
+// returns the job plus the position to push from — zero for a fresh
+// session, the last acknowledged block boundary after a reconnect.
+func (c *Client) TraceStart(spec wire.TraceStart) (*Job, trace.Position, error) {
+	if spec.ID == 0 {
+		c.nextID++
+		spec.ID = c.nextID
+	}
+	if err := c.send(wire.TypeTraceStart, spec); err != nil {
+		return nil, trace.Position{}, err
+	}
+	typ, payload, err := c.readFrame()
+	if err != nil {
+		return nil, trace.Position{}, err
+	}
+	switch typ {
+	case wire.TypeTraceResume:
+		var tr wire.TraceResume
+		if err := wire.Decode(payload, &tr); err != nil {
+			return nil, trace.Position{}, err
+		}
+		if tr.ID != spec.ID {
+			return nil, trace.Position{}, fmt.Errorf("wire: TRACE_RESUME for job %d, want %d", tr.ID, spec.ID)
+		}
+		return &Job{ID: spec.ID}, trace.Position{ByteOff: tr.Pos.ByteOff, Seq: tr.Pos.Seq}, nil
+	case wire.TypeError:
+		var em wire.ErrorMsg
+		_ = wire.Decode(payload, &em)
+		return nil, trace.Position{}, &RemoteError{Code: em.Code, Msg: em.Msg}
+	default:
+		return nil, trace.Position{}, fmt.Errorf("wire: unexpected frame type 0x%02x awaiting TRACE_RESUME", typ)
+	}
+}
+
+// PushTraceBlock ships one raw block frame (trace.BlockScanner.Frame) and
+// waits for its acknowledgment. nextOff is the local byte offset of the
+// boundary after this block (trace.BlockScanner.NextPos().ByteOff); the
+// returned position echoes it and is durable on the server.
+func (c *Client) PushTraceBlock(j *Job, nextOff uint64, frame []byte) (trace.Position, error) {
+	payload := wire.AppendTraceBlock(make([]byte, 0, 12+len(frame)), j.ID, nextOff, frame)
+	c.nc.SetWriteDeadline(time.Now().Add(c.opts.frameTimeout()))
+	if err := wire.WriteFrame(c.nc, wire.TypeTraceBlock, payload, c.opts.maxFrame()); err != nil {
+		return trace.Position{}, err
+	}
+	typ, resp, err := c.readFrame()
+	if err != nil {
+		return trace.Position{}, err
+	}
+	switch typ {
+	case wire.TypeTraceAck:
+		var ack wire.TraceAck
+		if err := wire.Decode(resp, &ack); err != nil {
+			return trace.Position{}, err
+		}
+		if ack.ID != j.ID {
+			return trace.Position{}, fmt.Errorf("wire: TRACE_ACK for job %d, want %d", ack.ID, j.ID)
+		}
+		return trace.Position{ByteOff: ack.Pos.ByteOff, Seq: ack.Pos.Seq}, nil
+	case wire.TypeError:
+		var em wire.ErrorMsg
+		_ = wire.Decode(resp, &em)
+		return trace.Position{}, &RemoteError{Code: em.Code, Msg: em.Msg}
+	default:
+		return trace.Position{}, fmt.Errorf("wire: unexpected frame type 0x%02x awaiting TRACE_ACK", typ)
+	}
+}
+
+// PushTrace streams every block of a v2 trace from rs, starting at the
+// resume position from (as returned by TraceStart). onAck, if non-nil,
+// observes each acknowledged position. It returns the final acknowledged
+// position; the caller finishes with TraceEnd.
+func (c *Client) PushTrace(j *Job, rs io.ReadSeeker, from trace.Position, onAck func(trace.Position)) (trace.Position, error) {
+	sc, err := trace.NewBlockScannerAt(rs, from)
+	if err != nil {
+		return from, err
+	}
+	last := from
+	for sc.Scan() {
+		ack, err := c.PushTraceBlock(j, sc.NextPos().ByteOff, sc.Frame())
+		if err != nil {
+			return last, err
+		}
+		last = ack
+		if onAck != nil {
+			onAck(ack)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return last, err
+	}
+	return last, nil
+}
+
+// TraceEnd declares the trace complete and waits for the simulation's
+// terminal frame, returning the decoded result (j.Raw holds the exact
+// bytes).
+func (c *Client) TraceEnd(ctx context.Context, j *Job) (*sim.Result, error) {
+	if err := c.send(wire.TypeTraceEnd, wire.TraceEnd{ID: j.ID}); err != nil {
+		return nil, err
+	}
+	return c.Wait(ctx, j, nil, nil)
 }
 
 // Run is the one-shot convenience: Submit, optionally Stream, Wait.

@@ -43,6 +43,10 @@ type Config struct {
 	// (0 = 100ms). Simulation ticks arrive far faster than any client
 	// needs; only the freshest tick inside each interval is forwarded.
 	StreamInterval time.Duration
+	// TraceIdleTimeout bounds how long a detached trace-streaming session
+	// (its client disconnected mid-corpus) waits for a re-attach before the
+	// half-run simulation is canceled and reaped (0 = 2 minutes).
+	TraceIdleTimeout time.Duration
 	// Measure and ProfileWindow are the quotas used when a SUBMIT leaves
 	// them zero (0 = 300_000 each, the paper defaults).
 	Measure       uint64
@@ -113,6 +117,7 @@ type Server struct {
 	mu      sync.Mutex
 	runners map[runnerKey]*exp.Runner
 	conns   map[*conn]struct{}
+	traces  map[string]*traceSession
 	drain   bool
 
 	// hardCtx outlives the serve context by the drain timeout; jobs run
@@ -139,6 +144,7 @@ func New(cfg Config) *Server {
 		hub:     newHub(),
 		runners: make(map[runnerKey]*exp.Runner),
 		conns:   make(map[*conn]struct{}),
+		traces:  make(map[string]*traceSession),
 	}
 }
 
@@ -262,11 +268,13 @@ func (s *Server) draining() bool {
 	return s.drain
 }
 
-// job is one client's interest in one run.
+// job is one client's interest in one run. Exactly one of the runner
+// path (memoKey/cancel) or the trace-streaming path (sess) is live.
 type job struct {
 	id      uint32
 	memoKey string
 	cancel  context.CancelFunc
+	sess    *traceSession
 
 	mu    sync.Mutex
 	state string
@@ -323,9 +331,16 @@ func (c *conn) protoError(msg string) {
 func (c *conn) serve() {
 	defer func() {
 		// Cancel every job interest this client still holds, then wait for
-		// its goroutines before releasing the connection.
+		// its goroutines before releasing the connection. Trace sessions
+		// are the exception: they survive the disconnect (detached, on the
+		// idle clock) so the client can reconnect and resume pushing from
+		// its last acknowledged position.
 		c.mu.Lock()
 		for _, j := range c.jobs {
+			if j.sess != nil {
+				j.sess.detach(c)
+				continue
+			}
 			j.cancel()
 		}
 		c.mu.Unlock()
@@ -413,7 +428,13 @@ func (c *conn) dispatch(typ byte, payload []byte) error {
 		}
 		if j := c.lookup(req.ID); j != nil {
 			j.setState(wire.StateCanceled)
-			j.cancel()
+			if j.sess != nil {
+				// An explicit CANCEL abandons the session for good — unlike
+				// a disconnect, which leaves it resumable.
+				j.sess.terminate()
+			} else {
+				j.cancel()
+			}
 		}
 		return nil
 	case wire.TypeStream:
@@ -427,6 +448,20 @@ func (c *conn) dispatch(typ byte, payload []byte) error {
 		}
 		c.stream(j)
 		return nil
+	case wire.TypeTraceStart:
+		var start wire.TraceStart
+		if err := wire.Decode(payload, &start); err != nil {
+			return err
+		}
+		return c.handleTraceStart(start)
+	case wire.TypeTraceBlock:
+		return c.handleTraceBlock(payload)
+	case wire.TypeTraceEnd:
+		var end wire.TraceEnd
+		if err := wire.Decode(payload, &end); err != nil {
+			return err
+		}
+		return c.handleTraceEnd(end)
 	case wire.TypeHello:
 		return errors.New("duplicate HELLO")
 	default:

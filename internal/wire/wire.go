@@ -44,19 +44,24 @@ const DefaultMaxFrame = 8 << 20
 // Frame types. Client-to-server types have the high bit clear,
 // server-to-client types have it set.
 const (
-	TypeHello  byte = 0x01 // Hello: version handshake
-	TypeSubmit byte = 0x02 // Submit: start (or join) a job
-	TypeStatus byte = 0x03 // StatusReq: poll a job's state
-	TypeCancel byte = 0x04 // Cancel: abandon a job
-	TypeStream byte = 0x05 // StreamReq: subscribe to progress/snapshots
+	TypeHello      byte = 0x01 // Hello: version handshake
+	TypeSubmit     byte = 0x02 // Submit: start (or join) a job
+	TypeStatus     byte = 0x03 // StatusReq: poll a job's state
+	TypeCancel     byte = 0x04 // Cancel: abandon a job
+	TypeStream     byte = 0x05 // StreamReq: subscribe to progress/snapshots
+	TypeTraceStart byte = 0x06 // TraceStart: open or re-attach a trace-fed run
+	TypeTraceBlock byte = 0x07 // binary trace block frame (see AppendTraceBlock)
+	TypeTraceEnd   byte = 0x08 // TraceEnd: no more blocks; deliver the result
 
-	TypeHelloOK  byte = 0x81 // HelloOK: handshake accepted
-	TypeAccepted byte = 0x82 // Accepted: job registered
-	TypeJobState byte = 0x83 // JobStatus: state poll answer
-	TypeProgress byte = 0x84 // Progress: periodic completion tick
-	TypeSnapshot byte = 0x85 // Snapshot: live metrics while running
-	TypeResult   byte = 0x86 // ResultMsg: terminal success
-	TypeError    byte = 0x87 // ErrorMsg: terminal failure (or protocol error, ID 0)
+	TypeHelloOK     byte = 0x81 // HelloOK: handshake accepted
+	TypeAccepted    byte = 0x82 // Accepted: job registered
+	TypeJobState    byte = 0x83 // JobStatus: state poll answer
+	TypeProgress    byte = 0x84 // Progress: periodic completion tick
+	TypeSnapshot    byte = 0x85 // Snapshot: live metrics while running
+	TypeResult      byte = 0x86 // ResultMsg: terminal success
+	TypeError       byte = 0x87 // ErrorMsg: terminal failure (or protocol error, ID 0)
+	TypeTraceResume byte = 0x88 // TraceResume: session opened; resume position
+	TypeTraceAck    byte = 0x89 // TraceAck: blocks up to Pos are owned by the server
 )
 
 // Typed decode errors. Connection handlers close the connection when one
@@ -173,6 +178,8 @@ const (
 	CodeBadReq   = "bad-request"
 	CodeProto    = "protocol" // framing/handshake violation; connection closes
 	CodeDraining = "draining" // server is shutting down; submit rejected
+	CodeBusy     = "busy"     // trace session already attached elsewhere
+	CodeTrace    = "trace"    // pushed trace block failed to decode
 )
 
 // ErrorMsg terminates a failed job (ID echoes the job) or reports a
@@ -182,6 +189,87 @@ type ErrorMsg struct {
 	ID   uint32 `json:"id"`
 	Code string `json:"code"`
 	Msg  string `json:"msg"`
+}
+
+// Trace streaming. A client that holds a v2 block trace (internal/trace)
+// pushes it to the server block by block; the server feeds the decoded
+// instructions straight into a live simulation. Delivery is synchronous
+// per block — every TRACE_BLOCK is answered with a TRACE_ACK naming the
+// position now owned by the server — so a client that disconnects
+// mid-corpus reconnects with the same session token, receives the last
+// acknowledged position in TRACE_RESUME, and continues from that exact
+// block boundary without resending (or the server re-simulating) anything.
+
+// TracePos mirrors trace.Position on the wire: the byte offset of a block
+// boundary in the client's trace file and the stream index of its first
+// item. ByteOff is client-side state the server merely echoes back (it is
+// whatever the client declared when pushing); Seq is validated by the
+// server against the decoded block headers.
+type TracePos struct {
+	ByteOff uint64 `json:"byte_off"`
+	Seq     uint64 `json:"seq"`
+}
+
+// TraceStart opens a trace-streaming session, or re-attaches to a live
+// one after a disconnect. Session is a client-chosen token identifying
+// the session across connections; System/App/Measure describe the
+// simulation exactly as moca-trace replay does (they must repeat verbatim
+// on re-attach). The server answers with TRACE_RESUME carrying the
+// position to push from — zero for a fresh session.
+type TraceStart struct {
+	ID      uint32 `json:"id"`
+	Session string `json:"session"`
+	System  string `json:"system"`
+	App     string `json:"app"`
+	Measure uint64 `json:"measure,omitempty"`
+}
+
+// TraceResume answers a TRACE_START: push blocks starting at Pos.
+type TraceResume struct {
+	ID  uint32   `json:"id"`
+	Pos TracePos `json:"pos"`
+}
+
+// TraceAck answers one TRACE_BLOCK: every item below Pos.Seq is owned by
+// the server and must not be resent; Pos is durable across reconnects for
+// the session's lifetime.
+type TraceAck struct {
+	ID  uint32   `json:"id"`
+	Pos TracePos `json:"pos"`
+}
+
+// TraceEnd declares the trace complete. The server closes the session's
+// instruction stream and answers with the job's terminal RESULT or ERROR
+// frame once the simulation finishes.
+type TraceEnd struct {
+	ID uint32 `json:"id"`
+}
+
+// traceBlockHdrLen is the binary preamble of a TRACE_BLOCK payload:
+// uint32 BE job ID + uint64 BE next byte offset, then the raw block frame.
+const traceBlockHdrLen = 12
+
+// AppendTraceBlock assembles a TRACE_BLOCK payload: the job ID, the
+// client-side byte offset of the boundary after this block (echoed in the
+// ack), and the block frame exactly as stored on disk (marker through
+// payload, trace.BlockScanner.Frame) — the block bytes cross the wire
+// without re-encoding or recompression.
+func AppendTraceBlock(dst []byte, id uint32, nextOff uint64, frame []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, id)
+	dst = binary.BigEndian.AppendUint64(dst, nextOff)
+	return append(dst, frame...)
+}
+
+// SplitTraceBlock splits a TRACE_BLOCK payload into its job ID, the
+// declared next byte offset, and the raw block frame. The frame slice
+// aliases payload.
+func SplitTraceBlock(payload []byte) (id uint32, nextOff uint64, frame []byte, err error) {
+	if len(payload) < traceBlockHdrLen+1 {
+		return 0, 0, nil, fmt.Errorf("%w: TRACE_BLOCK: %d byte payload", ErrBadPayload, len(payload))
+	}
+	id = binary.BigEndian.Uint32(payload)
+	nextOff = binary.BigEndian.Uint64(payload[4:])
+	return id, nextOff, payload[traceBlockHdrLen:], nil
 }
 
 // WriteFrame writes one frame. payload may be nil. max bounds the frame

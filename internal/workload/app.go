@@ -391,8 +391,28 @@ func (s *appStream) Next() (cpu.Instr, bool) {
 	}
 	s.pending = access
 	s.hasPending = true
-	return cpu.Instr{Kind: cpu.Compute, N: gap}, true
+	return cpu.Instr{Kind: cpu.Compute, N: int32(gap)}, true
 }
+
+// Refill implements cpu.BatchStream: it runs the generator len(dst)
+// elements ahead in one call, letting the core amortize the interface
+// dispatch per instruction into one call per buffer. The sequence is
+// exactly what repeated Next calls would produce (the generator never
+// ends, so a full buffer is always returned).
+func (s *appStream) Refill(dst []cpu.Instr) int {
+	n := 0
+	for n < len(dst) {
+		in, ok := s.Next()
+		if !ok {
+			break
+		}
+		dst[n] = in
+		n++
+	}
+	return n
+}
+
+var _ cpu.BatchStream = (*appStream)(nil)
 
 func (a *App) pick() *source {
 	x := a.rng.Float64() * a.totalW

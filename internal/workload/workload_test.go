@@ -284,7 +284,7 @@ func TestStreamSteadyStateMix(t *testing.T) {
 		}
 		switch in.Kind {
 		case cpu.Compute:
-			computes += in.N
+			computes += int(in.N)
 		case cpu.Load, cpu.Store:
 			mems++
 			counts[in.Obj]++

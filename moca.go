@@ -130,5 +130,39 @@ func RecordTrace(w io.Writer, app AppSpec, input Input, classes ClassMap, n uint
 	return recorded, tw.Close()
 }
 
-// OpenTrace opens a recorded trace for replay as an InstructionStream.
+// OpenTrace opens a recorded v1 trace for replay as an InstructionStream.
+// Prefer OpenTraceStream, which accepts either format.
 func OpenTrace(r io.Reader) (*TraceReader, error) { return trace.NewReader(r) }
+
+// RecordTraceV2 is RecordTrace in the v2 block format: framed,
+// per-block-compressed, and seekable, so replay can stream a corpus
+// larger than RAM and resume from any block boundary (see
+// OpenTraceStreamAt). items and rawBytes bound each block (zero selects
+// the defaults, 16Ki items or 256 KiB raw).
+func RecordTraceV2(w io.Writer, app AppSpec, input Input, classes ClassMap, n uint64, items, rawBytes int) (uint64, error) {
+	allocator := heap.New(heap.Config{Classes: classes})
+	inst, err := workload.Instantiate(app.ForInput(input), allocator, 0)
+	if err != nil {
+		return 0, err
+	}
+	tw, err := trace.NewBlockWriterSize(w, items, rawBytes)
+	if err != nil {
+		return 0, err
+	}
+	recorded, err := trace.Record(tw, inst.Stream(), n)
+	if err != nil {
+		return recorded, err
+	}
+	return recorded, tw.Close()
+}
+
+// OpenTraceStream opens a recorded trace of either format for replay,
+// dispatching on the file header's version byte.
+func OpenTraceStream(r io.Reader) (TraceStream, error) { return trace.Open(r) }
+
+// OpenTraceStreamAt opens a v2 trace at a position previously captured
+// from TraceBlockReader.NextPos (or acknowledged by a moca-served trace
+// session), resuming replay without decoding the prefix.
+func OpenTraceStreamAt(rs io.ReadSeeker, pos TracePosition) (*TraceBlockReader, error) {
+	return trace.OpenBlockReaderAt(rs, pos)
+}

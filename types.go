@@ -193,4 +193,15 @@ type (
 	TraceWriter = trace.Writer
 	// TraceReader replays a recorded trace as an InstructionStream.
 	TraceReader = trace.Reader
+	// TraceStream replays a trace of either format; Err distinguishes
+	// clean end-of-trace from a decode fault.
+	TraceStream = trace.ReplayStream
+	// TraceBlockWriter records the v2 block format: framed, per-block
+	// compressed, seekable.
+	TraceBlockWriter = trace.BlockWriter
+	// TraceBlockReader replays a v2 trace; it refills the core's batch
+	// buffer straight from its decoded block arena.
+	TraceBlockReader = trace.BlockReader
+	// TracePosition is a durable v2 resume point (block boundary).
+	TracePosition = trace.Position
 )
