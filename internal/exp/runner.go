@@ -169,6 +169,7 @@ func (r *Runner) context() context.Context {
 	if r.Ctx != nil {
 		return r.Ctx
 	}
+	//moca:allowctx root fallback for runners constructed without a lifecycle context (CLI tools, tests)
 	return context.Background()
 }
 
@@ -186,7 +187,15 @@ func (r *Runner) Stats() RunnerStats {
 // Instrument profiles an application (once; deduplicated and cached, with
 // a persistent-cache fast path) and returns its instrumentation.
 func (r *Runner) Instrument(appName string) (core.Instrumentation, error) {
-	ctx := r.context()
+	return r.InstrumentCtx(r.context(), appName)
+}
+
+// InstrumentCtx is Instrument with a per-caller context: a caller whose
+// ctx fires stops waiting on the shared profiling flight without
+// disturbing it. Before this existed, a canceled simulation joined to a
+// profiling flight sat parked until the whole profile finished, because
+// Instrument only watched the runner-level context.
+func (r *Runner) InstrumentCtx(ctx context.Context, appName string) (core.Instrumentation, error) {
 	r.mu.Lock()
 	if r.instr == nil {
 		r.instr = make(map[string]core.Instrumentation)
@@ -288,34 +297,53 @@ func (r *Runner) RunMixCtx(ctx context.Context, def SystemDef, mix workload.Mix)
 // ctx.Err() and detaches without disturbing the flight, and only the last
 // departing waiter cancels the shared simulation.
 func (r *Runner) run(ctx context.Context, def SystemDef, key string, apps []string) (*sim.Result, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
 	memoKey := def.Name + "|" + key
-	r.mu.Lock()
-	if r.results == nil {
-		r.results = make(map[string]*sim.Result)
-		r.flights = make(map[string]*flight)
-	}
-	if res, ok := r.results[memoKey]; ok {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		if r.results == nil {
+			r.results = make(map[string]*sim.Result)
+			r.flights = make(map[string]*flight)
+		}
+		if res, ok := r.results[memoKey]; ok {
+			r.mu.Unlock()
+			r.memoryHits.Add(1)
+			return res, nil
+		}
+		if f, ok := r.flights[memoKey]; ok {
+			if f.waiters == 0 {
+				// The last waiter already detached and canceled this
+				// flight; it is draining toward a context.Canceled error
+				// that would be spurious for this caller, whose own ctx is
+				// live. Wait for the dead flight to clear and retry the
+				// key — by then it has either published a result anyway
+				// (cancel raced with completion) or left the map empty for
+				// a fresh flight.
+				r.mu.Unlock()
+				select {
+				case <-f.done:
+					continue
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			f.waiters++
+			r.mu.Unlock()
+			return r.wait(ctx, f, true)
+		}
+		f := &flight{done: make(chan struct{}), waiters: 1}
+		// The flight's lifetime is bound to the runner, not any one caller.
+		fctx, cancel := context.WithCancel(r.context())
+		f.cancel = cancel
+		r.flights[memoKey] = f
 		r.mu.Unlock()
-		r.memoryHits.Add(1)
-		return res, nil
-	}
-	if f, ok := r.flights[memoKey]; ok {
-		f.waiters++
-		r.mu.Unlock()
-		return r.wait(ctx, f, true)
-	}
-	f := &flight{done: make(chan struct{}), waiters: 1}
-	// The flight's lifetime is bound to the runner, not to any one caller.
-	fctx, cancel := context.WithCancel(r.context())
-	f.cancel = cancel
-	r.flights[memoKey] = f
-	r.mu.Unlock()
 
-	go r.lead(fctx, f, def, memoKey, key, apps)
-	return r.wait(ctx, f, false)
+		//moca:gorountracked flight lifetime is tracked by f.done; the last detaching waiter cancels it
+		go r.lead(fctx, f, def, memoKey, key, apps)
+		return r.wait(ctx, f, false)
+	}
 }
 
 // lead executes one flight's simulation under the flight context and
@@ -373,7 +401,7 @@ func (r *Runner) simulate(ctx context.Context, def SystemDef, memoKey string, ap
 
 	var procs []sim.ProcSpec
 	for _, app := range apps {
-		ins, err := r.Instrument(app)
+		ins, err := r.InstrumentCtx(ctx, app)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,120 @@
+package lint
+
+// The findings baseline lets CI fail on *new* violations while a
+// checked-in set of accepted ones stays visible: moca-vet -baseline
+// subtracts matching findings from the failure set but still prints and
+// (in -json mode) emits them, flagged. Entries match on analyzer, a file
+// path suffix, and the message with digit runs normalized away, so line
+// renumbering from unrelated edits does not invalidate the baseline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// BaselineEntry identifies one accepted finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// Baseline is the checked-in set of accepted findings.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an error: the
+// caller asked to gate on a baseline that does not exist.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading baseline: %w", err)
+	}
+	b := new(Baseline)
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// WriteBaseline records the findings as the new baseline at path.
+func WriteBaseline(path string, findings []Finding) error {
+	b := Baseline{Findings: make([]BaselineEntry, 0, len(findings))}
+	for _, f := range findings {
+		b.Findings = append(b.Findings, BaselineEntry{
+			Analyzer: f.Analyzer,
+			File:     f.Position.Filename,
+			Message:  f.Message,
+		})
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Match reports whether the entry accepts the finding.
+func (e BaselineEntry) Match(f Finding) bool {
+	return e.Analyzer == f.Analyzer &&
+		suffixPathMatch(f.Position.Filename, e.File) &&
+		normalizeMessage(e.Message) == normalizeMessage(f.Message)
+}
+
+// Filter splits findings into those the baseline accepts and fresh ones.
+// matched runs parallel to findings; stale lists baseline entries that
+// matched nothing (candidates for deletion).
+func (b *Baseline) Filter(findings []Finding) (matched []bool, fresh []Finding, stale []BaselineEntry) {
+	matched = make([]bool, len(findings))
+	used := make([]bool, len(b.Findings))
+	for i, f := range findings {
+		for j, e := range b.Findings {
+			if e.Match(f) {
+				matched[i] = true
+				used[j] = true
+				break
+			}
+		}
+		if !matched[i] {
+			fresh = append(fresh, f)
+		}
+	}
+	for j, u := range used {
+		if !u {
+			stale = append(stale, b.Findings[j])
+		}
+	}
+	return matched, fresh, stale
+}
+
+// suffixPathMatch reports whether the (possibly absolute) finding path
+// ends in the (typically repo-relative) baseline path, on a path-element
+// boundary.
+func suffixPathMatch(got, want string) bool {
+	if got == want {
+		return true
+	}
+	return strings.HasSuffix(got, "/"+strings.TrimPrefix(want, "/"))
+}
+
+// normalizeMessage folds digit runs to a placeholder so messages that
+// embed line numbers ("locked at line 83") survive renumbering.
+func normalizeMessage(s string) string {
+	var sb strings.Builder
+	inDigits := false
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			if !inDigits {
+				sb.WriteByte('#')
+				inDigits = true
+			}
+			continue
+		}
+		inDigits = false
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}

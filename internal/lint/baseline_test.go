@@ -1,0 +1,135 @@
+package lint_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"moca/internal/lint"
+)
+
+func finding(analyzer, file, message string) lint.Finding {
+	return lint.Finding{
+		Analyzer:   analyzer,
+		Position:   token.Position{Filename: file, Line: 1, Column: 1},
+		Diagnostic: lint.Diagnostic{Message: message},
+	}
+}
+
+func TestBaselineEntryMatch(t *testing.T) {
+	entry := lint.BaselineEntry{
+		Analyzer: "lockhold",
+		File:     "internal/wire/server/server.go",
+		Message:  `time.Sleep while "c.wmu" is held (locked at line 83)`,
+	}
+	cases := []struct {
+		name string
+		f    lint.Finding
+		want bool
+	}{
+		{
+			// The finding's absolute path suffix-matches the repo-relative
+			// baseline path, and the embedded line number is normalized
+			// away, so renumbering from unrelated edits keeps the match.
+			name: "absolute path and renumbered line",
+			f: finding("lockhold", "/build/src/internal/wire/server/server.go",
+				`time.Sleep while "c.wmu" is held (locked at line 97)`),
+			want: true,
+		},
+		{
+			name: "exact relative path",
+			f: finding("lockhold", "internal/wire/server/server.go",
+				`time.Sleep while "c.wmu" is held (locked at line 83)`),
+			want: true,
+		},
+		{
+			name: "different analyzer",
+			f: finding("ctxflow", "internal/wire/server/server.go",
+				`time.Sleep while "c.wmu" is held (locked at line 83)`),
+			want: false,
+		},
+		{
+			name: "different message",
+			f: finding("lockhold", "internal/wire/server/server.go",
+				`channel send while "c.wmu" is held (locked at line 83)`),
+			want: false,
+		},
+		{
+			// "…otherserver.go" must not match "…/server.go": the suffix
+			// comparison honors path-element boundaries.
+			name: "suffix off a path boundary",
+			f: finding("lockhold", "/build/src/internal/wire/otherserver/server.go",
+				`time.Sleep while "c.wmu" is held (locked at line 83)`),
+			want: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := entry.Match(tc.f); got != tc.want {
+				t.Errorf("Match(%s %s) = %v, want %v",
+					tc.f.Analyzer, tc.f.Position.Filename, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBaselineFilter(t *testing.T) {
+	b := &lint.Baseline{Findings: []lint.BaselineEntry{
+		{Analyzer: "lockhold", File: "a/b.go", Message: "sleep under lock at line 3"},
+		{Analyzer: "goroleak", File: "a/c.go", Message: "untracked goroutine"},
+	}}
+	findings := []lint.Finding{
+		finding("lockhold", "/root/a/b.go", "sleep under lock at line 44"),
+		finding("ctxflow", "/root/a/b.go", "detached context"),
+	}
+	matched, fresh, stale := b.Filter(findings)
+	if !matched[0] || matched[1] {
+		t.Errorf("matched = %v, want [true false]", matched)
+	}
+	if len(fresh) != 1 || fresh[0].Analyzer != "ctxflow" {
+		t.Errorf("fresh = %+v, want the one ctxflow finding", fresh)
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "goroleak" {
+		t.Errorf("stale = %+v, want the unmatched goroleak entry", stale)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	in := []lint.Finding{
+		finding("wiredispatch", "internal/wire/wire.go", "allocation sized from unchecked value n"),
+	}
+	if err := lint.WriteBaseline(path, in); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := lint.LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if len(b.Findings) != 1 {
+		t.Fatalf("got %d entries, want 1", len(b.Findings))
+	}
+	e := b.Findings[0]
+	if e.Analyzer != "wiredispatch" || e.File != "internal/wire/wire.go" ||
+		e.Message != "allocation sized from unchecked value n" {
+		t.Errorf("round-tripped entry = %+v", e)
+	}
+	if !e.Match(in[0]) {
+		t.Errorf("round-tripped entry does not match its own finding")
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		t.Errorf("baseline file does not end in a newline")
+	}
+}
+
+func TestLoadBaselineMissingFile(t *testing.T) {
+	if _, err := lint.LoadBaseline(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatalf("LoadBaseline on a missing file succeeded, want error")
+	}
+}

@@ -1,0 +1,171 @@
+package lint
+
+// Shared machinery for the phase-2 serving-layer analyzers (lockhold,
+// ctxflow, wiredispatch, goroleak): package scoping by import-path base —
+// the same opt-in convention DeterministicPackages uses, so analysistest
+// packages named e.g. "server" land in scope — plus the curated blocking
+// -call classifier lockhold and ctxflow both consult.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ServingPackages names the concurrent serving-layer packages the phase-2
+// analyzers audit, matched on the import path's last element.
+var ServingPackages = map[string]bool{
+	"wire":   true,
+	"server": true,
+	"client": true,
+	"exp":    true,
+}
+
+// isServingPkg reports whether the import path names a serving package.
+func isServingPkg(importPath string) bool {
+	return ServingPackages[pathBase(importPath)]
+}
+
+// derefNamed peels pointers off a type and returns the named type beneath,
+// if any.
+func derefNamed(t types.Type) *types.Named {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamedType reports whether t (possibly behind pointers) is the named
+// type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	n := derefNamed(t)
+	return n != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return isNamedType(t, "context", "Context")
+}
+
+// mutexOp classifies a call as a mutex transition: x.Lock(), x.RLock(),
+// x.Unlock(), or x.RUnlock() where x is (a pointer to) sync.Mutex or
+// sync.RWMutex. The lock is identified by its receiver expression text,
+// which is stable within one function body.
+func mutexOp(info *types.Info, call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	t := info.TypeOf(sel.X)
+	if !isNamedType(t, "sync", "Mutex") && !isNamedType(t, "sync", "RWMutex") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// wireIOFuncs are the frame-I/O entry points of the wire package; each
+// performs a conn read or write that blocks until the peer or a deadline
+// responds.
+var wireIOFuncs = map[string]bool{
+	"ReadFrame":  true,
+	"WriteFrame": true,
+	"ReadMsg":    true,
+	"WriteMsg":   true,
+}
+
+// ioBlockingFuncs are stdlib io functions that block on their reader or
+// writer argument.
+var ioBlockingFuncs = map[string]bool{
+	"ReadFull":    true,
+	"ReadAtLeast": true,
+	"ReadAll":     true,
+	"Copy":        true,
+	"CopyN":       true,
+	"CopyBuffer":  true,
+	"WriteString": true,
+}
+
+// streamIOMethods are method names that denote stream I/O when invoked on
+// an interface or a net type.
+var streamIOMethods = map[string]bool{
+	"Read":     true,
+	"Write":    true,
+	"ReadFrom": true,
+	"WriteTo":  true,
+}
+
+// blockingDesc classifies a call expression as a blocking operation and
+// returns a short description, or "" when the call is not in the curated
+// blocking table. The table covers this repo's serving layer: frame I/O,
+// net/stream I/O, WaitGroup waits, simulation entry points (methods of a
+// type named Runner or System), and time.Sleep. It is deliberately
+// name-based so testdata packages exercise the same paths as real code.
+func blockingDesc(info *types.Info, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		// Unqualified call — frame I/O invoked from inside the wire
+		// package itself.
+		if fn, ok := info.Uses[fun].(*types.Func); ok && fn.Pkg() != nil &&
+			pathBase(fn.Pkg().Path()) == "wire" && wireIOFuncs[fn.Name()] {
+			return fn.Name() + " (frame I/O)"
+		}
+	case *ast.SelectorExpr:
+		if pkgPath, name, ok := pkgFuncOf(info, fun); ok {
+			switch {
+			case pkgPath == "time" && name == "Sleep":
+				return "time.Sleep"
+			case pkgPath == "io" && ioBlockingFuncs[name]:
+				return "io." + name
+			case pathBase(pkgPath) == "wire" && wireIOFuncs[name]:
+				return "wire." + name + " (frame I/O)"
+			}
+			return ""
+		}
+		recv := info.TypeOf(fun.X)
+		if selection, ok := info.Selections[fun]; ok {
+			if selection.Kind() != types.MethodVal {
+				return "" // struct field of function type, etc.
+			}
+			recv = selection.Recv()
+		}
+		if recv == nil {
+			return ""
+		}
+		name := fun.Sel.Name
+		if name == "Wait" && isNamedType(recv, "sync", "WaitGroup") {
+			return "sync.WaitGroup.Wait"
+		}
+		if n := derefNamed(recv); n != nil {
+			switch n.Obj().Name() {
+			case "Runner":
+				if strings.HasPrefix(name, "Run") ||
+					strings.HasPrefix(name, "Instrument") || name == "Wait" {
+					return "Runner." + name + " (simulation run)"
+				}
+			case "System":
+				if strings.HasPrefix(name, "Run") {
+					return "System." + name + " (simulation run)"
+				}
+			}
+			if n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "net" &&
+				streamIOMethods[name] {
+				return types.ExprString(fun.X) + "." + name + " (network I/O)"
+			}
+		}
+		if _, isIface := recv.Underlying().(*types.Interface); isIface && streamIOMethods[name] {
+			return types.ExprString(fun.X) + "." + name + " (stream I/O)"
+		}
+	}
+	return ""
+}

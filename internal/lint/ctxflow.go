@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// CtxFlow enforces context discipline in the serving layer. A server that
+// stays up under load is one whose every blocking operation is tied to a
+// cancellation signal; the three rules here are the cheapest static
+// approximation of that property:
+//
+//  1. context.Background() and context.TODO() are banned outside package
+//     main — serving code receives its context from a caller or a server
+//     lifecycle and must derive from it, never restart the tree;
+//  2. a function that accepts a context.Context must not call the
+//     ctx-blind variant of a blocking operation (time.Sleep,
+//     Runner.RunSingle/RunMix/Instrument, System.Run) — the Ctx/Context
+//     variants exist precisely so cancellation threads through;
+//  3. a long-lived `for { select { ... } }` loop in a ctx-taking function
+//     must include a `<-ctx.Done()` case, or it outlives its caller.
+//
+// Suppress one finding with `//moca:allowctx <reason>` — the reason should
+// say which lifecycle owns the detached work.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "require serving-layer code to thread caller contexts into blocking work",
+	Run:  runCtxFlow,
+}
+
+// ctxBlindCalls maps a receiver type name to the method names that have a
+// context-threading variant the caller should use instead.
+var ctxBlindCalls = map[string]map[string]string{
+	"Runner": {
+		"RunSingle":  "RunSingleCtx",
+		"RunMix":     "RunMixCtx",
+		"Instrument": "InstrumentCtx",
+	},
+	"System": {
+		"Run": "RunContext",
+	},
+}
+
+func runCtxFlow(pass *Pass) error {
+	if !isServingPkg(pass.Pkg.Path()) || pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		lc := &ctxChecker{pass: pass, file: file}
+		lc.checkDetachedContexts()
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasCtxParam(pass, fd) {
+				continue
+			}
+			lc.checkBlindCalls(fd)
+			lc.checkSelectLoops(fd)
+		}
+	}
+	return nil
+}
+
+type ctxChecker struct {
+	pass *Pass
+	file *ast.File
+}
+
+// hasCtxParam reports whether the function declares a context.Context
+// parameter.
+func hasCtxParam(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDetachedContexts bans context.Background()/TODO() anywhere in the
+// file: serving code never owns the root of a context tree.
+func (cc *ctxChecker) checkDetachedContexts() {
+	ast.Inspect(cc.file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, name, ok := pkgFuncOf(cc.pass.TypesInfo, sel)
+		if !ok || pkgPath != "context" || (name != "Background" && name != "TODO") {
+			return true
+		}
+		if cc.pass.checkSuppressed(cc.file, call.Pos(), DirectiveAllowCtx) {
+			return true
+		}
+		cc.pass.Report(Diagnostic{
+			Pos: call.Pos(),
+			Message: fmt.Sprintf(
+				"context.%s() detaches work from caller cancellation in a serving package", name),
+			Fix: "derive from a caller or server lifecycle context, or annotate `//moca:allowctx <reason>`",
+		})
+		return true
+	})
+}
+
+// checkBlindCalls flags calls to the non-context variant of a blocking
+// operation from a function that has a ctx to thread.
+func (cc *ctxChecker) checkBlindCalls(fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if pkgPath, fn, ok := pkgFuncOf(cc.pass.TypesInfo, sel); ok {
+			if pkgPath == "time" && fn == "Sleep" {
+				cc.reportBlind(call.Pos(), "time.Sleep",
+					"a timer select with a <-ctx.Done() case")
+			}
+			return true
+		}
+		recv := derefNamed(cc.pass.TypesInfo.TypeOf(sel.X))
+		if recv == nil {
+			return true
+		}
+		if variant, ok := ctxBlindCalls[recv.Obj().Name()][name]; ok {
+			cc.reportBlind(call.Pos(),
+				fmt.Sprintf("%s.%s", recv.Obj().Name(), name), variant)
+		}
+		return true
+	})
+}
+
+func (cc *ctxChecker) reportBlind(pos token.Pos, callName, variant string) {
+	if cc.pass.checkSuppressed(cc.file, pos, DirectiveAllowCtx) {
+		return
+	}
+	cc.pass.Report(Diagnostic{
+		Pos: pos,
+		Message: fmt.Sprintf(
+			"%s does not thread this function's ctx into the blocking call", callName),
+		Fix: fmt.Sprintf("use %s, or annotate `//moca:allowctx <reason>`", variant),
+	})
+}
+
+// checkSelectLoops requires every parking select inside an unconditional
+// for loop of a ctx-taking function to carry a <-ctx.Done() case.
+func (cc *ctxChecker) checkSelectLoops(fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil || loop.Init != nil || loop.Post != nil {
+			return true
+		}
+		ast.Inspect(loop.Body, func(inner ast.Node) bool {
+			sel, ok := inner.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			if selectHasDefault(sel) || selectHasDoneCase(cc.pass, sel) {
+				return true
+			}
+			if cc.pass.checkSuppressed(cc.file, sel.Pos(), DirectiveAllowCtx) {
+				return true
+			}
+			cc.pass.Report(Diagnostic{
+				Pos:     sel.Pos(),
+				Message: "long-lived select loop lacks a <-ctx.Done() case",
+				Fix:     "add `case <-ctx.Done(): return ctx.Err()`, or annotate `//moca:allowctx <reason>`",
+			})
+			return true
+		})
+		return true
+	})
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// selectHasDoneCase reports whether any comm clause receives from the
+// Done() channel of a context.Context value.
+func selectHasDoneCase(pass *Pass, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		var recv ast.Expr
+		switch s := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = s.X
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				recv = s.Rhs[0]
+			}
+		}
+		ue, ok := recv.(*ast.UnaryExpr)
+		if !ok || ue.Op != token.ARROW {
+			continue
+		}
+		call, ok := ue.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if mSel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+			mSel.Sel.Name == "Done" && isContextType(pass.TypesInfo.TypeOf(mSel.X)) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"moca/internal/lint"
+	"moca/internal/lint/linttest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	linttest.AnalysisTest(t, lint.CtxFlow, "testdata", "ctxflow/server")
+}
+
+// TestCtxFlowOutsideServingLayer runs the analyzer over the same context
+// sins in a package outside the serving layer and expects silence: the
+// check is scoped by import path.
+func TestCtxFlowOutsideServingLayer(t *testing.T) {
+	linttest.AnalysisTest(t, lint.CtxFlow, "testdata", "ctxflow/other")
+}

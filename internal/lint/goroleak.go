@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GoroLeak requires every `go` statement in the serving layer to be
+// visibly tied to a lifetime: either the spawned body (or its same-package
+// callee) signals a sync.WaitGroup via Done, or the statement carries a
+// `//moca:gorountracked <reason>` annotation naming what bounds it (a done
+// channel, a hub registration, a reaper). A goroutine nothing waits for is
+// how a long-running server leaks memory one disconnect at a time.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "require serving-layer goroutines to be WaitGroup-tracked or annotated",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) error {
+	if !isServingPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	// Same-package callee bodies, for `go c.worker(...)` style spawns.
+	decls := make(map[any]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		file := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goroutineTracked(pass, decls, gs) {
+				return true
+			}
+			if pass.checkSuppressed(file, gs.Pos(), DirectiveGoroTracked) {
+				return true
+			}
+			pass.Report(Diagnostic{
+				Pos:     gs.Pos(),
+				Message: "goroutine is not tied to a sync.WaitGroup and carries no lifetime annotation",
+				Fix:     "add wg.Add(1) / defer wg.Done(), or annotate `//moca:gorountracked <reason>` naming what bounds its lifetime",
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// goroutineTracked reports whether the spawned function's body — a literal
+// or a same-package declaration — signals a sync.WaitGroup via Done.
+func goroutineTracked(pass *Pass, decls map[any]*ast.FuncDecl, gs *ast.GoStmt) bool {
+	var body *ast.BlockStmt
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	case *ast.Ident:
+		if fd := decls[pass.TypesInfo.Uses[fun]]; fd != nil {
+			body = fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := decls[pass.TypesInfo.Uses[fun.Sel]]; fd != nil {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		return false
+	}
+	tracked := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+			sel.Sel.Name == "Done" &&
+			isNamedType(pass.TypesInfo.TypeOf(sel.X), "sync", "WaitGroup") {
+			tracked = true
+			return false
+		}
+		return true
+	})
+	return tracked
+}

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"moca/internal/lint"
+	"moca/internal/lint/linttest"
+)
+
+func TestGoroLeak(t *testing.T) {
+	linttest.AnalysisTest(t, lint.GoroLeak, "testdata", "goroleak/exp")
+}
+
+// TestGoroLeakOutsideServingLayer runs the analyzer over the same
+// untracked spawn in a package outside the serving layer and expects
+// silence: the check is scoped by import path.
+func TestGoroLeakOutsideServingLayer(t *testing.T) {
+	linttest.AnalysisTest(t, lint.GoroLeak, "testdata", "goroleak/other")
+}

@@ -22,6 +22,25 @@
 //   - shardsafe: code reaching state of two or more `//moca:shard`
 //     domains must be annotated `//moca:barrier <reason>` (suppress one
 //     access with `//moca:allowshared <reason>`).
+//
+// Phase 2 extends the suite to the concurrent serving layer (internal/wire,
+// internal/exp, internal/obs), whose failure modes are liveness and
+// protocol bugs rather than nondeterminism:
+//
+//   - lockhold: no blocking operations (frame/conn I/O, channel ops
+//     without a default, simulation runs, time.Sleep) while a sync.Mutex
+//     or RWMutex is held (suppress with `//moca:allowhold <reason>`);
+//   - ctxflow: serving code must thread caller contexts — no
+//     context.Background()/TODO() outside main, no ctx-blind blocking
+//     calls from ctx-taking functions, and long-lived for+select loops
+//     need a ctx.Done() case (suppress with `//moca:allowctx <reason>`);
+//   - wiredispatch: frame dispatch switches must handle every wire.Type*
+//     constant of their direction, the FuzzReadFrame seed corpus must
+//     cover every frame type, and decode-sized allocations must be
+//     bounds-checked first (suppress with `//moca:allowdispatch` /
+//     `//moca:allowsize <reason>`);
+//   - goroleak: goroutines in serving packages must be tied to a
+//     sync.WaitGroup or annotated `//moca:gorountracked <reason>`.
 package lint
 
 import (
@@ -56,6 +75,11 @@ type Pass struct {
 	ModulePath string
 
 	Report func(Diagnostic)
+
+	// reportWaiver, when set by the driver, records every honored
+	// suppression annotation so callers (moca-vet -json) can keep waived
+	// findings visible instead of silently dropping them.
+	reportWaiver func(directive, reason string, pos token.Pos)
 
 	// comments caches per-file line→directive lookups.
 	comments map[*ast.File]map[int][]string
@@ -96,19 +120,28 @@ var DeterministicPackages = map[string]bool{
 // isDeterministicPkg reports whether the import path names a package in
 // the deterministic set.
 func isDeterministicPkg(importPath string) bool {
-	base := importPath
-	if i := strings.LastIndexByte(base, '/'); i >= 0 {
-		base = base[i+1:]
+	return DeterministicPackages[pathBase(importPath)]
+}
+
+// pathBase returns the last element of an import path.
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
 	}
-	return DeterministicPackages[base]
+	return path
 }
 
 // Annotation directives. Suppressions take a mandatory free-text reason.
 const (
-	DirectiveHotPath    = "//moca:hotpath"
-	DirectiveUnordered  = "//moca:unordered"
-	DirectiveWallClock  = "//moca:wallclock"
-	DirectiveAllowAlloc = "//moca:allowalloc"
+	DirectiveHotPath       = "//moca:hotpath"
+	DirectiveUnordered     = "//moca:unordered"
+	DirectiveWallClock     = "//moca:wallclock"
+	DirectiveAllowAlloc    = "//moca:allowalloc"
+	DirectiveAllowHold     = "//moca:allowhold"
+	DirectiveAllowCtx      = "//moca:allowctx"
+	DirectiveAllowSize     = "//moca:allowsize"
+	DirectiveAllowDispatch = "//moca:allowdispatch"
+	DirectiveGoroTracked   = "//moca:gorountracked"
 )
 
 // commentLines builds (and caches) the file's line→comment-text index.
@@ -156,6 +189,8 @@ func (p *Pass) checkSuppressed(f *ast.File, pos token.Pos, directive string) boo
 	}
 	if strings.TrimSpace(reason) == "" {
 		p.Reportf(pos, "%s annotation is missing its reason", directive)
+	} else if p.reportWaiver != nil {
+		p.reportWaiver(directive, reason, pos)
 	}
 	return true
 }
@@ -203,5 +238,8 @@ func pkgFuncOf(info *types.Info, sel *ast.SelectorExpr) (pkgPath, name string, o
 
 // Analyzers returns the full moca-vet suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, WallTime, HotAlloc, BehaviorVersion, ShardSafe}
+	return []*Analyzer{
+		MapOrder, WallTime, HotAlloc, BehaviorVersion, ShardSafe,
+		LockHold, CtxFlow, WireDispatch, GoroLeak,
+	}
 }

@@ -31,7 +31,7 @@ func AnalysisTest(t *testing.T, a *lint.Analyzer, testdataDir, pkgdir string) {
 	if err != nil {
 		t.Fatalf("loading %s: %v", dir, err)
 	}
-	findings, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	findings, _, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}

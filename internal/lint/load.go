@@ -209,9 +209,12 @@ func LoadDir(dir, importPath, modulePath string) (*Package, error) {
 }
 
 // RunAnalyzers applies the analyzers to the packages and returns every
-// diagnostic, sorted by position.
-func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+// diagnostic plus every honored suppression annotation, each sorted by
+// position. Waivers are what `moca-vet -json` surfaces so accepted
+// findings stay visible instead of silently vanishing behind annotations.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Waiver, error) {
 	var findings []Finding
+	var waivers []Waiver
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -231,25 +234,54 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 					Diagnostic: d,
 				})
 			}
+			pass.reportWaiver = func(directive, reason string, pos token.Pos) {
+				waivers = append(waivers, Waiver{
+					Analyzer:  a.Name,
+					Package:   pkg.ImportPath,
+					Directive: directive,
+					Reason:    reason,
+					Position:  pkg.Fset.Position(pos),
+				})
+			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+				return nil, nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
 			}
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i].Position, findings[j].Position
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
+		if c := comparePositions(findings[i].Position, findings[j].Position); c != 0 {
+			return c < 0
 		}
 		return findings[i].Analyzer < findings[j].Analyzer
 	})
-	return findings, nil
+	sort.Slice(waivers, func(i, j int) bool {
+		if c := comparePositions(waivers[i].Position, waivers[j].Position); c != 0 {
+			return c < 0
+		}
+		return waivers[i].Analyzer < waivers[j].Analyzer
+	})
+	return findings, waivers, nil
+}
+
+// comparePositions orders positions by file, then line, then column.
+func comparePositions(a, b token.Position) int {
+	if a.Filename != b.Filename {
+		return strings.Compare(a.Filename, b.Filename)
+	}
+	if a.Line != b.Line {
+		return a.Line - b.Line
+	}
+	return a.Column - b.Column
+}
+
+// Waiver records one honored suppression: an in-source `//moca:` annotation
+// that silenced a finding, together with its mandatory reason.
+type Waiver struct {
+	Analyzer  string
+	Package   string
+	Directive string
+	Reason    string
+	Position  token.Position
 }
 
 // Finding is a diagnostic tagged with its analyzer, package, and resolved

@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockHold flags blocking operations performed while a sync.Mutex or
+// sync.RWMutex is held. A server that sleeps, performs conn I/O, parks on
+// a channel, or runs a simulation under a lock serializes every other
+// goroutine contending for that lock behind one slow peer — the classic
+// path from "one stuck client" to "whole service stalled".
+//
+// The walker is an abstract interpretation of each function body: Lock and
+// RLock add the receiver expression to the held set, Unlock and RUnlock
+// remove it, `defer mu.Unlock()` keeps it held to the end of the function,
+// and branches merge conservatively (a lock counts as released after an
+// if/else only when both arms release it; a branch that returns drops out
+// of the merge). Function literals and `go` bodies start with an empty
+// held set: they run at call time, not at creation, and a goroutine does
+// not inherit its spawner's locks.
+//
+// Blocking operations are channel sends/receives, range-over-channel,
+// select without a default case, and the curated call table in
+// blockingDesc. Suppress one operation with `//moca:allowhold <reason>`.
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc:  "report blocking operations performed while a mutex is held",
+	Run:  runLockHold,
+}
+
+// lockHoldPackages scopes the check to the serving layer plus obs, whose
+// registry and trace mutexes sit on the hub snapshot path.
+var lockHoldPackages = map[string]bool{
+	"wire":   true,
+	"server": true,
+	"client": true,
+	"exp":    true,
+	"obs":    true,
+}
+
+func runLockHold(pass *Pass) error {
+	if !lockHoldPackages[pathBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lc := &lockChecker{pass: pass, file: file}
+			lc.walkStmts(fd.Body.List, map[string]token.Pos{})
+		}
+	}
+	return nil
+}
+
+type lockChecker struct {
+	pass *Pass
+	file *ast.File
+}
+
+func clonePosMap(m map[string]token.Pos) map[string]token.Pos {
+	c := make(map[string]token.Pos, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// walkStmts interprets a statement list, mutating held as locks are taken
+// and released on the straight-line path. It returns the set of lock keys
+// released along this path and whether the path terminates early (return
+// or branch statement), which is what the if/else merge consumes.
+func (lc *lockChecker) walkStmts(stmts []ast.Stmt, held map[string]token.Pos) (released map[string]bool, terminated bool) {
+	released = make(map[string]bool)
+	for _, s := range stmts {
+		rel, term := lc.walkStmt(s, held)
+		for k := range rel {
+			released[k] = true
+		}
+		if term {
+			return released, true
+		}
+	}
+	return released, false
+}
+
+func (lc *lockChecker) walkStmt(s ast.Stmt, held map[string]token.Pos) (map[string]bool, bool) {
+	released := make(map[string]bool)
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, op, ok := mutexOp(lc.pass.TypesInfo, call); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[key] = call.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, key)
+					released[key] = true
+				}
+				return released, false
+			}
+		}
+		lc.checkExpr(s.X, held)
+	case *ast.SendStmt:
+		lc.reportIfHeld(s.Arrow, "channel send", held)
+		lc.checkExpr(s.Chan, held)
+		lc.checkExpr(s.Value, held)
+	case *ast.DeferStmt:
+		if _, op, ok := mutexOp(lc.pass.TypesInfo, s.Call); ok &&
+			(op == "Unlock" || op == "RUnlock") {
+			// The lock stays held until the function returns; keep it in
+			// the set so later blocking operations are still flagged.
+			return released, false
+		}
+		// A deferred call runs during unwinding with unknowable lock
+		// state; its arguments, though, evaluate right now.
+		for _, arg := range s.Call.Args {
+			lc.checkExpr(arg, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			lc.walkStmts(lit.Body.List, map[string]token.Pos{})
+		}
+	case *ast.GoStmt:
+		// The goroutine runs concurrently and does not inherit the
+		// spawner's locks; its arguments evaluate in the spawner.
+		for _, arg := range s.Call.Args {
+			lc.checkExpr(arg, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			lc.walkStmts(lit.Body.List, map[string]token.Pos{})
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lc.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			lc.checkExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			break
+		}
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				for _, v := range vs.Values {
+					lc.checkExpr(v, held)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		lc.checkExpr(s.X, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lc.checkExpr(e, held)
+		}
+		return released, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement list.
+		return released, true
+	case *ast.BlockStmt:
+		return lc.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		return lc.walkStmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			rel, _ := lc.walkStmt(s.Init, held)
+			for k := range rel {
+				released[k] = true
+			}
+		}
+		lc.checkExpr(s.Cond, held)
+		bodyRel, bodyTerm := lc.walkStmts(s.Body.List, clonePosMap(held))
+		if s.Else == nil {
+			// The fall-through path may not have released anything.
+			return released, false
+		}
+		elseRel, elseTerm := lc.walkStmt(s.Else, clonePosMap(held))
+		merge := func(rel map[string]bool) {
+			for k := range rel {
+				delete(held, k)
+				released[k] = true
+			}
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return released, true
+		case bodyTerm:
+			merge(elseRel)
+		case elseTerm:
+			merge(bodyRel)
+		default:
+			// Released only if both arms released it.
+			for k := range bodyRel {
+				if elseRel[k] {
+					delete(held, k)
+					released[k] = true
+				}
+			}
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lc.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			lc.checkExpr(s.Cond, held)
+		}
+		lc.walkStmts(s.Body.List, clonePosMap(held))
+		if s.Post != nil {
+			lc.walkStmt(s.Post, clonePosMap(held))
+		}
+	case *ast.RangeStmt:
+		if t := lc.pass.TypesInfo.TypeOf(s.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				lc.reportIfHeld(s.For, "range over channel", held)
+			}
+		}
+		lc.checkExpr(s.X, held)
+		lc.walkStmts(s.Body.List, clonePosMap(held))
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			lc.reportIfHeld(s.Select, "blocking select (no default case)", held)
+		}
+		// The comm operations themselves are covered by the select-level
+		// report (or are non-blocking when a default exists); walk only
+		// the clause bodies.
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				lc.walkStmts(cc.Body, clonePosMap(held))
+			}
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lc.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			lc.checkExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					lc.checkExpr(e, held)
+				}
+				lc.walkStmts(cc.Body, clonePosMap(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			lc.walkStmt(s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lc.walkStmts(cc.Body, clonePosMap(held))
+			}
+		}
+	}
+	return released, false
+}
+
+// checkExpr flags blocking operations in an expression evaluated while
+// locks are held. Function literals are walked with an empty held set:
+// their bodies run when called, not when created.
+func (lc *lockChecker) checkExpr(e ast.Expr, held map[string]token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lc.walkStmts(n.Body.List, map[string]token.Pos{})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				lc.reportIfHeld(n.OpPos, "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if key, op, ok := mutexOp(lc.pass.TypesInfo, n); ok {
+				if op == "Lock" || op == "RLock" {
+					held[key] = n.Pos()
+				} else {
+					delete(held, key)
+				}
+				return false
+			}
+			if desc := blockingDesc(lc.pass.TypesInfo, n); desc != "" {
+				lc.reportIfHeld(n.Pos(), desc, held)
+			}
+		}
+		return true
+	})
+}
+
+func (lc *lockChecker) reportIfHeld(pos token.Pos, desc string, held map[string]token.Pos) {
+	if len(held) == 0 {
+		return
+	}
+	if lc.pass.checkSuppressed(lc.file, pos, DirectiveAllowHold) {
+		return
+	}
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	key := keys[0]
+	lc.pass.Report(Diagnostic{
+		Pos: pos,
+		Message: fmt.Sprintf("%s while %q is held (locked at line %d)",
+			desc, key, lc.pass.Fset.Position(held[key]).Line),
+		Fix: "release the lock before the blocking operation, or annotate `//moca:allowhold <reason>`",
+	})
+}

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"moca/internal/lint"
+	"moca/internal/lint/linttest"
+)
+
+func TestLockHold(t *testing.T) {
+	linttest.AnalysisTest(t, lint.LockHold, "testdata", "lockhold/server")
+}
+
+// TestLockHoldOutsideServingLayer runs the analyzer over the same
+// blocking-under-lock patterns in a package outside the serving layer and
+// expects silence: the check is scoped by import path.
+func TestLockHoldOutsideServingLayer(t *testing.T) {
+	linttest.AnalysisTest(t, lint.LockHold, "testdata", "lockhold/other")
+}

@@ -1,0 +1,16 @@
+// Package other carries the same context sins as ctxflow/server but sits
+// outside the serving-layer scope: nothing is flagged.
+package other
+
+import (
+	"context"
+	"time"
+)
+
+func Detached() context.Context {
+	return context.Background()
+}
+
+func Sleepy(ctx context.Context) {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,89 @@
+// Package server seeds ctxflow violations: its import path ends in
+// "server", so it sits in the serving-layer scope.
+package server
+
+import (
+	"context"
+	"time"
+)
+
+// Runner mimics the simulation entry points the analyzer matches by
+// receiver type name.
+type Runner struct{}
+
+func (r *Runner) RunSingle()                        {}
+func (r *Runner) Instrument()                       {}
+func (r *Runner) RunSingleCtx(ctx context.Context)  {}
+func (r *Runner) InstrumentCtx(ctx context.Context) {}
+
+// Detached restarts the context tree: flagged.
+func Detached() context.Context {
+	return context.Background() // want "context.Background.. detaches work from caller cancellation"
+}
+
+// Todo is no better: flagged.
+func Todo() context.Context {
+	return context.TODO() // want "context.TODO.. detaches work from caller cancellation"
+}
+
+// CtxBlind accepts a context but calls the blind variants: flagged.
+func CtxBlind(ctx context.Context, r *Runner) {
+	r.RunSingle()                // want "Runner.RunSingle does not thread this function's ctx"
+	r.Instrument()               // want "Runner.Instrument does not thread this function's ctx"
+	time.Sleep(time.Millisecond) // want "time.Sleep does not thread this function's ctx"
+	r.RunSingleCtx(ctx)
+	r.InstrumentCtx(ctx)
+}
+
+// NoCtxToThread has no context parameter, so the blind variants are its
+// only option: clean.
+func NoCtxToThread(r *Runner) {
+	r.RunSingle()
+}
+
+// LoopNoDone parks forever with no way for the caller to stop it: flagged.
+func LoopNoDone(ctx context.Context, ch chan int) {
+	for {
+		select { // want "long-lived select loop lacks a <-ctx.Done.. case"
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+// LoopWithDone: clean.
+func LoopWithDone(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case v := <-ch:
+			_ = v
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// LoopWithDefault never parks: clean.
+func LoopWithDefault(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case v := <-ch:
+			_ = v
+		default:
+			return
+		}
+	}
+}
+
+// Waived carries the annotation with a reason: not flagged.
+func Waived(ctx context.Context, r *Runner) {
+	//moca:allowctx warm-up path; the process lifecycle owns this work
+	r.RunSingle()
+}
+
+// MissingReason has the annotation but no reason: flagged for the reason,
+// not for the blind call itself.
+func MissingReason(ctx context.Context, r *Runner) {
+	//moca:allowctx
+	r.RunSingle() // want "annotation is missing its reason"
+}

@@ -1,0 +1,58 @@
+// Package exp seeds goroleak violations: its import path ends in "exp",
+// so it sits in the serving-layer scope.
+package exp
+
+import "sync"
+
+// Untracked spawns a goroutine nothing waits for: flagged.
+func Untracked(ch chan int) {
+	go func() { // want "not tied to a sync.WaitGroup"
+		<-ch
+	}()
+}
+
+// Tracked signals a WaitGroup from the spawned body: clean.
+func Tracked(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-ch
+	}()
+}
+
+func worker(wg *sync.WaitGroup, ch chan int) {
+	defer wg.Done()
+	<-ch
+}
+
+// TrackedNamed spawns a same-package callee that carries the Done: clean.
+func TrackedNamed(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go worker(wg, ch)
+}
+
+type loop struct{ ch chan int }
+
+func (l *loop) run() { <-l.ch }
+
+// SpawnMethod spawns a same-package method with no Done: flagged.
+func SpawnMethod(l *loop) {
+	go l.run() // want "not tied to a sync.WaitGroup"
+}
+
+// Waived carries the annotation with a reason: not flagged.
+func Waived(ch chan int) {
+	//moca:gorountracked lifetime is bounded by ch, which the owner closes
+	go func() {
+		<-ch
+	}()
+}
+
+// MissingReason has the annotation but no reason: flagged for the reason,
+// not for the spawn itself.
+func MissingReason(ch chan int) {
+	//moca:gorountracked
+	go func() { // want "annotation is missing its reason"
+		<-ch
+	}()
+}

@@ -1,0 +1,9 @@
+// Package other spawns the same untracked goroutine as goroleak/exp but
+// sits outside the serving-layer scope: nothing is flagged.
+package other
+
+func Untracked(ch chan int) {
+	go func() {
+		<-ch
+	}()
+}

@@ -1,0 +1,26 @@
+// Package other carries the same blocking-under-lock patterns as
+// lockhold/server but sits outside the serving-layer scope: nothing is
+// flagged.
+package other
+
+import (
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (g *guarded) SleepUnderLock() {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond)
+	g.mu.Unlock()
+}
+
+func (g *guarded) RecvUnderLock() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch
+}

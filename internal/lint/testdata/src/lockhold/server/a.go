@@ -1,0 +1,152 @@
+// Package server seeds lockhold violations: its import path ends in
+// "server", so it sits in the serving-layer scope.
+package server
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	nc net.Conn
+	wg sync.WaitGroup
+}
+
+// SleepUnderLock blocks while mu is held: flagged.
+func (g *guarded) SleepUnderLock() {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while \"g.mu\" is held"
+	g.mu.Unlock()
+}
+
+// DeferUnlock holds the lock to the end of the function: flagged.
+func (g *guarded) DeferUnlock() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want "channel receive while \"g.mu\" is held"
+}
+
+// SendUnderRLock: read locks serialize writers just the same: flagged.
+func (g *guarded) SendUnderRLock(v int) {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	g.ch <- v // want "channel send while \"g.rw\" is held"
+}
+
+// ConnWriteUnderLock performs network I/O under the lock: flagged.
+func (g *guarded) ConnWriteUnderLock(buf []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nc.Write(buf) // want "network I/O.* while \"g.mu\" is held"
+}
+
+// WaitUnderLock parks on a WaitGroup under the lock: flagged.
+func (g *guarded) WaitUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.wg.Wait() // want "sync.WaitGroup.Wait while \"g.mu\" is held"
+}
+
+// SelectNoDefault parks under the lock: flagged.
+func (g *guarded) SelectNoDefault() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want "blocking select .no default case. while \"g.mu\" is held"
+	case v := <-g.ch:
+		_ = v
+	}
+}
+
+// SelectDefault never parks: clean.
+func (g *guarded) SelectDefault(v int) {
+	g.mu.Lock()
+	select {
+	case g.ch <- v:
+	default:
+	}
+	g.mu.Unlock()
+}
+
+// RangeUnderLock drains a channel under the lock: flagged.
+func (g *guarded) RangeUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for v := range g.ch { // want "range over channel while \"g.mu\" is held"
+		_ = v
+	}
+}
+
+// Runner mimics the simulation entry points the classifier matches by
+// receiver type name.
+type Runner struct{ mu sync.Mutex }
+
+func (r *Runner) RunSingle() {}
+
+// SimulateUnderLock runs a simulation while holding the lock: flagged.
+func (r *Runner) SimulateUnderLock() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.RunSingle() // want "Runner.RunSingle .simulation run. while \"r.mu\" is held"
+}
+
+// UnlockFirst releases before blocking: clean.
+func (g *guarded) UnlockFirst() int {
+	g.mu.Lock()
+	g.mu.Unlock()
+	return <-g.ch
+}
+
+// BranchUnlock releases on both arms before blocking: clean.
+func (g *guarded) BranchUnlock(x bool) int {
+	g.mu.Lock()
+	if x {
+		g.mu.Unlock()
+	} else {
+		g.mu.Unlock()
+	}
+	return <-g.ch
+}
+
+// GuardReturn releases only on the early-return path; the fall-through
+// still holds the lock: flagged.
+func (g *guarded) GuardReturn(x bool) int {
+	g.mu.Lock()
+	if x {
+		g.mu.Unlock()
+		return 0
+	}
+	v := <-g.ch // want "channel receive while \"g.mu\" is held"
+	g.mu.Unlock()
+	return v
+}
+
+// SpawnedBody runs concurrently and does not inherit the spawner's lock:
+// clean (for lockhold; goroleak has its own opinion).
+func (g *guarded) SpawnedBody() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() {
+		<-g.ch
+	}()
+}
+
+// Waived carries the annotation with a reason: not flagged.
+func (g *guarded) Waived(buf []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	//moca:allowhold the write deadline bounds the hold
+	g.nc.Write(buf)
+}
+
+// MissingReason has the annotation but no reason: flagged for the reason,
+// not for the blocking operation itself.
+func (g *guarded) MissingReason() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	//moca:allowhold
+	time.Sleep(time.Millisecond) // want "annotation is missing its reason"
+}

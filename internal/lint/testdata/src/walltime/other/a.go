@@ -1,0 +1,16 @@
+// Package other reads the wall clock the same way walltime/sim does but
+// sits outside the deterministic set: nothing is flagged.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() time.Time {
+	return time.Now()
+}
+
+func Roll() int {
+	return rand.Intn(6)
+}

@@ -1,0 +1,24 @@
+// Package other decodes the same way wiredispatch/wire does but sits
+// outside the protocol packages: nothing is flagged.
+package other
+
+const (
+	TypeHello  = 0x01
+	TypeSubmit = 0x02
+	TypeCancel = 0x03
+)
+
+func Dispatch(typ byte) string {
+	switch typ {
+	case TypeHello:
+		return "hello"
+	case TypeSubmit:
+		return "submit"
+	}
+	return ""
+}
+
+func ReadFrame(data []byte) []byte {
+	n := int(data[1])
+	return make([]byte, n)
+}

@@ -1,0 +1,87 @@
+// Package wire seeds wiredispatch violations: its import path ends in
+// "wire", so the dispatch, corpus, and bounds checks all apply.
+package wire
+
+// Frame type bytes. The high bit encodes direction, mirroring the real
+// protocol: replies set 0x80.
+const (
+	TypeHello  = 0x01
+	TypeSubmit = 0x02
+	TypeCancel = 0x03
+
+	TypeHelloOK = 0x81
+	TypeResult  = 0x82
+	TypeError   = 0x83
+)
+
+// MaxFrame bounds decoded lengths.
+const MaxFrame = 1 << 20
+
+// Dispatch switches over client→server frames but forgets TypeCancel:
+// flagged.
+func Dispatch(typ byte) string {
+	switch typ { // want "non-exhaustive client→server frame dispatch: missing TypeCancel"
+	case TypeHello:
+		return "hello"
+	case TypeSubmit:
+		return "submit"
+	}
+	return ""
+}
+
+// Reply covers every server→client frame across two switches; the
+// per-direction union is what counts: clean.
+func Reply(typ byte) string {
+	switch typ {
+	case TypeHelloOK:
+		return "hello-ok"
+	case TypeResult:
+		return "result"
+	}
+	return replyErr(typ)
+}
+
+func replyErr(typ byte) string {
+	switch typ {
+	case TypeError, TypeResult:
+		return "error"
+	}
+	return ""
+}
+
+// ReadFrame decodes a frame, sizing the payload from the wire without a
+// bound: flagged. Its presence also arms the fuzz-corpus check.
+func ReadFrame(data []byte) []byte {
+	n := int(data[1])
+	buf := make([]byte, n) // want "allocation sized from unchecked value n"
+	copy(buf, data)
+	return buf
+}
+
+// BoundedAlloc compares the decoded length against the named max before
+// allocating: clean.
+func BoundedAlloc(data []byte) []byte {
+	n := int(data[0])
+	if n > MaxFrame {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// ConstAlloc sizes from a constant: clean.
+func ConstAlloc() []byte {
+	return make([]byte, 64)
+}
+
+// WaivedAlloc carries the annotation with a reason: not flagged.
+func WaivedAlloc(n int) []byte {
+	//moca:allowsize the caller validated n against the frame header
+	return make([]byte, n)
+}
+
+// MissingReasonAlloc has the annotation but no reason: flagged for the
+// reason, not for the allocation itself.
+func MissingReasonAlloc(n int) []byte {
+	//moca:allowsize
+	return make([]byte, n) // want "annotation is missing its reason"
+}

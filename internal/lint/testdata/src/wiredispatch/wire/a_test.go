@@ -1,0 +1,14 @@
+package wire
+
+import "testing"
+
+// FuzzReadFrame seeds only half of the frame-type constants: flagged with
+// the ones it forgot.
+func FuzzReadFrame(f *testing.F) { // want "seed corpus is missing frame types: TypeError, TypeHelloOK, TypeResult"
+	f.Add([]byte{TypeHello, 0})
+	f.Add([]byte{TypeSubmit, 4})
+	f.Add([]byte{TypeCancel, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_ = ReadFrame(data)
+	})
+}

@@ -1,6 +1,8 @@
 package lint_test
 
 import (
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"moca/internal/lint"
@@ -9,4 +11,66 @@ import (
 
 func TestWallTime(t *testing.T) {
 	linttest.AnalysisTest(t, lint.WallTime, "testdata", "walltime/sim")
+}
+
+// TestWallTimeOutsideDeterministicSet runs the analyzer over the same
+// wall-clock reads in a package outside the deterministic set and expects
+// silence: the check is scoped by import path.
+func TestWallTimeOutsideDeterministicSet(t *testing.T) {
+	linttest.AnalysisTest(t, lint.WallTime, "testdata", "walltime/other")
+}
+
+// TestWallTimeTriage pins the behaviors the // want comments cannot
+// distinguish: the seeded-constructor path (rand.New(rand.NewSource(seed)))
+// produces no diagnostic at all, honored suppressions surface as waivers
+// carrying their reasons, and a reasonless annotation still suppresses the
+// read while reporting exactly one missing-reason diagnostic.
+func TestWallTimeTriage(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "walltime", "sim")
+	pkg, err := lint.LoadDir(dir, "walltime/sim", "walltime/sim")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	findings, waivers, err := lint.RunAnalyzers(
+		[]*lint.Package{pkg}, []*lint.Analyzer{lint.WallTime})
+	if err != nil {
+		t.Fatalf("running walltime: %v", err)
+	}
+
+	// Stamp, Elapsed, GlobalRand, Env, plus the one missing-reason report.
+	if len(findings) != 5 {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+		t.Errorf("got %d findings, want 5", len(findings))
+	}
+	missingReason := 0
+	for _, f := range findings {
+		if strings.Contains(f.Message, "missing its reason") {
+			missingReason++
+		}
+		if strings.Contains(f.Message, "rand.New") {
+			t.Errorf("seeded constructor flagged: %s", f)
+		}
+	}
+	if missingReason != 1 {
+		t.Errorf("got %d missing-reason diagnostics, want 1", missingReason)
+	}
+
+	// Suppressed and SuppressedInline each record one honored waiver.
+	if len(waivers) != 2 {
+		t.Fatalf("got %d waivers, want 2: %+v", len(waivers), waivers)
+	}
+	const reason = "progress log outside the measured simulation path"
+	for _, w := range waivers {
+		if w.Directive != lint.DirectiveWallClock {
+			t.Errorf("waiver directive = %q, want %q", w.Directive, lint.DirectiveWallClock)
+		}
+		if w.Reason != reason {
+			t.Errorf("waiver reason = %q, want %q", w.Reason, reason)
+		}
+		if w.Analyzer != "walltime" {
+			t.Errorf("waiver analyzer = %q, want walltime", w.Analyzer)
+		}
+	}
 }

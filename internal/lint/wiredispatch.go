@@ -1,0 +1,398 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// WireDispatch guards the wire protocol's three classic decode-side holes:
+//
+//  1. non-exhaustive dispatch: every wire.Type* frame constant of a
+//     direction (client→server low types, server→client high-bit types)
+//     must appear in that package's dispatch switches, so adding a frame
+//     type without handling it everywhere is a vet failure, not a silent
+//     protocol error at runtime;
+//  2. fuzz-corpus drift: the package that declares ReadFrame must seed
+//     FuzzReadFrame with every frame type, or the fuzzer never explores
+//     most of the dispatch surface;
+//  3. unbounded decode allocations: any `make` sized from a non-constant
+//     value in the wire package must be dominated by a `<`/`>` comparison
+//     against a named bound — a length-prefixed decoder that allocates
+//     before bounds-checking hands every peer a memory-exhaustion lever.
+//
+// Suppress a dispatch or corpus finding with `//moca:allowdispatch
+// <reason>` and an allocation finding with `//moca:allowsize <reason>`.
+var WireDispatch = &Analyzer{
+	Name: "wiredispatch",
+	Doc:  "require exhaustive frame dispatch, full fuzz seed coverage, and bounds-checked decode allocations",
+	Run:  runWireDispatch,
+}
+
+// wireDispatchPackages scopes the check to the protocol and its two
+// endpoint packages.
+var wireDispatchPackages = map[string]bool{
+	"wire":   true,
+	"server": true,
+	"client": true,
+}
+
+func runWireDispatch(pass *Pass) error {
+	base := pathBase(pass.Pkg.Path())
+	if !wireDispatchPackages[base] {
+		return nil
+	}
+	consts := frameTypeConstants(pass)
+	if len(consts.byName) > 0 {
+		checkDispatchExhaustiveness(pass, consts)
+	}
+	if base == "wire" {
+		checkBoundedAllocs(pass)
+		if len(consts.byName) > 0 && pass.Pkg.Scope().Lookup("ReadFrame") != nil {
+			checkFuzzCorpus(pass, consts)
+		}
+	}
+	return nil
+}
+
+// frameConsts is the set of frame-type constants visible to a package:
+// byte constants named Type*, declared locally or by an imported package
+// whose path ends in "wire".
+type frameConsts struct {
+	byName map[string]byte
+	objs   map[types.Object]string
+}
+
+func frameTypeConstants(pass *Pass) frameConsts {
+	fc := frameConsts{
+		byName: make(map[string]byte),
+		objs:   make(map[types.Object]string),
+	}
+	collect := func(scope *types.Scope) {
+		for _, name := range scope.Names() {
+			if !strings.HasPrefix(name, "Type") {
+				continue
+			}
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok {
+				continue
+			}
+			b, ok := c.Type().Underlying().(*types.Basic)
+			if !ok || b.Info()&types.IsInteger == 0 {
+				continue
+			}
+			v, ok := constant.Uint64Val(c.Val())
+			if !ok || v > 0xff {
+				continue
+			}
+			fc.byName[name] = byte(v)
+			fc.objs[c] = name
+		}
+	}
+	collect(pass.Pkg.Scope())
+	for _, imp := range pass.Pkg.Imports() {
+		if pathBase(imp.Path()) == "wire" {
+			collect(imp.Scope())
+		}
+	}
+	return fc
+}
+
+// frameDirection splits the type space on the high bit: the protocol
+// reserves 0x80 for server→client frames.
+func frameDirection(v byte) string {
+	if v&0x80 != 0 {
+		return "server→client"
+	}
+	return "client→server"
+}
+
+// checkDispatchExhaustiveness unions, per direction, the frame constants
+// covered by the package's dispatch switches (a switch naming two or more
+// frame constants in its cases) and reports the constants a direction's
+// dispatch misses. The union is package-wide: a client may handle replies
+// across several call sites, as long as together they cover every type.
+func checkDispatchExhaustiveness(pass *Pass, consts frameConsts) {
+	covered := make(map[string]map[string]bool)
+	firstSwitch := make(map[string]token.Pos)
+	switchFile := make(map[string]*ast.File)
+	for _, file := range pass.Files {
+		file := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			hits := make(map[string]bool)
+			for _, c := range sw.Body.List {
+				cc, ok := c.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					var id *ast.Ident
+					switch e := e.(type) {
+					case *ast.Ident:
+						id = e
+					case *ast.SelectorExpr:
+						id = e.Sel
+					default:
+						continue
+					}
+					if name, ok := consts.objs[pass.TypesInfo.Uses[id]]; ok {
+						hits[name] = true
+					}
+				}
+			}
+			if len(hits) < 2 {
+				return true // not a frame dispatch switch
+			}
+			for name := range hits {
+				dir := frameDirection(consts.byName[name])
+				if covered[dir] == nil {
+					covered[dir] = make(map[string]bool)
+					firstSwitch[dir] = sw.Pos()
+					switchFile[dir] = file
+				}
+				covered[dir][name] = true
+			}
+			return true
+		})
+	}
+	for dir, got := range covered {
+		var missing []string
+		for name, v := range consts.byName {
+			if frameDirection(v) == dir && !got[name] {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		sort.Strings(missing)
+		if pass.checkSuppressed(switchFile[dir], firstSwitch[dir], DirectiveAllowDispatch) {
+			continue
+		}
+		pass.Report(Diagnostic{
+			Pos: firstSwitch[dir],
+			Message: fmt.Sprintf("non-exhaustive %s frame dispatch: missing %s",
+				dir, strings.Join(missing, ", ")),
+			Fix: "handle every frame type of this direction (the default case is for unknown future types only), or annotate `//moca:allowdispatch <reason>`",
+		})
+	}
+}
+
+// checkFuzzCorpus requires the FuzzReadFrame seed corpus to reference
+// every declared frame-type constant. Test files are not part of the
+// loaded package, so when the fuzz target is not among pass.Files it is
+// parsed (not type-checked) from the package directory's *_test.go files.
+func checkFuzzCorpus(pass *Pass, consts frameConsts) {
+	fuzz, file := findFuzzReadFrame(pass.Files)
+	if fuzz == nil {
+		fuzz, file = parseFuzzReadFrame(pass)
+	}
+	if fuzz == nil {
+		pass.Report(Diagnostic{
+			Pos:     pass.Files[0].Name.Pos(),
+			Message: "package declares ReadFrame and frame-type constants but no FuzzReadFrame seed corpus",
+			Fix:     "add FuzzReadFrame with one seed frame per Type* constant",
+		})
+		return
+	}
+	used := make(map[string]bool)
+	ast.Inspect(fuzz.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			used[id.Name] = true
+		}
+		return true
+	})
+	var missing []string
+	for name := range consts.byName {
+		if !used[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	if pass.checkSuppressed(file, fuzz.Pos(), DirectiveAllowDispatch) {
+		return
+	}
+	pass.Report(Diagnostic{
+		Pos: fuzz.Pos(),
+		Message: fmt.Sprintf("FuzzReadFrame seed corpus is missing frame types: %s",
+			strings.Join(missing, ", ")),
+		Fix: "seed one frame per Type* constant so the fuzzer reaches every dispatch arm",
+	})
+}
+
+func findFuzzReadFrame(files []*ast.File) (*ast.FuncDecl, *ast.File) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok &&
+				fd.Recv == nil && fd.Name.Name == "FuzzReadFrame" && fd.Body != nil {
+				return fd, f
+			}
+		}
+	}
+	return nil, nil
+}
+
+func parseFuzzReadFrame(pass *Pass) (*ast.FuncDecl, *ast.File) {
+	names, err := filepath.Glob(filepath.Join(pass.Dir, "*_test.go"))
+	if err != nil {
+		return nil, nil
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(pass.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			continue
+		}
+		files = append(files, f)
+	}
+	return findFuzzReadFrame(files)
+}
+
+// checkBoundedAllocs requires every non-constant-sized make in the wire
+// package to be dominated by an inequality comparison involving the size
+// (or a value it was derived from): allocate only after the decoded
+// length has been checked against a bound.
+func checkBoundedAllocs(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkAllocsInFunc(pass, file, fd)
+		}
+	}
+}
+
+func checkAllocsInFunc(pass *Pass, file *ast.File, fd *ast.FuncDecl) {
+	// Union identifiers related by assignment, so `n := len(payload) + 1`
+	// lets a check on n guard an allocation sized from payload and vice
+	// versa. Name-keyed union-find is coarse but sound enough inside one
+	// function body.
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b string) { parent[find(a)] = find(b) }
+	identNames := func(e ast.Expr) []string {
+		var names []string
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name != "_" {
+				names = append(names, id.Name)
+			}
+			return true
+		})
+		return names
+	}
+	relate := func(lhs, rhs []ast.Expr) {
+		var all []string
+		for _, e := range lhs {
+			all = append(all, identNames(e)...)
+		}
+		for _, e := range rhs {
+			all = append(all, identNames(e)...)
+		}
+		for i := 1; i < len(all); i++ {
+			union(all[0], all[i])
+		}
+	}
+	type guard struct {
+		pos   token.Pos
+		names []string
+	}
+	var guards []guard
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			relate(n.Lhs, n.Rhs)
+		case *ast.ValueSpec:
+			lhs := make([]ast.Expr, len(n.Names))
+			for i, id := range n.Names {
+				lhs[i] = id
+			}
+			relate(lhs, n.Values)
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				names := identNames(n)
+				// A bound needs two participants: the size and the named
+				// limit it is compared against; `n == 0`-style checks are
+				// not bounds.
+				if len(names) >= 2 {
+					guards = append(guards, guard{pos: n.Pos(), names: names})
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" || len(call.Args) < 2 {
+			return true
+		}
+		if _, isSlice := pass.TypesInfo.TypeOf(call).Underlying().(*types.Slice); !isSlice {
+			return true
+		}
+		for _, size := range call.Args[1:] {
+			if tv, ok := pass.TypesInfo.Types[size]; ok && tv.Value != nil {
+				continue // constant size
+			}
+			names := identNames(size)
+			if len(names) == 0 {
+				continue
+			}
+			guarded := false
+			for _, g := range guards {
+				if g.pos >= call.Pos() {
+					continue
+				}
+				for _, gn := range g.names {
+					for _, sn := range names {
+						if find(gn) == find(sn) {
+							guarded = true
+						}
+					}
+				}
+			}
+			if guarded {
+				continue
+			}
+			if pass.checkSuppressed(file, call.Pos(), DirectiveAllowSize) {
+				continue
+			}
+			pass.Report(Diagnostic{
+				Pos: call.Pos(),
+				Message: fmt.Sprintf(
+					"allocation sized from unchecked value %s", types.ExprString(size)),
+				Fix: "compare the decoded length against a named max before allocating, or annotate `//moca:allowsize <reason>`",
+			})
+		}
+		return true
+	})
+}

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"moca/internal/lint"
+	"moca/internal/lint/linttest"
+)
+
+func TestWireDispatch(t *testing.T) {
+	linttest.AnalysisTest(t, lint.WireDispatch, "testdata", "wiredispatch/wire")
+}
+
+// TestWireDispatchOutsideProtocolPackages runs the analyzer over the same
+// decode patterns in a package outside wire/server/client and expects
+// silence: the check is scoped by import path.
+func TestWireDispatchOutsideProtocolPackages(t *testing.T) {
+	linttest.AnalysisTest(t, lint.WireDispatch, "testdata", "wiredispatch/other")
+}

@@ -182,6 +182,7 @@ func (c *Client) Wait(ctx context.Context, j *Job, onProgress func(done, total u
 	// goroutine is blocked mid-read. The watcher is Wait's only writer.
 	stopWatch := make(chan struct{})
 	defer close(stopWatch)
+	//moca:gorountracked exits when stopWatch closes on Wait's return; bounded by this call
 	go func() {
 		select {
 		case <-ctx.Done():

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"moca/internal/wire"
+)
+
+// TestJobContextDerivesFromDrainRoot is the regression test for jobs
+// running under a detached context: job contexts must derive from the
+// server's drain root so that a drain-window expiry cancels stragglers
+// instead of leaking simulations behind force-closed connections. With
+// the root already canceled, a submitted job must terminate with
+// CodeCanceled without executing a simulation.
+func TestJobContextDerivesFromDrainRoot(t *testing.T) {
+	srv := New(Config{})
+	hardCtx, hardCancel := context.WithCancel(context.Background())
+	srv.mu.Lock()
+	srv.hardCtx, srv.hardCancel = hardCtx, hardCancel
+	srv.mu.Unlock()
+	hardCancel() // the drain window has already expired
+
+	serverSide, clientSide := net.Pipe()
+	defer clientSide.Close()
+	c := srv.newConn(serverSide)
+
+	// Drain the job's frames from the client side: ACCEPTED, then the
+	// terminal ERROR carrying the cancellation.
+	frames := make(chan byte, 4)
+	errMsgs := make(chan wire.ErrorMsg, 1)
+	go func() {
+		defer close(frames)
+		for {
+			typ, payload, err := wire.ReadFrame(clientSide, wire.DefaultMaxFrame)
+			if err != nil {
+				return
+			}
+			frames <- typ
+			if typ == wire.TypeError {
+				var em wire.ErrorMsg
+				if wire.Decode(payload, &em) == nil {
+					errMsgs <- em
+				}
+			}
+		}
+	}()
+
+	if err := c.submit(testSubmit(7)); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	done := make(chan struct{})
+	go func() { c.jwg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job did not terminate under the canceled drain root")
+	}
+
+	if typ := <-frames; typ != wire.TypeAccepted {
+		t.Fatalf("first frame = %#x, want ACCEPTED", typ)
+	}
+	if typ := <-frames; typ != wire.TypeError {
+		t.Fatalf("second frame = %#x, want ERROR", typ)
+	}
+	em := <-errMsgs
+	if em.Code != wire.CodeCanceled {
+		t.Fatalf("error code = %q, want %q", em.Code, wire.CodeCanceled)
+	}
+	serverSide.Close()
+
+	if st := srv.runner(testKey()).Stats(); st.Simulated != 0 {
+		t.Errorf("Simulated = %d, want 0 (canceled job must not run)", st.Simulated)
+	}
+}

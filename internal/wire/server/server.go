@@ -180,12 +180,14 @@ func (s *Server) runner(key runnerKey) *exp.Runner {
 // returns once every connection handler has exited.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	s.mu.Lock()
+	//moca:allowctx the drain root must outlive the serve ctx: jobs finish inside the drain window after ctx fires
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	s.mu.Unlock()
 	defer s.hardCancel()
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
+	//moca:gorountracked exits when the serve ctx or stop fires; bounded by Serve's own lifetime
 	go func() {
 		select {
 		case <-ctx.Done():
@@ -225,6 +227,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	s.logf("draining: %d connection(s), up to %v", n, s.cfg.drainTimeout())
 
 	done := make(chan struct{})
+	//moca:gorountracked closes done once the handler WaitGroup drains; bounded by the connections it waits on
 	go func() {
 		wg.Wait()
 		close(done)
@@ -266,6 +269,20 @@ func (s *Server) draining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.drain
+}
+
+// hardContext returns the drain root jobs run under: canceled only when
+// the drain window expires or Serve exits. Before Serve has run — tests
+// drive connections without a listener — it falls back to the process
+// root.
+func (s *Server) hardContext() context.Context {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hardCtx != nil {
+		return s.hardCtx
+	}
+	//moca:allowctx pre-Serve fallback for tests that drive connections directly
+	return context.Background()
 }
 
 // job is one client's interest in one run. Exactly one of the runner
@@ -312,6 +329,7 @@ func (c *conn) send(typ byte, v any) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.writeTimeout()))
+	//moca:allowhold wmu exists to serialize frame writes; the write deadline bounds the hold
 	return wire.WriteMsg(c.nc, typ, v, c.srv.cfg.maxFrame())
 }
 
@@ -320,6 +338,7 @@ func (c *conn) sendRaw(typ byte, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.writeTimeout()))
+	//moca:allowhold wmu exists to serialize frame writes; the write deadline bounds the hold
 	return wire.WriteFrame(c.nc, typ, payload, c.srv.cfg.maxFrame())
 }
 
@@ -512,7 +531,10 @@ func (c *conn) submit(sub wire.Submit) error {
 		c.mu.Unlock()
 		return reject(wire.CodeBadReq, "job id already in use")
 	}
-	jctx, cancel := context.WithCancel(context.Background())
+	// Jobs run under the drain root, not a detached context: when the
+	// drain window expires the server cancels stragglers instead of
+	// leaking them behind force-closed connections.
+	jctx, cancel := context.WithCancel(c.srv.hardContext())
 	j := &job{id: sub.ID, memoKey: def.Name + "|" + key, cancel: cancel, state: wire.StateRunning}
 	c.jobs[sub.ID] = j
 	c.mu.Unlock()

@@ -157,6 +157,7 @@ func (s *Server) traceSession(c *conn, start wire.TraceStart) (*traceSession, *w
 		ts.cancel = cancel
 		s.traces[start.Session] = ts
 		s.mu.Unlock()
+		//moca:gorountracked session lifetime is tracked by ts.done; the idle reaper or TRACE_END terminates it
 		go ts.run(ctx, def, appSpec)
 	} else {
 		s.mu.Unlock()

@@ -98,6 +98,17 @@ func TestFrameTypedErrors(t *testing.T) {
 // Decoded frames must re-encode to the identical bytes (with the trailing
 // garbage of the stream untouched).
 func FuzzReadFrame(f *testing.F) {
+	// One seed per frame type, both directions, so the fuzzer starts with
+	// every dispatch arm reachable (moca-vet's wiredispatch analyzer
+	// checks this list stays exhaustive as the protocol grows).
+	for _, typ := range []byte{
+		TypeHello, TypeSubmit, TypeStatus, TypeCancel, TypeStream,
+		TypeTraceStart, TypeTraceBlock, TypeTraceEnd,
+		TypeHelloOK, TypeAccepted, TypeJobState, TypeProgress,
+		TypeSnapshot, TypeResult, TypeError, TypeTraceResume, TypeTraceAck,
+	} {
+		f.Add(frame(typ, []byte(`{"id":1}`)), uint32(0))
+	}
 	f.Add(frame(TypeHello, []byte(`{"version":1}`)), uint32(0))
 	f.Add(frame(TypeSubmit, []byte(`{"id":1,"system":"ddr3","app":"mcf"}`)), uint32(0))
 	f.Add([]byte{0, 0, 0, 0}, uint32(0))
